@@ -1,0 +1,79 @@
+// The paper's Section 1 comparison, made executable: what happens to each
+// debugging environment when the OS under development goes wild?
+//
+//   * debugger embedded in the OS / classic remote stub in the OS: the stub
+//     shares fate with the kernel — a triple fault takes the machine (and
+//     any in-kernel stub) down;
+//   * the LVMM's stub: survives the same fault, and post-mortem inspection
+//     of the dead kernel still works.
+//
+// Exercises both paths with the same fault (guest IDT destroyed, next
+// interrupt escalates to a triple fault) and reports the outcomes.
+#include <cstdio>
+
+#include "common/units.h"
+#include "debug/remote_debugger.h"
+#include "guest/layout.h"
+#include "harness/platform.h"
+#include "vmm/stub.h"
+
+using namespace vdbg;
+using namespace vdbg::harness;
+
+namespace {
+
+void destroy_idt(Platform& p) {
+  const auto idt = p.image().kernel.symbol("idt").value();
+  for (u32 i = 0; i < guest::kIdtEntries * 8; i += 4) {
+    p.machine().mem().write32(idt + i, 0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Debug-environment stability under a guest triple fault ===\n");
+  std::printf("%-34s %-16s %-14s %-12s\n", "environment", "machine state",
+              "stub alive", "post-mortem");
+
+  bool native_died = false;
+  {
+    Platform p(PlatformKind::kNative);
+    p.prepare(guest::RunConfig());
+    p.machine().run_for(seconds_to_cycles(0.01));
+    destroy_idt(p);
+    p.machine().run_for(seconds_to_cycles(0.01));
+    native_died = p.machine().cpu().shutdown();
+    std::printf("%-34s %-16s %-14s %-12s\n", "stub inside the OS (native)",
+                native_died ? "SHUT DOWN" : "running", "no", "no");
+  }
+
+  bool lvmm_ok = false;
+  {
+    Platform p(PlatformKind::kLvmm);
+    p.prepare(guest::RunConfig());
+    vmm::DebugStub stub(*p.monitor(), p.machine().uart());
+    stub.attach();
+    debug::RemoteDebugger dbg(p.machine());
+    dbg.connect();
+    p.machine().run_for(seconds_to_cycles(0.01));
+    destroy_idt(p);
+    p.machine().run_for(seconds_to_cycles(0.01));
+
+    const bool machine_alive = !p.machine().cpu().shutdown();
+    const bool crashed = dbg.target_crashed();
+    const bool intact = dbg.monitor_intact();
+    const auto regs = dbg.read_registers();
+    const auto mem = dbg.read_memory(guest::kMailboxBase, 16);
+    const bool post_mortem = regs.has_value() && mem.has_value();
+    lvmm_ok = machine_alive && crashed && intact && post_mortem;
+    std::printf("%-34s %-16s %-14s %-12s\n", "lightweight VMM stub",
+                machine_alive ? "running" : "SHUT DOWN",
+                crashed && intact ? "yes" : "NO",
+                post_mortem ? "yes" : "NO");
+  }
+
+  std::printf("\nlvmm environment survives what kills an in-OS stub: %s\n",
+              (native_died && lvmm_ok) ? "yes" : "NO");
+  return (native_died && lvmm_ok) ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks of the VX32 interpreter itself (google-benchmark): how
+// fast the simulation substrate executes guest code on the host, plus the
+// simulated cycles-per-instruction the cost model charges. These calibrate
+// how much wall-clock the Fig. 3.1 sweep costs and sanity-check the CPI
+// assumptions documented in cpu/cost_model.h.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "asm/assembler.h"
+#include "cpu/cpu.h"
+
+namespace {
+
+using namespace vdbg;
+using namespace vdbg::vasm;
+using cpu::kR0;
+using cpu::kR1;
+using cpu::kR2;
+
+class NullBus final : public cpu::IoBus {
+ public:
+  u32 io_read(u16) override { return 0; }
+  void io_write(u16, u32) override {}
+};
+
+struct Rig {
+  Rig() : mem(4 * 1024 * 1024), cpu_(mem, bus, nullptr) {}
+  cpu::PhysMem mem;
+  NullBus bus;
+  cpu::Cpu cpu_;
+};
+
+void load(Rig& rig, const std::function<void(Assembler&)>& emit) {
+  Assembler a(0x1000);
+  emit(a);
+  auto p = a.finalize();
+  p.load(rig.mem);
+  rig.cpu_.state().pc = 0x1000;
+}
+
+void BM_AluLoop(benchmark::State& state) {
+  Rig rig;
+  load(rig, [](Assembler& a) {
+    a.movi(kR0, u32{0});
+    a.label("loop");
+    a.addi(kR0, kR0, u32{1});
+    a.xori(kR1, kR0, u32{0x55});
+    a.shli(kR2, kR1, 3);
+    a.cmpi(kR0, u32{0xffffffff});
+    a.jnz(l("loop"));
+  });
+  u64 instr0 = 0;
+  for (auto _ : state) {
+    rig.cpu_.run(10000);
+  }
+  const u64 instrs = rig.cpu_.stats().instructions - instr0;
+  state.counters["guest_instr_per_s"] =
+      benchmark::Counter(double(instrs), benchmark::Counter::kIsRate);
+  state.counters["sim_cpi"] =
+      double(rig.cpu_.cycles()) / double(rig.cpu_.stats().instructions);
+}
+BENCHMARK(BM_AluLoop);
+
+void BM_MemoryCopyLoop(benchmark::State& state) {
+  Rig rig;
+  load(rig, [](Assembler& a) {
+    a.movi(kR0, u32{0x10000});  // src
+    a.movi(kR1, u32{0x20000});  // dst
+    a.label("loop");
+    a.ld32(kR2, kR0, 0);
+    a.st32(kR1, 0, kR2);
+    a.addi(kR0, kR0, u32{4});
+    a.addi(kR1, kR1, u32{4});
+    a.cmpi(kR0, u32{0x18000});
+    a.jnz(l("loop"));
+    a.movi(kR0, u32{0x10000});
+    a.movi(kR1, u32{0x20000});
+    a.jmp(l("loop"));
+  });
+  for (auto _ : state) {
+    rig.cpu_.run(10000);
+  }
+  state.counters["guest_instr_per_s"] = benchmark::Counter(
+      double(rig.cpu_.stats().instructions), benchmark::Counter::kIsRate);
+  state.counters["sim_cpi"] =
+      double(rig.cpu_.cycles()) / double(rig.cpu_.stats().instructions);
+}
+BENCHMARK(BM_MemoryCopyLoop);
+
+void BM_CallRetLoop(benchmark::State& state) {
+  Rig rig;
+  load(rig, [](Assembler& a) {
+    a.movi(cpu::kSp, u32{0x8000});
+    a.label("loop");
+    a.call(l("fn"));
+    a.jmp(l("loop"));
+    a.label("fn");
+    a.addi(kR0, kR0, u32{1});
+    a.ret();
+  });
+  for (auto _ : state) {
+    rig.cpu_.run(10000);
+  }
+  state.counters["guest_instr_per_s"] = benchmark::Counter(
+      double(rig.cpu_.stats().instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CallRetLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

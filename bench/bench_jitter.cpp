@@ -1,0 +1,78 @@
+// Streaming QoS: inter-frame arrival jitter at the receiver — the metric a
+// streaming appliance (the paper's HiTactix use case) actually cares about
+// beyond raw throughput. Measures p50/p99/max inter-arrival gaps at a fixed
+// 100 Mbps stream on all three platforms, and on the LVMM while the remote
+// debugger continuously polls guest memory.
+#include <cstdio>
+#include <memory>
+
+#include "common/units.h"
+#include "debug/remote_debugger.h"
+#include "guest/layout.h"
+#include "harness/platform.h"
+#include "vmm/stub.h"
+
+using namespace vdbg;
+using namespace vdbg::harness;
+
+namespace {
+
+struct Row {
+  double p50, p99, max_us, achieved;
+};
+
+Row measure(PlatformKind kind, bool polling) {
+  Platform p(kind);
+  p.prepare(guest::RunConfig::for_rate_mbps(100.0));
+  std::unique_ptr<vmm::DebugStub> stub;
+  std::unique_ptr<debug::RemoteDebugger> dbg;
+  if (polling) {
+    stub = std::make_unique<vmm::DebugStub>(*p.monitor(),
+                                            p.machine().uart());
+    stub->attach();
+    dbg = std::make_unique<debug::RemoteDebugger>(p.machine());
+    dbg->connect();
+  }
+  p.machine().run_for(seconds_to_cycles(0.15));
+  p.sink().begin_window(p.machine().now());
+  const Cycles end = p.machine().now() + seconds_to_cycles(0.05);
+  if (polling) {
+    while (p.machine().now() < end) {
+      dbg->read_memory(guest::kMailboxBase, 64);
+    }
+  } else {
+    p.machine().run_for(seconds_to_cycles(0.05));
+  }
+  Row r;
+  r.p50 = p.sink().interarrival_us(50);
+  r.p99 = p.sink().interarrival_us(99);
+  r.max_us = p.sink().interarrival_us(100);
+  r.achieved = p.sink().window_goodput_mbps(p.machine().now());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Inter-frame jitter at 100 Mbps (1 KiB segments) ===\n");
+  std::printf("(ideal spacing: ~82 us between frames)\n\n");
+  std::printf("%-30s %10s %10s %10s %10s\n", "platform", "p50 us", "p99 us",
+              "max us", "Mbps");
+  const Row native = measure(PlatformKind::kNative, false);
+  const Row lvmm = measure(PlatformKind::kLvmm, false);
+  const Row polled = measure(PlatformKind::kLvmm, true);
+  auto pr = [](const char* n, const Row& r) {
+    std::printf("%-30s %10.1f %10.1f %10.1f %10.1f\n", n, r.p50, r.p99,
+                r.max_us, r.achieved);
+  };
+  pr("real-hardware", native);
+  pr("lvmm", lvmm);
+  pr("lvmm + debugger polling", polled);
+
+  // Below saturation the stream stays well-paced everywhere; debugging may
+  // stretch the tail but must not stall the stream.
+  const bool ok = lvmm.achieved > 95.0 && polled.achieved > 90.0 &&
+                  polled.max_us < 50000.0;
+  std::printf("\nstream well-paced under debugging: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

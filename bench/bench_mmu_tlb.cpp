@@ -1,0 +1,90 @@
+// Microbenchmarks of the paging MMU: TLB-hit translation, miss/walk cost,
+// and the simulated-cycle penalty the cost model charges for misses. Guest
+// working sets in the streaming experiment span ~14 MB, so TLB behaviour
+// feeds directly into the per-byte CPU cost.
+#include <benchmark/benchmark.h>
+
+#include "cpu/cost_model.h"
+#include "cpu/mmu.h"
+
+namespace {
+
+using namespace vdbg;
+using cpu::Access;
+using cpu::CpuState;
+using cpu::Mmu;
+using cpu::PhysMem;
+using cpu::Pte;
+
+struct PagedRig {
+  PagedRig() : mem(32 * 1024 * 1024), mmu(mem, cpu::CostModel::pentium3()) {
+    // Identity-map 16 MiB: PD at 1 MiB, tables following.
+    const PAddr pd = 1 << 20;
+    for (u32 t = 0; t < 4; ++t) {
+      const PAddr pt = pd + (t + 1) * cpu::kPageSize;
+      mem.write32(pd + t * 4, Pte::make(pt, true, true));
+      for (u32 e = 0; e < 1024; ++e) {
+        mem.write32(pt + e * 4, Pte::make((t << 22) | (e << 12), true, true));
+      }
+    }
+    st.cr[cpu::kCr3] = pd;
+    st.cr[cpu::kCr0] = cpu::kCr0PgBit;
+  }
+  PhysMem mem;
+  Mmu mmu;
+  CpuState st;
+};
+
+void BM_TlbHit(benchmark::State& state) {
+  PagedRig rig;
+  rig.mmu.translate(rig.st, 0x5000, Access::kRead);  // prime
+  for (auto _ : state) {
+    auto r = rig.mmu.translate(rig.st, 0x5000, Access::kRead);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["hit_rate"] =
+      double(rig.mmu.tlb_hits()) /
+      double(rig.mmu.tlb_hits() + rig.mmu.tlb_misses());
+}
+BENCHMARK(BM_TlbHit);
+
+void BM_TlbMissWalk(benchmark::State& state) {
+  PagedRig rig;
+  u32 va = 0;
+  for (auto _ : state) {
+    // Stride by 64 pages * page size: always maps to the same TLB set but a
+    // different page -> guaranteed miss + walk.
+    va += 64 * cpu::kPageSize;
+    if (va >= (16u << 20)) va = 0;
+    auto r = rig.mmu.translate(rig.st, va, Access::kRead);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["miss_rate"] =
+      double(rig.mmu.tlb_misses()) /
+      double(rig.mmu.tlb_hits() + rig.mmu.tlb_misses());
+}
+BENCHMARK(BM_TlbMissWalk);
+
+void BM_SequentialPageSweep(benchmark::State& state) {
+  // The streaming workload's access pattern: sequential pages, 1 miss per
+  // 1024 word accesses.
+  PagedRig rig;
+  u32 va = 0;
+  Cycles charged = 0;
+  u64 accesses = 0;
+  for (auto _ : state) {
+    auto r = rig.mmu.translate(rig.st, va, Access::kRead);
+    charged += r.cost;
+    ++accesses;
+    va += 4;
+    if (va >= (16u << 20)) va = 0;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sim_cycles_per_access"] =
+      double(charged) / double(accesses);
+}
+BENCHMARK(BM_SequentialPageSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

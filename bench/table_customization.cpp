@@ -1,0 +1,133 @@
+// The paper's §1 customisability claim as a table: the SAME monitor binary
+// (zero guest-specific code) hosts three structurally different operating
+// systems, each exercising a different subset of the virtualised machine:
+//
+//   MiniTactix  preemptive, user-mode app, paging, tx-streaming + ctrl rx
+//   NanoCoop    cooperative, kernel-only, no paging, polled disk I/O
+//   NetRecorder interrupt-driven rx + SCSI WRITE recording, no paging
+//
+// For each guest: boot it under the unmodified LVMM, drive its natural
+// workload, and report health + which monitor mechanisms it exercised.
+#include <cstdio>
+
+#include "common/units.h"
+#include "guest/layout.h"
+#include "guest/minitactix.h"
+#include "guest/nanocoop.h"
+#include "guest/netrecorder.h"
+#include "harness/platform.h"
+#include "hw/machine.h"
+#include "net/udp.h"
+#include "vmm/lvmm.h"
+
+using namespace vdbg;
+
+namespace {
+
+struct Row {
+  const char* name;
+  bool healthy;
+  u64 exits, injections, shadow_syncs, io_emulated;
+  const char* activity;
+  char activity_buf[64];
+};
+
+vmm::Lvmm::Config monitor_config(const hw::Machine& m) {
+  vmm::Lvmm::Config mc;
+  mc.monitor_base = guest::kMonitorBase;
+  mc.monitor_len = m.config().mem_bytes - guest::kMonitorBase;
+  mc.guest_mem_limit = guest::kGuestMemBytes;
+  return mc;
+}
+
+Row run_minitactix() {
+  harness::Platform p(harness::PlatformKind::kLvmm);
+  p.prepare(guest::RunConfig::for_rate_mbps(60.0));
+  p.machine().run_for(seconds_to_cycles(0.1));
+  const auto mb = p.mailbox();
+  const auto& ex = p.monitor()->exit_stats();
+  Row r{"MiniTactix (streaming RTOS)",
+        mb.magic == guest::Mailbox::kMagicValue && mb.last_error == 0 &&
+            !p.monitor()->vcpu().crashed &&
+            p.monitor()->monitor_memory_intact(),
+        ex.total, ex.injections, ex.shadow_syncs, ex.io_emulated,
+        nullptr, {}};
+  std::snprintf(r.activity_buf, sizeof r.activity_buf,
+                "%u segments streamed", mb.segments_sent);
+  r.activity = r.activity_buf;
+  return r;
+}
+
+Row run_nanocoop() {
+  hw::Machine m{hw::MachineConfig{}};
+  auto prog = guest::build_nanocoop();
+  prog.load(m.mem());
+  m.cpu().state().pc = *prog.symbol("entry");
+  vmm::Lvmm mon(m, monitor_config(m));
+  mon.install();
+  m.run_for(seconds_to_cycles(0.1));
+  const auto s = guest::read_nano_mailbox(m.mem());
+  const auto& ex = mon.exit_stats();
+  Row r{"NanoCoop (cooperative)",
+        s.magic == guest::NanoMailbox::kMagicValue && s.last_error == 0 &&
+            !mon.vcpu().crashed && mon.monitor_memory_intact(),
+        ex.total, ex.injections, ex.shadow_syncs, ex.io_emulated,
+        nullptr, {}};
+  std::snprintf(r.activity_buf, sizeof r.activity_buf,
+                "%u yields, %u disk reads", s.yields, s.task_b_reads);
+  r.activity = r.activity_buf;
+  return r;
+}
+
+Row run_netrecorder() {
+  hw::Machine m{hw::MachineConfig{}};
+  auto prog = guest::build_netrecorder();
+  prog.load(m.mem());
+  m.cpu().state().pc = *prog.symbol("entry");
+  vmm::Lvmm mon(m, monitor_config(m));
+  mon.install();
+  m.run_for(seconds_to_cycles(0.005));
+  // Feed it datagrams to record.
+  const auto flow = guest::BuildConfig::default_flow();
+  std::vector<u8> payload(800, 0x5a);
+  for (int i = 0; i < 12; ++i) {
+    m.nic().host_rx_frame(net::build_frame(flow, payload), m.now());
+    m.run_for(seconds_to_cycles(0.002));
+  }
+  m.run_for(seconds_to_cycles(0.02));
+  const auto s = guest::read_recorder_mailbox(m.mem());
+  const auto& ex = mon.exit_stats();
+  Row r{"NetRecorder (rx->disk)",
+        s.magic == guest::RecorderMailbox::kMagicValue &&
+            s.last_error == 0 && !mon.vcpu().crashed &&
+            mon.monitor_memory_intact(),
+        ex.total, ex.injections, ex.shadow_syncs, ex.io_emulated,
+        nullptr, {}};
+  std::snprintf(r.activity_buf, sizeof r.activity_buf,
+                "%u frames -> %u sectors", s.frames, s.sectors);
+  r.activity = r.activity_buf;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== One unmodified monitor, three different guest OSs ===\n");
+  std::printf("%-30s %-8s %8s %8s %8s %8s  %s\n", "guest OS", "healthy",
+              "exits", "inject", "shadow", "io-emu", "activity");
+  bool all_ok = true;
+  for (const Row& r : {run_minitactix(), run_nanocoop(), run_netrecorder()}) {
+    std::printf("%-30s %-8s %8llu %8llu %8llu %8llu  %s\n", r.name,
+                r.healthy ? "yes" : "NO", (unsigned long long)r.exits,
+                (unsigned long long)r.injections,
+                (unsigned long long)r.shadow_syncs,
+                (unsigned long long)r.io_emulated, r.activity);
+    all_ok &= r.healthy;
+  }
+  std::printf("\nguest-specific code in the monitor: 0 lines (by "
+              "construction —\n the monitor emulates hardware interfaces, "
+              "not OS interfaces)\n");
+  std::printf("all guests healthy under one monitor: %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

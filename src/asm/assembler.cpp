@@ -1,0 +1,198 @@
+#include "asm/assembler.h"
+
+#include <stdexcept>
+
+namespace vdbg::vasm {
+
+using cpu::Instr;
+using cpu::Opcode;
+
+void Program::load(cpu::PhysMem& mem) const {
+  if (!mem.contains(base, static_cast<u32>(bytes.size()))) {
+    throw std::out_of_range("program image does not fit in physical memory");
+  }
+  mem.write_block(base, bytes);
+}
+
+void Assembler::label(const std::string& name) {
+  if (!symbols_.emplace(name, here()).second) {
+    throw std::runtime_error("duplicate label: " + name);
+  }
+}
+
+void Assembler::align(u32 alignment) {
+  while (here() % alignment != 0) bytes_.push_back(0);
+}
+
+void Assembler::reserve(u32 n) { bytes_.insert(bytes_.end(), n, 0); }
+
+void Assembler::data8(u8 v) { bytes_.push_back(v); }
+
+void Assembler::data32(u32 v) {
+  bytes_.push_back(static_cast<u8>(v));
+  bytes_.push_back(static_cast<u8>(v >> 8));
+  bytes_.push_back(static_cast<u8>(v >> 16));
+  bytes_.push_back(static_cast<u8>(v >> 24));
+}
+
+void Assembler::data_ref(const Ref& ref) {
+  align(4);
+  fixups_.push_back(Fixup{bytes_.size(), ref});
+  data32(0);
+}
+
+u32 Assembler::word_var(const std::string& name, u32 initial) {
+  align(4);
+  const u32 addr = here();
+  label(name);
+  data32(initial);
+  return addr;
+}
+
+void Assembler::emit_raw(Opcode op, u8 rd, u8 rs1, u8 rs2, u32 imm) {
+  Instr in{op, rd, rs1, rs2, imm};
+  const auto enc = in.encode();
+  bytes_.insert(bytes_.end(), enc.begin(), enc.end());
+}
+
+void Assembler::emit(Opcode op, u8 rd, u8 rs1, u8 rs2, Imm imm) {
+  align(cpu::kInstrBytes);
+  if (auto* ref = std::get_if<Ref>(&imm)) {
+    fixups_.push_back(Fixup{bytes_.size() + 4, *ref});
+    emit_raw(op, rd, rs1, rs2, 0);
+  } else {
+    emit_raw(op, rd, rs1, rs2, std::get<u32>(imm));
+  }
+}
+
+// --- data movement ---
+void Assembler::movi(Reg rd, Imm imm) { emit(Opcode::kMovI, rd, 0, 0, imm); }
+void Assembler::mov(Reg rd, Reg rs) { emit(Opcode::kMov, rd, rs, 0, u32{0}); }
+
+// --- ALU ---
+#define VDBG_ALU3(name, op) \
+  void Assembler::name(Reg rd, Reg a, Reg b) { emit(op, rd, a, b, u32{0}); }
+VDBG_ALU3(add, Opcode::kAdd)
+VDBG_ALU3(sub, Opcode::kSub)
+VDBG_ALU3(and_, Opcode::kAnd)
+VDBG_ALU3(or_, Opcode::kOr)
+VDBG_ALU3(xor_, Opcode::kXor)
+VDBG_ALU3(shl, Opcode::kShl)
+VDBG_ALU3(shr, Opcode::kShr)
+VDBG_ALU3(sar, Opcode::kSar)
+VDBG_ALU3(mul, Opcode::kMul)
+VDBG_ALU3(divu, Opcode::kDivU)
+VDBG_ALU3(remu, Opcode::kRemU)
+#undef VDBG_ALU3
+
+#define VDBG_ALUI(name, op) \
+  void Assembler::name(Reg rd, Reg a, Imm imm) { emit(op, rd, a, 0, imm); }
+VDBG_ALUI(addi, Opcode::kAddI)
+VDBG_ALUI(subi, Opcode::kSubI)
+VDBG_ALUI(andi, Opcode::kAndI)
+VDBG_ALUI(ori, Opcode::kOrI)
+VDBG_ALUI(xori, Opcode::kXorI)
+VDBG_ALUI(muli, Opcode::kMulI)
+#undef VDBG_ALUI
+
+void Assembler::shli(Reg rd, Reg a, u32 c) {
+  emit(Opcode::kShlI, rd, a, 0, u32{c});
+}
+void Assembler::shri(Reg rd, Reg a, u32 c) {
+  emit(Opcode::kShrI, rd, a, 0, u32{c});
+}
+void Assembler::sari(Reg rd, Reg a, u32 c) {
+  emit(Opcode::kSarI, rd, a, 0, u32{c});
+}
+void Assembler::cmp(Reg a, Reg b) { emit(Opcode::kCmp, 0, a, b, u32{0}); }
+void Assembler::cmpi(Reg a, Imm imm) { emit(Opcode::kCmpI, 0, a, 0, imm); }
+
+// --- memory ---
+void Assembler::ld8(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd8, rd, base, 0, u32(off));
+}
+void Assembler::ld16(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd16, rd, base, 0, u32(off));
+}
+void Assembler::ld32(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd32, rd, base, 0, u32(off));
+}
+void Assembler::st8(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt8, 0, base, src, u32(off));
+}
+void Assembler::st16(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt16, 0, base, src, u32(off));
+}
+void Assembler::st32(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt32, 0, base, src, u32(off));
+}
+
+// --- control flow ---
+void Assembler::jmp(Imm t) { emit(Opcode::kJmp, 0, 0, 0, t); }
+void Assembler::jmpr(Reg rs) { emit(Opcode::kJmpR, 0, rs, 0, u32{0}); }
+#define VDBG_JCC(name, op) \
+  void Assembler::name(Imm t) { emit(op, 0, 0, 0, t); }
+VDBG_JCC(jz, Opcode::kJz)
+VDBG_JCC(jnz, Opcode::kJnz)
+VDBG_JCC(jb, Opcode::kJb)
+VDBG_JCC(jae, Opcode::kJae)
+VDBG_JCC(jbe, Opcode::kJbe)
+VDBG_JCC(ja, Opcode::kJa)
+VDBG_JCC(jl, Opcode::kJl)
+VDBG_JCC(jge, Opcode::kJge)
+VDBG_JCC(jle, Opcode::kJle)
+VDBG_JCC(jg, Opcode::kJg)
+#undef VDBG_JCC
+void Assembler::call(Imm t) { emit(Opcode::kCall, 0, 0, 0, t); }
+void Assembler::callr(Reg rs) { emit(Opcode::kCallR, 0, rs, 0, u32{0}); }
+void Assembler::ret() { emit(Opcode::kRet, 0, 0, 0, u32{0}); }
+void Assembler::push(Reg rs) { emit(Opcode::kPush, 0, rs, 0, u32{0}); }
+void Assembler::pop(Reg rd) { emit(Opcode::kPop, rd, 0, 0, u32{0}); }
+
+// --- system ---
+void Assembler::int_(u8 v) { emit(Opcode::kInt, 0, 0, 0, u32{v}); }
+void Assembler::iret() { emit(Opcode::kIret, 0, 0, 0, u32{0}); }
+void Assembler::hlt() { emit(Opcode::kHlt, 0, 0, 0, u32{0}); }
+void Assembler::cli() { emit(Opcode::kCli, 0, 0, 0, u32{0}); }
+void Assembler::sti() { emit(Opcode::kSti, 0, 0, 0, u32{0}); }
+void Assembler::lidt(Reg base, u32 count) {
+  emit(Opcode::kLidt, 0, base, 0, u32{count});
+}
+void Assembler::mov_to_cr(u8 crn, Reg rs) {
+  emit(Opcode::kMovToCr, crn, rs, 0, u32{0});
+}
+void Assembler::mov_from_cr(Reg rd, u8 crn) {
+  emit(Opcode::kMovFromCr, rd, crn, 0, u32{0});
+}
+void Assembler::invlpg(Reg rs) { emit(Opcode::kInvlpg, 0, rs, 0, u32{0}); }
+void Assembler::in(Reg rd, u16 port) {
+  emit(Opcode::kIn, rd, 0, 0, u32{port});
+}
+void Assembler::out(u16 port, Reg rs) {
+  emit(Opcode::kOut, 0, rs, 0, u32{port});
+}
+void Assembler::brk() { emit(Opcode::kBrk, 0, 0, 0, u32{0}); }
+void Assembler::nop() { emit(Opcode::kNop, 0, 0, 0, u32{0}); }
+
+Program Assembler::finalize() {
+  if (finalized_) throw std::runtime_error("assembler already finalized");
+  finalized_ = true;
+  for (const auto& fx : fixups_) {
+    auto it = symbols_.find(fx.ref.label);
+    if (it == symbols_.end()) {
+      throw std::runtime_error("unresolved label: " + fx.ref.label);
+    }
+    const u32 value = it->second + static_cast<u32>(fx.ref.addend);
+    bytes_[fx.imm_offset] = static_cast<u8>(value);
+    bytes_[fx.imm_offset + 1] = static_cast<u8>(value >> 8);
+    bytes_[fx.imm_offset + 2] = static_cast<u8>(value >> 16);
+    bytes_[fx.imm_offset + 3] = static_cast<u8>(value >> 24);
+  }
+  Program p;
+  p.base = base_;
+  p.bytes = std::move(bytes_);
+  p.symbols = std::move(symbols_);
+  return p;
+}
+
+}  // namespace vdbg::vasm

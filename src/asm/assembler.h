@@ -1,0 +1,145 @@
+// Programmatic VX32 assembler.
+//
+// Guest software in this repository (the MiniTactix kernel, test stubs, the
+// workload application) is written against this builder API: each mnemonic
+// method appends one 8-byte instruction, labels give symbolic control flow,
+// and finalize() resolves fixups into a loadable Program. Branch/call/movi
+// immediates accept either a literal address or a label name.
+//
+// The builder throws std::runtime_error on programming errors (duplicate or
+// unresolved labels) — images are constructed by host tooling, not by the
+// simulated machine.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "asm/program.h"
+#include "cpu/isa.h"
+
+namespace vdbg::vasm {
+
+using cpu::Reg;
+
+/// An immediate operand: literal value or label reference (optionally with
+/// an addend, e.g. Ref{"table", 8}).
+struct Ref {
+  std::string label;
+  i32 addend = 0;
+};
+using Imm = std::variant<u32, Ref>;
+
+/// Convenience so call sites can write l("name") for label operands.
+inline Ref l(std::string name, i32 addend = 0) {
+  return Ref{std::move(name), addend};
+}
+
+class Assembler {
+ public:
+  explicit Assembler(u32 base) : base_(base) {}
+
+  // --- layout ---
+  u32 here() const { return base_ + static_cast<u32>(bytes_.size()); }
+  void label(const std::string& name);
+  void align(u32 alignment);
+  /// Reserves `n` zero bytes (data).
+  void reserve(u32 n);
+  void data8(u8 v);
+  void data32(u32 v);
+  /// Emits a 32-bit word holding a label's address (resolved at finalize).
+  void data_ref(const Ref& ref);
+  /// Defines a named data word and returns its address.
+  u32 word_var(const std::string& name, u32 initial = 0);
+
+  // --- data movement ---
+  void movi(Reg rd, Imm imm);
+  void mov(Reg rd, Reg rs);
+
+  // --- ALU ---
+  void add(Reg rd, Reg a, Reg b);
+  void sub(Reg rd, Reg a, Reg b);
+  void and_(Reg rd, Reg a, Reg b);
+  void or_(Reg rd, Reg a, Reg b);
+  void xor_(Reg rd, Reg a, Reg b);
+  void shl(Reg rd, Reg a, Reg b);
+  void shr(Reg rd, Reg a, Reg b);
+  void sar(Reg rd, Reg a, Reg b);
+  void mul(Reg rd, Reg a, Reg b);
+  void divu(Reg rd, Reg a, Reg b);
+  void remu(Reg rd, Reg a, Reg b);
+  void addi(Reg rd, Reg a, Imm imm);
+  void subi(Reg rd, Reg a, Imm imm);
+  void andi(Reg rd, Reg a, Imm imm);
+  void ori(Reg rd, Reg a, Imm imm);
+  void xori(Reg rd, Reg a, Imm imm);
+  void shli(Reg rd, Reg a, u32 count);
+  void shri(Reg rd, Reg a, u32 count);
+  void sari(Reg rd, Reg a, u32 count);
+  void muli(Reg rd, Reg a, Imm imm);
+  void cmp(Reg a, Reg b);
+  void cmpi(Reg a, Imm imm);
+
+  // --- memory ---
+  void ld8(Reg rd, Reg base, i32 off = 0);
+  void ld16(Reg rd, Reg base, i32 off = 0);
+  void ld32(Reg rd, Reg base, i32 off = 0);
+  void st8(Reg base, i32 off, Reg src);
+  void st16(Reg base, i32 off, Reg src);
+  void st32(Reg base, i32 off, Reg src);
+
+  // --- control flow ---
+  void jmp(Imm target);
+  void jmpr(Reg rs);
+  void jz(Imm target);
+  void jnz(Imm target);
+  void jb(Imm target);
+  void jae(Imm target);
+  void jbe(Imm target);
+  void ja(Imm target);
+  void jl(Imm target);
+  void jge(Imm target);
+  void jle(Imm target);
+  void jg(Imm target);
+  void call(Imm target);
+  void callr(Reg rs);
+  void ret();
+  void push(Reg rs);
+  void pop(Reg rd);
+
+  // --- system ---
+  void int_(u8 vector);
+  void iret();
+  void hlt();
+  void cli();
+  void sti();
+  void lidt(Reg base, u32 count);
+  void mov_to_cr(u8 crn, Reg rs);
+  void mov_from_cr(Reg rd, u8 crn);
+  void invlpg(Reg rs);
+  void in(Reg rd, u16 port);
+  void out(u16 port, Reg rs);
+  void brk();
+  void nop();
+
+  /// Resolves all fixups and returns the image. The assembler must not be
+  /// used after finalize().
+  Program finalize();
+
+ private:
+  void emit(cpu::Opcode op, u8 rd, u8 rs1, u8 rs2, Imm imm);
+  void emit_raw(cpu::Opcode op, u8 rd, u8 rs1, u8 rs2, u32 imm);
+
+  struct Fixup {
+    std::size_t imm_offset;  // byte offset of the imm field in bytes_
+    Ref ref;
+  };
+
+  u32 base_;
+  std::vector<u8> bytes_;
+  std::map<std::string, u32> symbols_;
+  std::vector<Fixup> fixups_;
+  bool finalized_ = false;
+};
+
+}  // namespace vdbg::vasm

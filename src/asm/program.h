@@ -1,0 +1,32 @@
+// A linked VX32 program image: raw bytes at a base address plus symbols.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/phys_mem.h"
+
+namespace vdbg::vasm {
+
+struct Program {
+  u32 base = 0;
+  std::vector<u8> bytes;
+  std::map<std::string, u32> symbols;
+
+  u32 end() const { return base + static_cast<u32>(bytes.size()); }
+
+  std::optional<u32> symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Copies the image into physical memory at its base address.
+  /// Requires the image to fit; throws std::out_of_range otherwise.
+  void load(cpu::PhysMem& mem) const;
+};
+
+}  // namespace vdbg::vasm

@@ -1,0 +1,34 @@
+#include "common/checksum.h"
+
+namespace vdbg {
+
+void InternetChecksum::add(std::span<const u8> data) {
+  for (u8 byte : data) {
+    if (odd_) {
+      sum_ += byte;  // low byte of the current 16-bit word
+    } else {
+      sum_ += static_cast<u32>(byte) << 8;  // high byte
+    }
+    odd_ = !odd_;
+  }
+}
+
+void InternetChecksum::add_u16(u16 value) {
+  const u8 bytes[2] = {static_cast<u8>(value >> 8),
+                       static_cast<u8>(value & 0xff)};
+  add(bytes);
+}
+
+u16 InternetChecksum::fold() const {
+  u32 s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<u16>(~s & 0xffff);
+}
+
+u16 internet_checksum(std::span<const u8> data) {
+  InternetChecksum c;
+  c.add(data);
+  return c.fold();
+}
+
+}  // namespace vdbg

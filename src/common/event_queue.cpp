@@ -1,0 +1,57 @@
+#include "common/event_queue.h"
+
+#include <utility>
+
+namespace vdbg {
+
+EventId EventQueue::schedule_at(Cycles deadline, Callback cb,
+                                std::string name) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{deadline, next_seq_++, id, std::move(cb), std::move(name)});
+  ++live_count_;
+  if (deadline_observer_) deadline_observer_(deadline);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: mark the id; the entry is discarded when it reaches the
+  // top of the heap.
+  if (!cancelled_.insert(id).second) return false;
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+std::optional<Cycles> EventQueue::next_deadline() const {
+  // Cancelled entries may sit on top of the heap; peel them conceptually.
+  // The heap is immutable here, so copy-scan the top region only when the
+  // top is cancelled (rare in practice).
+  if (live_count_ == 0) return std::nullopt;
+  if (!cancelled_.count(heap_.top().id)) return heap_.top().deadline;
+  // Slow path: scan a copy.
+  auto copy = heap_;
+  while (!copy.empty()) {
+    if (!cancelled_.count(copy.top().id)) return copy.top().deadline;
+    copy.pop();
+  }
+  return std::nullopt;
+}
+
+int EventQueue::run_until(Cycles now) {
+  int fired = 0;
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --live_count_;
+    ++fired;
+    e.cb(e.deadline);
+  }
+  return fired;
+}
+
+}  // namespace vdbg

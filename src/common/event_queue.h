@@ -1,0 +1,84 @@
+// Discrete-event timeline driving all simulated-device timing.
+//
+// The CPU interpreter owns the cycle counter; devices schedule callbacks at
+// absolute cycle deadlines (disk completion, NIC transmit done, PIT tick,
+// UART byte arrival). The machine loop fires due events between instructions
+// and fast-forwards the clock across HLT.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg {
+
+/// Handle for cancelling a scheduled event.
+using EventId = u64;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Cycles now)>;
+
+  /// Observer invoked from schedule_at() with the new event's deadline.
+  /// The machine uses it to preempt a running CPU slice when a device
+  /// schedules something earlier than the slice's planned end (e.g. a disk
+  /// completion programmed by an OUT the CPU just executed).
+  using DeadlineObserver = std::function<void(Cycles deadline)>;
+  void set_deadline_observer(DeadlineObserver obs) {
+    deadline_observer_ = std::move(obs);
+  }
+
+  /// Schedules `cb` to fire at absolute cycle `deadline`. Events scheduled
+  /// for the same deadline fire in scheduling order.
+  EventId schedule_at(Cycles deadline, Callback cb, std::string name = {});
+
+  /// Schedules relative to `now`.
+  EventId schedule_in(Cycles now, Cycles delay, Callback cb,
+                      std::string name = {}) {
+    return schedule_at(now + delay, std::move(cb), std::move(name));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Deadline of the earliest pending event, if any.
+  std::optional<Cycles> next_deadline() const;
+
+  /// Fires every event with deadline <= now, in deadline order. Callbacks may
+  /// schedule further events (including ones due within the same call).
+  /// Returns the number of events fired.
+  int run_until(Cycles now);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+ private:
+  struct Entry {
+    Cycles deadline;
+    u64 seq;
+    EventId id;
+    Callback cb;
+    std::string name;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  DeadlineObserver deadline_observer_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  u64 next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace vdbg

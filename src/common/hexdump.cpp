@@ -1,0 +1,65 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vdbg {
+
+std::optional<u8> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return static_cast<u8>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<u8>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<u8>(c - 'A' + 10);
+  return std::nullopt;
+}
+
+std::string to_hex(std::span<const u8> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<std::vector<u8>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<u8> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    auto hi = hex_digit(hex[i]);
+    auto lo = hex_digit(hex[i + 1]);
+    if (!hi || !lo) return std::nullopt;
+    out.push_back(static_cast<u8>((*hi << 4) | *lo));
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const u8> data, u32 base_addr) {
+  std::string out;
+  char line[128];
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    int n = std::snprintf(line, sizeof line, "%08x  ",
+                          static_cast<unsigned>(base_addr + off));
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < data.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[off + i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t i = 0; i < 16 && off + i < data.size(); ++i) {
+      const u8 b = data[off + i];
+      out.push_back(std::isprint(b) ? static_cast<char>(b) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace vdbg

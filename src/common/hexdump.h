@@ -1,0 +1,27 @@
+// Hexadecimal helpers shared by the debugger, the RSP codec and tests.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg {
+
+/// "xxd"-style multi-line dump with offsets and ASCII gutter.
+std::string hexdump(std::span<const u8> data, u32 base_addr = 0);
+
+/// Lowercase hex encoding of raw bytes ("deadbeef").
+std::string to_hex(std::span<const u8> data);
+
+/// Decodes a hex string into bytes; returns nullopt on odd length or
+/// non-hex characters.
+std::optional<std::vector<u8>> from_hex(std::string_view hex);
+
+/// Value of one hex digit, or nullopt.
+std::optional<u8> hex_digit(char c);
+
+}  // namespace vdbg

@@ -1,0 +1,66 @@
+// Minimal leveled logger. Components log through a named Logger so tests can
+// silence or capture output; the default sink writes to stderr.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vdbg {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the sink (e.g. to capture logs in tests). Passing nullptr
+/// restores the default stderr sink.
+using LogSink = std::function<void(LogLevel, std::string_view component,
+                                   std::string_view message)>;
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+/// Lightweight component-scoped logging handle.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    detail::emit(level, component_, os.str());
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    log(LogLevel::kTrace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::kError, std::forward<Args>(args)...);
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace vdbg

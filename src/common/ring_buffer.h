@@ -1,0 +1,52 @@
+// Fixed-capacity FIFO byte/element ring used by the UART and NIC models.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+namespace vdbg {
+
+template <typename T, std::size_t N>
+class RingBuffer {
+  static_assert(N > 0, "ring capacity must be positive");
+
+ public:
+  bool push(const T& value) {
+    if (full()) return false;
+    buf_[(head_ + size_) % N] = value;
+    ++size_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T v = buf_[head_];
+    head_ = (head_ + 1) % N;
+    --size_;
+    return v;
+  }
+
+  /// Oldest element without removing it.
+  std::optional<T> peek() const {
+    if (empty()) return std::nullopt;
+    return buf_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == N; }
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t capacity() { return N; }
+
+ private:
+  std::array<T, N> buf_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vdbg

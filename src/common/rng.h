@@ -1,0 +1,53 @@
+// Deterministic xoshiro-style PRNG so experiments and tests are
+// reproducible run-to-run (no std::random_device anywhere in the simulator).
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding of the two xorshift128+ words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      u64 z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  u64 next_u64() {
+    u64 x = s0_;
+    const u64 y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 between(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  u64 s0_, s1_;
+};
+
+}  // namespace vdbg

@@ -1,0 +1,27 @@
+// Basic scalar aliases shared across the vdbg libraries.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vdbg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated-machine cycle count. All device and monitor timing is expressed
+/// in CPU cycles of the simulated 1.26 GHz processor.
+using Cycles = std::uint64_t;
+
+/// Guest-virtual and guest-physical addresses (the simulated machine is
+/// 32-bit, matching the PC/AT target of the paper).
+using VAddr = std::uint32_t;
+using PAddr = std::uint32_t;
+
+}  // namespace vdbg

@@ -1,0 +1,29 @@
+// CPU-facing bus interfaces: port I/O and the interrupt-request line.
+// Devices live in src/hw and implement these.
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg::cpu {
+
+/// Port-mapped I/O bus. All VX32 port accesses are 32-bit; device models
+/// narrow internally where the modelled hardware register is smaller.
+class IoBus {
+ public:
+  virtual ~IoBus() = default;
+  /// Read from `port`. Unclaimed ports float high (0xffffffff).
+  virtual u32 io_read(u16 port) = 0;
+  /// Write `value` to `port`. Writes to unclaimed ports are dropped.
+  virtual void io_write(u16 port, u32 value) = 0;
+};
+
+/// The INTR pin plus the INTA acknowledge cycle, as driven by the PIC.
+class IntrLine {
+ public:
+  virtual ~IntrLine() = default;
+  virtual bool intr_asserted() const = 0;
+  /// INTA: highest-priority pending vector; moves it IRR -> in-service.
+  virtual u8 acknowledge() = 0;
+};
+
+}  // namespace vdbg::cpu

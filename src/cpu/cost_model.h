@@ -1,0 +1,32 @@
+// Cycle costs of architectural operations on the simulated 1.26 GHz CPU.
+//
+// Values are order-of-magnitude calibrations for a Pentium III-class machine:
+// port I/O rides the slow ISA/PCI I/O space (hundreds of ns), a two-level
+// page walk costs two uncached memory reads, exception entry flushes the
+// pipeline and performs several memory accesses. The harness results depend
+// only on the *ratios* between these and the VMM cost table (vmm/costs.h).
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg::cpu {
+
+struct CostModel {
+  Cycles base = 1;            // issue cost of any instruction
+  Cycles mem = 2;             // cache-average cost per memory access
+  Cycles tlb_miss = 24;       // two-level walk: two uncached reads
+  Cycles mul = 3;
+  Cycles div = 20;
+  Cycles branch_taken = 2;    // pipeline refill
+  Cycles port_io = 300;       // IN/OUT: ~240 ns of I/O-space access
+  Cycles exception_entry = 60;  // gate fetch + frame pushes + serialisation
+  Cycles iret = 40;
+  Cycles intr_ack = 20;       // INTA bus cycle to the PIC
+
+  static const CostModel& pentium3() {
+    static const CostModel m{};
+    return m;
+  }
+};
+
+}  // namespace vdbg::cpu

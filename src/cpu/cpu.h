@@ -1,0 +1,157 @@
+// The VX32 interpreter: fetch/decode/execute, trap and interrupt delivery,
+// the trap hook a VMM installs to intercept events, and the I/O permission
+// bitmap that implements device passthrough.
+#pragma once
+
+#include <bitset>
+#include <span>
+
+#include "common/types.h"
+#include "cpu/bus.h"
+#include "cpu/cost_model.h"
+#include "cpu/cpu_state.h"
+#include "cpu/fault.h"
+#include "cpu/isa.h"
+#include "cpu/mmu.h"
+#include "cpu/phys_mem.h"
+
+namespace vdbg::cpu {
+
+class Cpu;
+
+/// Installed by a virtual machine monitor. When present, *every* exception,
+/// software interrupt and external interrupt raised while guest code runs is
+/// diverted here instead of being delivered through the in-memory IDT — the
+/// simulation equivalent of the monitor owning the real IDT and receiving
+/// all events in its own ring-0 stubs. The hook mutates CPU state directly
+/// (emulate-and-skip, inject into the guest, or freeze the guest) and
+/// charges monitor cycles via Cpu::add_cycles().
+class TrapHook {
+ public:
+  virtual ~TrapHook() = default;
+  virtual void on_event(Cpu& cpu, const Fault& fault) = 0;
+  virtual void on_external_interrupt(Cpu& cpu, u8 vector) = 0;
+};
+
+enum class RunExit : u8 {
+  kBudget,         // cycle budget exhausted
+  kHalted,         // CPU executed HLT (or stays halted with IF=0)
+  kShutdown,       // triple fault: the machine is dead (native mode only)
+  kStopRequested,  // a TrapHook froze execution (debugger stop)
+};
+
+/// Counters exposed for tests and the benchmark harness.
+struct CpuStats {
+  u64 instructions = 0;
+  u64 mem_accesses = 0;
+  u64 io_accesses = 0;
+  u64 exceptions = 0;         // events delivered through the IDT
+  u64 interrupts = 0;         // external interrupts taken (either path)
+  u64 hook_events = 0;        // events diverted to the trap hook
+};
+
+class Cpu {
+ public:
+  Cpu(PhysMem& mem, IoBus& io, IntrLine* intr,
+      const CostModel& costs = CostModel::pentium3());
+
+  CpuState& state() { return st_; }
+  const CpuState& state() const { return st_; }
+  Mmu& mmu() { return mmu_; }
+  PhysMem& mem() { return mem_; }
+  const CostModel& costs() const { return costs_; }
+
+  void set_trap_hook(TrapHook* hook) { hook_ = hook; }
+  TrapHook* trap_hook() const { return hook_; }
+
+  // --- I/O permission bitmap (TSS-equivalent). CPL 0 always passes. ---
+  void io_allow(u16 port, bool allow) { io_bitmap_[port] = allow; }
+  void io_allow_range(u16 first, u16 count, bool allow);
+  void io_deny_all() { io_bitmap_.reset(); }
+  bool io_allowed(u8 cpl, u16 port) const {
+    return cpl == 0 || io_bitmap_[port];
+  }
+
+  /// Runs until `budget` additional cycles have elapsed or a special
+  /// condition stops execution earlier.
+  RunExit run(Cycles budget);
+
+  /// Preempts the current (or next) run() at the given absolute cycle if it
+  /// is earlier than the slice end. Used by the machine when a device event
+  /// gets scheduled mid-slice; reset at each run() entry.
+  void lower_run_limit(Cycles at) {
+    if (at < run_limit_) run_limit_ = at;
+  }
+
+  /// Executes exactly one instruction boundary (interrupt check + one
+  /// instruction). Test/debug aid.
+  RunExit step_one();
+
+  // --- simulated time ---
+  Cycles cycles() const { return cycles_; }
+  /// Charges extra cycles (monitor work, device stalls).
+  void add_cycles(Cycles n) { cycles_ += n; }
+
+  bool halted() const { return halted_; }
+  void set_halted(bool h) { halted_ = h; }
+  bool shutdown() const { return shutdown_; }
+  /// Monitor/debugger: stop run() at the next boundary.
+  void request_stop() { stop_requested_ = true; }
+
+  const CpuStats& stats() const { return stats_; }
+
+  /// Architectural event delivery through the in-memory IDT (pushes the
+  /// 4-word frame, honours gate target ring and TSS stacks). Used natively
+  /// for every trap; exposed so tests can exercise it directly. Returns
+  /// false when delivery escalated to shutdown.
+  bool deliver_event(const Fault& f, u32 resume_pc);
+
+  // --- guest-memory accessors for monitors and debuggers ---
+  /// Reads/writes guest-virtual memory using the current paging config at
+  /// the given effective CPL. No A/D side effects; page-crossing handled.
+  /// Returns false if any page fails to translate (nothing partial on read;
+  /// writes may be partial up to the failing page).
+  bool read_virt(VAddr va, std::span<u8> out, u8 cpl = kRing0);
+  bool write_virt(VAddr va, std::span<const u8> in, u8 cpl = kRing0);
+
+ private:
+  void step();
+
+  /// Raises an event produced by guest execution: diverts to the hook when
+  /// installed, else delivers architecturally.
+  void raise(const Fault& f, u32 resume_pc);
+
+  /// Executes one decoded instruction. On fault returns it; pc already
+  /// advanced for trap-style events as required.
+  struct ExecResult {
+    bool faulted = false;
+    Fault fault{};
+  };
+  ExecResult execute(const Instr& in);
+
+  // Memory helpers; each returns false and fills `fault` on failure.
+  bool mem_read(VAddr va, unsigned size, u32& value, Fault& fault, u8 cpl);
+  bool mem_write(VAddr va, unsigned size, u32 value, Fault& fault, u8 cpl);
+  bool push32(u32 value, u32& sp, u8 cpl, Fault& fault);
+
+  void set_flags_addsub(u32 a, u32 b, u32 r, bool is_sub);
+  void set_flags_logic(u32 r);
+
+  PhysMem& mem_;
+  IoBus& io_;
+  IntrLine* intr_;
+  const CostModel& costs_;
+  CpuState st_{};
+  Mmu mmu_;
+  TrapHook* hook_ = nullptr;
+  std::bitset<65536> io_bitmap_{};
+
+  Cycles cycles_ = 0;
+  Cycles run_limit_ = ~Cycles{0};
+  bool halted_ = false;
+  bool shutdown_ = false;
+  bool stop_requested_ = false;
+  CpuStats stats_{};
+};
+
+}  // namespace vdbg::cpu

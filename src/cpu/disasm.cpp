@@ -1,0 +1,133 @@
+#include "cpu/disasm.h"
+
+#include <cstdio>
+
+namespace vdbg::cpu {
+
+namespace {
+
+std::string rname(u8 r) {
+  if ((r & 7) == kSp) return "sp";
+  char buf[4];
+  std::snprintf(buf, sizeof buf, "r%u", r & 7);
+  return buf;
+}
+
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& in) {
+  const std::string m{mnemonic(in.op)};
+  switch (in.op) {
+    case Opcode::kNop:
+    case Opcode::kRet:
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kBrk:
+      return m;
+
+    case Opcode::kMovI:
+      return m + " " + rname(in.rd) + ", " + hex(in.imm);
+    case Opcode::kMov:
+      return m + " " + rname(in.rd) + ", " + rname(in.rs1);
+
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kMul:
+    case Opcode::kDivU:
+    case Opcode::kRemU:
+      return m + " " + rname(in.rd) + ", " + rname(in.rs1) + ", " +
+             rname(in.rs2);
+
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kShlI:
+    case Opcode::kShrI:
+    case Opcode::kSarI:
+    case Opcode::kMulI:
+      return m + " " + rname(in.rd) + ", " + rname(in.rs1) + ", " +
+             hex(in.imm);
+
+    case Opcode::kCmp:
+      return m + " " + rname(in.rs1) + ", " + rname(in.rs2);
+    case Opcode::kCmpI:
+      return m + " " + rname(in.rs1) + ", " + hex(in.imm);
+
+    case Opcode::kLd8:
+    case Opcode::kLd16:
+    case Opcode::kLd32:
+      return m + " " + rname(in.rd) + ", [" + rname(in.rs1) + " + " +
+             hex(in.imm) + "]";
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+      return m + " [" + rname(in.rs1) + " + " + hex(in.imm) + "], " +
+             rname(in.rs2);
+
+    case Opcode::kJmp:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJb:
+    case Opcode::kJae:
+    case Opcode::kJbe:
+    case Opcode::kJa:
+    case Opcode::kJl:
+    case Opcode::kJge:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kCall:
+      return m + " " + hex(in.imm);
+    case Opcode::kJmpR:
+    case Opcode::kCallR:
+      return m + " " + rname(in.rs1);
+
+    case Opcode::kPush:
+      return m + " " + rname(in.rs1);
+    case Opcode::kPop:
+      return m + " " + rname(in.rd);
+
+    case Opcode::kInt:
+      return m + " " + hex(in.imm & 0xff);
+    case Opcode::kLidt:
+      return m + " " + rname(in.rs1) + ", count=" + hex(in.imm);
+    case Opcode::kMovToCr:
+      return m + " cr" + std::to_string(in.rd) + ", " + rname(in.rs1);
+    case Opcode::kMovFromCr:
+      return m + " " + rname(in.rd) + ", cr" + std::to_string(in.rs1);
+    case Opcode::kInvlpg:
+      return m + " [" + rname(in.rs1) + "]";
+
+    case Opcode::kIn:
+      return m + " " + rname(in.rd) + ", port " + hex(in.imm & 0xffff);
+    case Opcode::kOut:
+      return m + " port " + hex(in.imm & 0xffff) + ", " + rname(in.rs1);
+  }
+  return "db " + hex(static_cast<u8>(in.op));
+}
+
+std::string disassemble(const u8 bytes[kInstrBytes]) {
+  if (!opcode_valid(bytes[0])) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "(bad opcode 0x%02x)", bytes[0]);
+    return buf;
+  }
+  return disassemble(Instr::decode(bytes));
+}
+
+}  // namespace vdbg::cpu

@@ -1,0 +1,16 @@
+// VX32 disassembler used by the debugger CLI, fault reports and tests.
+#pragma once
+
+#include <string>
+
+#include "cpu/isa.h"
+
+namespace vdbg::cpu {
+
+/// Renders one instruction, e.g. "addi r2, r2, 0x10" or "jz 0x1040".
+std::string disassemble(const Instr& in);
+
+/// Convenience: decode raw bytes then render.
+std::string disassemble(const u8 bytes[kInstrBytes]);
+
+}  // namespace vdbg::cpu

@@ -1,0 +1,35 @@
+// Architectural fault/event descriptor passed between the interpreter, the
+// MMU and (under a VMM) the trap hook.
+#pragma once
+
+#include "common/types.h"
+#include "cpu/isa.h"
+
+namespace vdbg::cpu {
+
+/// How the event was produced. A VMM needs the distinction: software INT n
+/// honours the guest gate's DPL, hardware exceptions do not.
+enum class EventKind : u8 {
+  kException,  // fault raised by instruction execution (#GP, #PF, ...)
+  kSoftInt,    // INT n instruction
+  kExternal,   // interrupt request from the PIC
+};
+
+struct Fault {
+  u8 vector = 0;
+  u32 errcode = 0;
+  VAddr cr2 = 0;  // faulting address; meaningful for #PF only
+  EventKind kind = EventKind::kException;
+
+  static Fault gp(u32 err = 0) { return {kVecGp, err, 0, EventKind::kException}; }
+  static Fault ud() { return {kVecUndefined, 0, 0, EventKind::kException}; }
+  static Fault de() { return {kVecDivide, 0, 0, EventKind::kException}; }
+  static Fault bp() { return {kVecBreakpoint, 0, 0, EventKind::kException}; }
+  static Fault db() { return {kVecDebug, 0, 0, EventKind::kException}; }
+  static Fault pf(VAddr va, u32 err) {
+    return {kVecPf, err, va, EventKind::kException};
+  }
+  static Fault soft(u8 vector) { return {vector, 0, 0, EventKind::kSoftInt}; }
+};
+
+}  // namespace vdbg::cpu

@@ -1,0 +1,178 @@
+#include "cpu/isa.h"
+
+namespace vdbg::cpu {
+
+std::array<u8, kInstrBytes> Instr::encode() const {
+  std::array<u8, kInstrBytes> b{};
+  b[0] = static_cast<u8>(op);
+  b[1] = rd;
+  b[2] = rs1;
+  b[3] = rs2;
+  b[4] = static_cast<u8>(imm & 0xff);
+  b[5] = static_cast<u8>((imm >> 8) & 0xff);
+  b[6] = static_cast<u8>((imm >> 16) & 0xff);
+  b[7] = static_cast<u8>((imm >> 24) & 0xff);
+  return b;
+}
+
+Instr Instr::decode(const u8 bytes[kInstrBytes]) {
+  Instr in;
+  in.op = static_cast<Opcode>(bytes[0]);
+  in.rd = bytes[1];
+  in.rs1 = bytes[2];
+  in.rs2 = bytes[3];
+  in.imm = u32(bytes[4]) | (u32(bytes[5]) << 8) | (u32(bytes[6]) << 16) |
+           (u32(bytes[7]) << 24);
+  return in;
+}
+
+bool opcode_valid(u8 raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kNop:
+    case Opcode::kMovI:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kMul:
+    case Opcode::kDivU:
+    case Opcode::kRemU:
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kShlI:
+    case Opcode::kShrI:
+    case Opcode::kSarI:
+    case Opcode::kMulI:
+    case Opcode::kCmp:
+    case Opcode::kCmpI:
+    case Opcode::kLd8:
+    case Opcode::kLd16:
+    case Opcode::kLd32:
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+    case Opcode::kJmp:
+    case Opcode::kJmpR:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJb:
+    case Opcode::kJae:
+    case Opcode::kJbe:
+    case Opcode::kJa:
+    case Opcode::kJl:
+    case Opcode::kJge:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kCall:
+    case Opcode::kCallR:
+    case Opcode::kRet:
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kInt:
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kLidt:
+    case Opcode::kMovToCr:
+    case Opcode::kMovFromCr:
+    case Opcode::kInvlpg:
+    case Opcode::kIn:
+    case Opcode::kOut:
+    case Opcode::kBrk:
+      return true;
+  }
+  return false;
+}
+
+std::string_view mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kMovI: return "movi";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSar: return "sar";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDivU: return "divu";
+    case Opcode::kRemU: return "remu";
+    case Opcode::kAddI: return "addi";
+    case Opcode::kSubI: return "subi";
+    case Opcode::kAndI: return "andi";
+    case Opcode::kOrI: return "ori";
+    case Opcode::kXorI: return "xori";
+    case Opcode::kShlI: return "shli";
+    case Opcode::kShrI: return "shri";
+    case Opcode::kSarI: return "sari";
+    case Opcode::kMulI: return "muli";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kCmpI: return "cmpi";
+    case Opcode::kLd8: return "ld8";
+    case Opcode::kLd16: return "ld16";
+    case Opcode::kLd32: return "ld32";
+    case Opcode::kSt8: return "st8";
+    case Opcode::kSt16: return "st16";
+    case Opcode::kSt32: return "st32";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJmpR: return "jmpr";
+    case Opcode::kJz: return "jz";
+    case Opcode::kJnz: return "jnz";
+    case Opcode::kJb: return "jb";
+    case Opcode::kJae: return "jae";
+    case Opcode::kJbe: return "jbe";
+    case Opcode::kJa: return "ja";
+    case Opcode::kJl: return "jl";
+    case Opcode::kJge: return "jge";
+    case Opcode::kJle: return "jle";
+    case Opcode::kJg: return "jg";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallR: return "callr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kInt: return "int";
+    case Opcode::kIret: return "iret";
+    case Opcode::kHlt: return "hlt";
+    case Opcode::kCli: return "cli";
+    case Opcode::kSti: return "sti";
+    case Opcode::kLidt: return "lidt";
+    case Opcode::kMovToCr: return "movtocr";
+    case Opcode::kMovFromCr: return "movfromcr";
+    case Opcode::kInvlpg: return "invlpg";
+    case Opcode::kIn: return "in";
+    case Opcode::kOut: return "out";
+    case Opcode::kBrk: return "brk";
+  }
+  return "??";
+}
+
+bool is_privileged(Opcode op) {
+  switch (op) {
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kLidt:
+    case Opcode::kMovToCr:
+    case Opcode::kMovFromCr:
+    case Opcode::kInvlpg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace vdbg::cpu

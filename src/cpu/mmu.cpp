@@ -1,0 +1,162 @@
+#include "cpu/mmu.h"
+
+namespace vdbg::cpu {
+
+namespace {
+
+u32 pf_err(Access acc, u8 cpl, bool present) {
+  u32 err = 0;
+  if (present) err |= PfErr::kPresent;
+  if (acc == Access::kWrite) err |= PfErr::kWrite;
+  if (cpl == kRing3) err |= PfErr::kUser;
+  return err;
+}
+
+}  // namespace
+
+bool Mmu::walk(const CpuState& st, VAddr va, Access acc, u8 cpl, bool set_bits,
+               TlbEntry& entry, Fault& fault) const {
+  const PAddr dir_base = st.cr[kCr3] & Pte::kFrameMask;
+  const u32 dir_idx = va >> 22;
+  const u32 tbl_idx = (va >> kPageBits) & 0x3ff;
+
+  const PAddr pde_addr = dir_base + dir_idx * 4;
+  if (!mem_.contains(pde_addr, 4)) {
+    fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/false));
+    return false;
+  }
+  const u32 pde = mem_.read32(pde_addr);
+  if (!(pde & Pte::kP)) {
+    fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/false));
+    return false;
+  }
+
+  const PAddr tbl_base = pde & Pte::kFrameMask;
+  const PAddr pte_addr = tbl_base + tbl_idx * 4;
+  if (!mem_.contains(pte_addr, 4)) {
+    fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/false));
+    return false;
+  }
+  const u32 pte = mem_.read32(pte_addr);
+  if (!(pte & Pte::kP)) {
+    fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/false));
+    return false;
+  }
+
+  // Combined permissions: both levels must grant (IA-32 with CR0.WP=1
+  // semantics — W is enforced for supervisor accesses too).
+  const bool w = (pde & Pte::kW) && (pte & Pte::kW);
+  const bool u = (pde & Pte::kU) && (pte & Pte::kU);
+  if (!perm_ok(w, u, acc, cpl)) {
+    fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/true));
+    return false;
+  }
+
+  if (set_bits) {
+    mem_.write32(pde_addr, pde | Pte::kA);
+    u32 new_pte = pte | Pte::kA;
+    if (acc == Access::kWrite) new_pte |= Pte::kD;
+    mem_.write32(pte_addr, new_pte);
+  }
+
+  entry.valid = true;
+  entry.vpn = va >> kPageBits;
+  entry.pfn = (pte & Pte::kFrameMask) >> kPageBits;
+  entry.w = w;
+  entry.u = u;
+  entry.dirty = acc == Access::kWrite;
+  entry.pte_addr = pte_addr;
+  return true;
+}
+
+TranslateResult Mmu::translate(const CpuState& st, VAddr va, Access acc,
+                               u8 cpl) {
+  TranslateResult r;
+
+  if (!st.paging_enabled()) {
+    if (!mem_.contains(va, 1)) {
+      r.fault = Fault::gp(/*err=*/2);
+      return r;
+    }
+    r.ok = true;
+    r.pa = va;
+    return r;
+  }
+
+  const u32 vpn = va >> kPageBits;
+  TlbEntry& slot = tlb_[tlb_index(vpn)];
+  if (slot.valid && slot.vpn == vpn) {
+    if (perm_ok(slot.w, slot.u, acc, cpl)) {
+      if (acc == Access::kWrite && !slot.dirty) {
+        // First write through a read-filled entry: set the D bit in memory.
+        if (mem_.contains(slot.pte_addr, 4)) {
+          mem_.write32(slot.pte_addr, mem_.read32(slot.pte_addr) | Pte::kD);
+        }
+        slot.dirty = true;
+      }
+      ++hits_;
+      r.ok = true;
+      r.tlb_hit = true;
+      r.pa = (slot.pfn << kPageBits) | (va & kPageMask);
+      if (!mem_.contains(r.pa, 1)) {
+        r.ok = false;
+        r.fault = Fault::gp(/*err=*/2);
+      }
+      return r;
+    }
+    // Permission mismatch on a TLB hit is still a fault (IA-32 behaviour:
+    // TLB caches permissions; a violation faults without a walk).
+    ++hits_;
+    r.fault = Fault::pf(va, pf_err(acc, cpl, /*present=*/true));
+    return r;
+  }
+
+  ++misses_;
+  r.cost = costs_.tlb_miss;
+  TlbEntry entry;
+  if (!walk(st, va, acc, cpl, /*set_bits=*/true, entry, r.fault)) {
+    return r;
+  }
+  slot = entry;
+  r.ok = true;
+  r.pa = (entry.pfn << kPageBits) | (va & kPageMask);
+  if (!mem_.contains(r.pa, 1)) {
+    r.ok = false;
+    r.fault = Fault::gp(/*err=*/2);
+  }
+  return r;
+}
+
+TranslateResult Mmu::probe(const CpuState& st, VAddr va, Access acc,
+                           u8 cpl) const {
+  TranslateResult r;
+  if (!st.paging_enabled()) {
+    if (!mem_.contains(va, 1)) {
+      r.fault = Fault::gp(2);
+      return r;
+    }
+    r.ok = true;
+    r.pa = va;
+    return r;
+  }
+  TlbEntry entry;
+  if (!walk(st, va, acc, cpl, /*set_bits=*/false, entry, r.fault)) return r;
+  r.ok = true;
+  r.pa = (entry.pfn << kPageBits) | (va & kPageMask);
+  if (!mem_.contains(r.pa, 1)) {
+    r.ok = false;
+    r.fault = Fault::gp(2);
+  }
+  return r;
+}
+
+void Mmu::flush_tlb() {
+  for (auto& e : tlb_) e.valid = false;
+}
+
+void Mmu::invlpg(VAddr va) {
+  TlbEntry& slot = tlb_[tlb_index(va >> kPageBits)];
+  if (slot.valid && slot.vpn == (va >> kPageBits)) slot.valid = false;
+}
+
+}  // namespace vdbg::cpu

@@ -1,0 +1,115 @@
+// Two-level paging MMU with a small TLB, modelled on IA-32.
+//
+// Protection is exactly the two-level user/supervisor scheme the paper calls
+// out as insufficient: the U bit separates ring 3 from rings 0/1, and nothing
+// in the page tables can separate ring 1 (de-privileged guest kernel) from
+// ring 0 (monitor). The monitor's shadow page tables provide the third level
+// by construction (see vmm/shadow_mmu.h).
+//
+// PDE/PTE layout (32-bit words):
+//   bit 0  P   present
+//   bit 1  W   writable
+//   bit 2  U   user-accessible
+//   bit 5  A   accessed   (set by the walker)
+//   bit 6  D   dirty      (PTE only; set on write)
+//   bits 12-31 physical frame number
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "cpu/cost_model.h"
+#include "cpu/cpu_state.h"
+#include "cpu/fault.h"
+#include "cpu/phys_mem.h"
+
+namespace vdbg::cpu {
+
+inline constexpr u32 kPageBits = 12;
+inline constexpr u32 kPageSize = 1u << kPageBits;
+inline constexpr u32 kPageMask = kPageSize - 1;
+
+struct Pte {
+  static constexpr u32 kP = 1u << 0;
+  static constexpr u32 kW = 1u << 1;
+  static constexpr u32 kU = 1u << 2;
+  static constexpr u32 kA = 1u << 5;
+  static constexpr u32 kD = 1u << 6;
+  static constexpr u32 kFrameMask = ~kPageMask;
+
+  /// Builds an entry from a frame base address and permission bits.
+  static u32 make(PAddr frame, bool w, bool u) {
+    return (frame & kFrameMask) | kP | (w ? kW : 0) | (u ? kU : 0);
+  }
+};
+
+enum class Access : u8 { kRead, kWrite, kExec };
+
+/// Result of an address translation attempt.
+struct TranslateResult {
+  bool ok = false;
+  PAddr pa = 0;
+  Fault fault{};     // valid when !ok
+  Cycles cost = 0;   // extra cycles charged (TLB miss walk)
+  bool tlb_hit = false;
+};
+
+class Mmu {
+ public:
+  Mmu(PhysMem& mem, const CostModel& costs) : mem_(mem), costs_(costs) {}
+
+  /// Translates `va` for an access of type `acc` at privilege `cpl`, using
+  /// the paging configuration in `st`. Never mutates CPU state; sets A/D
+  /// bits in the page tables as IA-32 does.
+  TranslateResult translate(const CpuState& st, VAddr va, Access acc, u8 cpl);
+  TranslateResult translate(const CpuState& st, VAddr va, Access acc) {
+    return translate(st, va, acc, st.cpl());
+  }
+
+  /// Read-only probe used by the VMM and the debugger: like translate() but
+  /// never sets A/D bits and charges no cycles.
+  TranslateResult probe(const CpuState& st, VAddr va, Access acc,
+                        u8 cpl) const;
+  TranslateResult probe(const CpuState& st, VAddr va, Access acc) const {
+    return probe(st, va, acc, st.cpl());
+  }
+
+  void flush_tlb();
+  void invlpg(VAddr va);
+
+  // --- statistics ---
+  u64 tlb_hits() const { return hits_; }
+  u64 tlb_misses() const { return misses_; }
+
+ private:
+  struct TlbEntry {
+    bool valid = false;
+    u32 vpn = 0;
+    u32 pfn = 0;
+    bool w = false;
+    bool u = false;
+    bool dirty = false;
+    PAddr pte_addr = 0;  // for setting D on first write after a read fill
+  };
+
+  static constexpr u32 kTlbEntries = 64;
+  static u32 tlb_index(u32 vpn) { return vpn % kTlbEntries; }
+
+  /// Performs the two-level walk. On success fills `entry` (not inserted).
+  bool walk(const CpuState& st, VAddr va, Access acc, u8 cpl, bool set_bits,
+            TlbEntry& entry, Fault& fault) const;
+
+  static bool perm_ok(bool w, bool u, Access acc, u8 cpl) {
+    if (cpl == kRing3 && !u) return false;
+    if (acc == Access::kWrite && !w) return false;
+    return true;
+  }
+
+  PhysMem& mem_;
+  const CostModel& costs_;
+  std::array<TlbEntry, kTlbEntries> tlb_{};
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace vdbg::cpu

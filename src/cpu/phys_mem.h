@@ -1,0 +1,85 @@
+// Flat physical memory of the simulated machine, with protected ranges.
+//
+// Protected ranges model the monitor's private frames: CPU stores reach them
+// only when the access is flagged privileged-host (the monitor itself), and
+// device DMA into them is refused (the devices report an address error).
+// This is the physical backstop behind the paper's third protection level.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg::cpu {
+
+class PhysMem {
+ public:
+  explicit PhysMem(u32 size_bytes) : bytes_(size_bytes, 0) {}
+
+  u32 size() const { return static_cast<u32>(bytes_.size()); }
+  bool contains(PAddr addr, u32 len) const {
+    return addr <= size() && len <= size() - addr;
+  }
+
+  // --- raw accessors (no protection checks; used by the CPU after the MMU
+  // has authorised the access, and by host-side tooling) ---
+  u8 read8(PAddr a) const { return bytes_[a]; }
+  u16 read16(PAddr a) const {
+    return u16(bytes_[a]) | (u16(bytes_[a + 1]) << 8);
+  }
+  u32 read32(PAddr a) const {
+    return u32(bytes_[a]) | (u32(bytes_[a + 1]) << 8) |
+           (u32(bytes_[a + 2]) << 16) | (u32(bytes_[a + 3]) << 24);
+  }
+  void write8(PAddr a, u8 v) { bytes_[a] = v; }
+  void write16(PAddr a, u16 v) {
+    bytes_[a] = static_cast<u8>(v);
+    bytes_[a + 1] = static_cast<u8>(v >> 8);
+  }
+  void write32(PAddr a, u32 v) {
+    bytes_[a] = static_cast<u8>(v);
+    bytes_[a + 1] = static_cast<u8>(v >> 8);
+    bytes_[a + 2] = static_cast<u8>(v >> 16);
+    bytes_[a + 3] = static_cast<u8>(v >> 24);
+  }
+
+  /// Bulk copy out of memory. Caller must check contains().
+  void read_block(PAddr a, std::span<u8> out) const {
+    std::memcpy(out.data(), bytes_.data() + a, out.size());
+  }
+  /// Bulk copy into memory. Caller must check contains().
+  void write_block(PAddr a, std::span<const u8> in) {
+    std::memcpy(bytes_.data() + a, in.data(), in.size());
+  }
+
+  std::span<const u8> span(PAddr a, u32 len) const {
+    return {bytes_.data() + a, len};
+  }
+
+  // --- protected (monitor-owned) ranges ---
+  void add_protected_range(PAddr begin, u32 len) {
+    protected_.push_back({begin, len});
+  }
+  void clear_protected_ranges() { protected_.clear(); }
+
+  /// True when [addr, addr+len) overlaps a protected range. Devices consult
+  /// this before DMA writes; tests use it to assert containment.
+  bool overlaps_protected(PAddr addr, u32 len) const {
+    for (const auto& r : protected_) {
+      if (addr < r.begin + r.len && r.begin < addr + len) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Range {
+    PAddr begin;
+    u32 len;
+  };
+  std::vector<u8> bytes_;
+  std::vector<Range> protected_;
+};
+
+}  // namespace vdbg::cpu

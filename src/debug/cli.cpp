@@ -1,0 +1,278 @@
+#include "debug/cli.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/hexdump.h"
+#include "common/units.h"
+
+namespace vdbg::debug {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::optional<u32> parse_hex(const std::string& s) {
+  std::string body = s;
+  if (body.rfind("0x", 0) == 0 || body.rfind("0X", 0) == 0) {
+    body = body.substr(2);
+  }
+  if (body.empty() || body.size() > 8) return std::nullopt;
+  u32 v = 0;
+  for (char c : body) {
+    const auto d = hex_digit(c);
+    if (!d) return std::nullopt;
+    v = (v << 4) | *d;
+  }
+  return v;
+}
+
+std::optional<unsigned> parse_dec(const std::string& s) {
+  unsigned v = 0;
+  if (s.empty()) return std::nullopt;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + unsigned(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<u32> DebuggerCli::parse_addr(const std::string& token) const {
+  // symbol, symbol+0x10, or hex literal
+  const auto plus = token.find('+');
+  if (plus != std::string::npos) {
+    const auto base = dbg_.lookup(token.substr(0, plus));
+    const auto off = parse_hex(token.substr(plus + 1));
+    if (base && off) return *base + *off;
+    return std::nullopt;
+  }
+  if (const auto sym = dbg_.lookup(token)) return *sym;
+  return parse_hex(token);
+}
+
+void DebuggerCli::cmd_help() {
+  out_ << "commands:\n"
+          "  run <ms> | int | c [ms] | s [n]\n"
+          "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
+          "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
+          "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
+          "  status | help | quit\n";
+}
+
+void DebuggerCli::cmd_regs() {
+  const auto regs = dbg_.read_registers();
+  if (!regs) {
+    out_ << "error: cannot read registers\n";
+    return;
+  }
+  out_ << std::hex << std::setfill('0');
+  for (unsigned i = 0; i < 8; ++i) {
+    out_ << (i == 7 ? "sp" : "r" + std::to_string(i)) << "="
+         << std::setw(8) << regs->r[i] << (i % 4 == 3 ? "\n" : "  ");
+  }
+  out_ << "pc=" << std::setw(8) << regs->pc << "  ("
+       << dbg_.describe(regs->pc) << ")\n"
+       << "psw=" << std::setw(8) << regs->psw << std::dec
+       << std::setfill(' ') << "  cpl=" << (regs->psw & 3)
+       << " if=" << ((regs->psw >> 2) & 1) << "\n";
+}
+
+void DebuggerCli::cmd_dump(u32 addr, u32 len) {
+  const auto mem = dbg_.read_memory(addr, len);
+  if (!mem) {
+    out_ << "error: cannot read memory at " << std::hex << addr << std::dec
+         << "\n";
+    return;
+  }
+  out_ << hexdump(*mem, addr);
+}
+
+void DebuggerCli::cmd_disas(u32 addr, unsigned count) {
+  for (const auto& line : dbg_.disassemble(addr, count)) {
+    out_ << "  " << line << "\n";
+  }
+}
+
+void DebuggerCli::show_stop(RemoteDebugger::StopKind kind) {
+  using K = RemoteDebugger::StopKind;
+  switch (kind) {
+    case K::kBreak: {
+      const auto regs = dbg_.read_registers();
+      out_ << "stopped";
+      if (const auto wa = dbg_.watch_address()) {
+        out_ << " (watchpoint at 0x" << std::hex << *wa << std::dec << ")";
+      }
+      if (regs) {
+        out_ << " at pc=0x" << std::hex << regs->pc << std::dec << " ("
+             << dbg_.describe(regs->pc) << ")";
+      }
+      out_ << "\n";
+      return;
+    }
+    case K::kCrash:
+      out_ << "TARGET CRASHED (monitor alive; post-mortem available)\n";
+      return;
+    case K::kGuestExit:
+      out_ << "guest exited\n";
+      return;
+    case K::kTimeout:
+      out_ << "running (no stop event)\n";
+      return;
+  }
+}
+
+bool DebuggerCli::execute(const std::string& line) {
+  ++commands_;
+  const auto tok = tokenize(line);
+  if (tok.empty()) return true;
+  const std::string& cmd = tok[0];
+  auto arg_addr = [&](unsigned i) -> std::optional<u32> {
+    return i < tok.size() ? parse_addr(tok[i]) : std::nullopt;
+  };
+
+  if (cmd == "quit" || cmd == "q") return false;
+  if (cmd == "help" || cmd == "h") {
+    cmd_help();
+  } else if (cmd == "run" && tok.size() >= 2) {
+    const auto ms = parse_dec(tok[1]);
+    if (!ms) {
+      out_ << "error: run <ms>\n";
+      return true;
+    }
+    machine_.run_for(seconds_to_cycles(double(*ms) / 1000.0));
+    out_ << "advanced " << *ms << " ms (t=" << std::fixed
+         << std::setprecision(1) << cycles_to_seconds(machine_.now()) * 1000
+         << " ms)\n";
+  } else if (cmd == "int") {
+    show_stop(dbg_.interrupt());
+  } else if (cmd == "c") {
+    const auto ms = tok.size() >= 2 ? parse_dec(tok[1]) : std::nullopt;
+    show_stop(dbg_.continue_and_wait(
+        seconds_to_cycles(double(ms.value_or(50)) / 1000.0)));
+  } else if (cmd == "s") {
+    const unsigned n =
+        tok.size() >= 2 ? parse_dec(tok[1]).value_or(1) : 1;
+    RemoteDebugger::StopKind k = RemoteDebugger::StopKind::kTimeout;
+    for (unsigned i = 0; i < n; ++i) k = dbg_.step();
+    show_stop(k);
+  } else if (cmd == "break" || cmd == "b") {
+    const auto a = arg_addr(1);
+    if (!a) {
+      out_ << "error: break <addr|sym>\n";
+    } else {
+      out_ << (dbg_.set_breakpoint(*a) ? "breakpoint set at 0x"
+                                       : "error: cannot set at 0x")
+           << std::hex << *a << std::dec << "\n";
+    }
+  } else if (cmd == "delete") {
+    const auto a = arg_addr(1);
+    if (a && dbg_.clear_breakpoint(*a)) {
+      out_ << "breakpoint cleared\n";
+    } else {
+      out_ << "error: delete <addr|sym>\n";
+    }
+  } else if (cmd == "watch" || cmd == "unwatch") {
+    const auto a = arg_addr(1);
+    const u32 len =
+        tok.size() >= 3 ? parse_hex(tok[2]).value_or(4) : 4;
+    if (!a) {
+      out_ << "error: " << cmd << " <addr|sym> [len]\n";
+    } else if (cmd == "watch") {
+      out_ << (dbg_.set_watchpoint(*a, len) ? "watchpoint set\n"
+                                            : "error: cannot watch\n");
+    } else {
+      out_ << (dbg_.clear_watchpoint(*a, len) ? "watchpoint cleared\n"
+                                              : "error: no such watch\n");
+    }
+  } else if (cmd == "regs" || cmd == "r") {
+    cmd_regs();
+  } else if (cmd == "set" && tok.size() >= 3) {
+    static const std::map<std::string, unsigned> names = {
+        {"r0", 0}, {"r1", 1}, {"r2", 2}, {"r3", 3}, {"r4", 4},
+        {"r5", 5}, {"r6", 6}, {"r7", 7}, {"sp", 7}, {"pc", 8}, {"psw", 9}};
+    const auto it = names.find(tok[1]);
+    const auto v = parse_hex(tok[2]);
+    if (it == names.end() || !v) {
+      out_ << "error: set <reg> <hex>\n";
+    } else {
+      out_ << (dbg_.write_register(it->second, *v) ? "ok\n" : "error\n");
+    }
+  } else if (cmd == "x") {
+    const auto a = arg_addr(1);
+    const u32 len = tok.size() >= 3 ? parse_hex(tok[2]).value_or(64) : 64;
+    if (!a) {
+      out_ << "error: x <addr|sym> [len]\n";
+    } else {
+      cmd_dump(*a, std::min<u32>(len, 0x1000));
+    }
+  } else if (cmd == "w32" && tok.size() >= 3) {
+    const auto a = arg_addr(1);
+    const auto v = parse_hex(tok[2]);
+    if (!a || !v) {
+      out_ << "error: w32 <addr|sym> <hex>\n";
+    } else {
+      const u8 b[4] = {static_cast<u8>(*v), static_cast<u8>(*v >> 8),
+                       static_cast<u8>(*v >> 16), static_cast<u8>(*v >> 24)};
+      out_ << (dbg_.write_memory(*a, b) ? "ok\n" : "error\n");
+    }
+  } else if (cmd == "disas" || cmd == "d") {
+    std::optional<u32> a = arg_addr(1);
+    if (!a) {
+      if (const auto regs = dbg_.read_registers()) a = regs->pc;
+    }
+    const unsigned n =
+        tok.size() >= 3 ? parse_dec(tok[2]).value_or(6) : 6;
+    if (a) {
+      cmd_disas(*a & ~7u, n);
+    } else {
+      out_ << "error: no address\n";
+    }
+  } else if (cmd == "sym" && tok.size() >= 2) {
+    if (const auto a = dbg_.lookup(tok[1])) {
+      out_ << tok[1] << " = 0x" << std::hex << *a << std::dec << "\n";
+    } else {
+      out_ << "unknown symbol: " << tok[1] << "\n";
+    }
+  } else if (cmd == "trace" && tok.size() >= 2) {
+    if (tok[1] == "on" || tok[1] == "off") {
+      out_ << (dbg_.trace_enable(tok[1] == "on") ? "ok\n"
+                                                 : "error: no tracer\n");
+    } else if (tok[1] == "show") {
+      const unsigned n =
+          tok.size() >= 3 ? parse_dec(tok[2]).value_or(8) : 8;
+      for (const auto& l : dbg_.fetch_trace(n)) out_ << "  " << l << "\n";
+    } else {
+      out_ << "error: trace on|off|show [n]\n";
+    }
+  } else if (cmd == "status") {
+    out_ << "last stop: "
+         << (dbg_.last_stop().empty() ? "(none)" : dbg_.last_stop()) << "\n"
+         << "crashed:   " << (dbg_.target_crashed() ? "yes" : "no") << "\n"
+         << "monitor:   "
+         << (dbg_.monitor_intact() ? "intact" : "CORRUPT") << "\n";
+  } else {
+    out_ << "unknown command: " << cmd << " (try 'help')\n";
+  }
+  return true;
+}
+
+void DebuggerCli::run(std::istream& in, bool echo) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (echo) out_ << "(vdbg) " << line << "\n";
+    if (!execute(line)) break;
+  }
+}
+
+}  // namespace vdbg::debug

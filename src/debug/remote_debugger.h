@@ -1,0 +1,112 @@
+// Host-side software remote debugger (the top box of the paper's Fig. 2.1).
+//
+// Speaks the RSP dialect of the monitor's stub over the simulated serial
+// link: the debugger's transmit side injects bytes into the target UART's
+// host end, and the UART's TX sink feeds the debugger's receiver. Because
+// target time only advances when the simulation runs, every synchronous
+// command drives Machine::run_for in slices until the reply (or a stop
+// event) arrives — which is exactly what a blocking read on a serial port
+// looks like from the host's point of view.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asm/program.h"
+#include "hw/machine.h"
+
+namespace vdbg::debug {
+
+struct TargetRegs {
+  std::array<u32, 8> r{};
+  u32 pc = 0;
+  u32 psw = 0;
+};
+
+class RemoteDebugger {
+ public:
+  /// Wires the debugger to the machine's UART. The monitor's stub must be
+  /// attached on the target side.
+  explicit RemoteDebugger(hw::Machine& machine);
+
+  /// qSupported handshake; true when the stub answers.
+  bool connect();
+
+  // --- state inspection (target must be stopped for consistent results) ---
+  std::optional<TargetRegs> read_registers();
+  bool write_register(unsigned index, u32 value);  // 0-7=r, 8=pc, 9=psw
+  std::optional<std::vector<u8>> read_memory(u32 addr, u32 len);
+  bool write_memory(u32 addr, std::span<const u8> data);
+
+  // --- breakpoints & run control ---
+  bool set_breakpoint(u32 addr);
+  bool clear_breakpoint(u32 addr);
+  /// Write watchpoint over [addr, addr+len) (stub Z2; shadow-paging based).
+  bool set_watchpoint(u32 addr, u32 len = 4);
+  bool clear_watchpoint(u32 addr, u32 len = 4);
+
+  enum class StopKind : u8 {
+    kBreak,     // S05: breakpoint or completed step
+    kCrash,     // S0b: guest crashed (monitor survived)
+    kGuestExit, // machine stopped because the guest exited
+    kTimeout,
+  };
+  /// Resumes the guest and runs the simulation until the stub reports a
+  /// stop or `budget` cycles elapse.
+  StopKind continue_and_wait(Cycles budget);
+  /// Executes one guest instruction.
+  StopKind step(Cycles budget = 50'000'000);
+  /// Asynchronous break-in (^C): freezes the guest wherever it is.
+  StopKind interrupt(Cycles budget = 50'000'000);
+
+  /// Raw payload of the most recent stop packet ("S05", "T05watch:...").
+  const std::string& last_stop() const { return last_stop_; }
+  /// When the last stop was a watchpoint: the watched address hit.
+  std::optional<u32> watch_address() const;
+
+  /// Custom monitor queries.
+  std::optional<std::string> query(const std::string& q);
+  /// Enables/disables the monitor-side VM-exit tracer (if attached).
+  bool trace_enable(bool on);
+  /// Fetches the most recent `n` (<=16) formatted trace events.
+  std::vector<std::string> fetch_trace(unsigned n = 8);
+  bool target_crashed();
+  bool monitor_intact();
+
+  // --- symbols ---
+  void add_symbols(const vasm::Program& image);
+  std::optional<u32> lookup(const std::string& name) const;
+  /// "isr_timer+0x10"-style description of an address.
+  std::string describe(u32 addr) const;
+
+  /// Disassembles `count` instructions at `addr` (via target memory reads).
+  std::vector<std::string> disassemble(u32 addr, unsigned count);
+
+  u64 packets_sent() const { return packets_sent_; }
+
+ private:
+  void on_rx_byte(u8 b);
+  void send_frame(const std::string& payload);
+  /// Runs the machine until a packet arrives; nullopt on timeout/exit.
+  std::optional<std::string> wait_packet(Cycles budget);
+  std::optional<std::string> transact(const std::string& cmd, Cycles budget);
+  static StopKind classify(const std::optional<std::string>& reply,
+                           bool machine_exited);
+
+  hw::Machine& machine_;
+  std::deque<std::string> rx_packets_;
+  std::string rx_buf_;
+  int rx_state_ = 0;  // 0 idle, 1 payload, 2/3 checksum
+  bool machine_exited_ = false;
+
+  std::map<std::string, u32> symbols_;
+  std::string last_stop_;
+  u64 packets_sent_ = 0;
+};
+
+}  // namespace vdbg::debug

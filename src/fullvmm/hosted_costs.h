@@ -1,0 +1,44 @@
+// Cost table for the hosted full-VMM baseline, modelled on Sugerman et
+// al.'s description of VMware Workstation's hosted I/O architecture
+// (USENIX ATC'01): guest device accesses trap into the VMM; anything that
+// must touch real hardware requires a *world switch* to the host context
+// (VMApp), a host-OS syscall, and data copies through host buffers, with
+// host interrupts handled in the host context and reflected back.
+//
+// Values are scaled to the simulated 1.26 GHz CPU from the order-of-
+// magnitude numbers in that paper (world switch + dispatch: tens of
+// microseconds on a ~700 MHz PIII). See EXPERIMENTS.md for calibration.
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg::fullvmm {
+
+struct HostedCosts {
+  /// VMM world <-> host world context switch (including waking the
+  /// user-level VMApp and scheduling latency charged as busy time).
+  Cycles world_switch = 18000;
+  /// Host-OS syscall + driver path to issue real I/O.
+  Cycles host_syscall = 30000;
+  /// Host-side handling of a physical interrupt before reflection
+  /// (host IRQ, scheduling the VMApp, reflecting into the VMM world).
+  Cycles host_interrupt = 32000;
+  /// Copying packet bytes between guest memory and host buffers
+  /// (guest -> VMApp -> host socket path).
+  double copy_per_byte = 3.5;
+  /// Copying disk-read bytes through the host (virtual-disk file read into
+  /// the page cache, copy to VMApp, copy into guest memory).
+  double disk_copy_per_byte = 5.0;
+  /// Emulating one virtual-device register access (decode + device model).
+  Cycles device_register = 4000;
+  /// Pre-"send combining" behaviour: every trapped device-register access
+  /// pays a world switch (Sugerman §4: the dominant cost they optimised).
+  bool switch_on_every_access = true;
+
+  static const HostedCosts& defaults() {
+    static const HostedCosts c{};
+    return c;
+  }
+};
+
+}  // namespace vdbg::fullvmm

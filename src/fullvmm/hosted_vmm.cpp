@@ -1,0 +1,110 @@
+#include "fullvmm/hosted_vmm.h"
+
+#include "hw/diag_port.h"
+#include "hw/nic.h"
+#include "hw/scsi_disk.h"
+#include "hw/uart.h"
+
+namespace vdbg::fullvmm {
+
+void HostedVmm::configure_io_bitmap() {
+  machine_.cpu().io_deny_all();
+}
+
+bool HostedVmm::is_passthrough_class_port(u16 port) const {
+  if (port >= hw::kNicBase && port < hw::kNicBase + 0x40) return true;
+  const u16 scsi_end = static_cast<u16>(
+      hw::kScsiBase0 + machine_.num_disks() * hw::kScsiPortStride);
+  if (port >= hw::kScsiBase0 && port < scsi_end) return true;
+  if (port >= hw::kDiagBase && port < hw::kDiagBase + hw::kDiagPortCount) {
+    return true;
+  }
+  return false;
+}
+
+void HostedVmm::charge_world_switch() {
+  charge(hosted_.world_switch);
+  ++hstats_.world_switches;
+}
+
+void HostedVmm::charge_copy(u64 bytes) {
+  charge(static_cast<Cycles>(double(bytes) * hosted_.copy_per_byte));
+  hstats_.bytes_copied += bytes;
+}
+
+u32 HostedVmm::io_emulated_read(u16 port) {
+  if (!is_passthrough_class_port(port)) {
+    return Lvmm::io_emulated_read(port);
+  }
+  ++hstats_.device_accesses;
+  charge(hosted_.device_register);
+  if (hosted_.switch_on_every_access) charge_world_switch();
+  // The virtual device model is register-compatible with the physical one;
+  // forward the read.
+  return machine_.router().io_read(port);
+}
+
+void HostedVmm::io_emulated_write(u16 port, u32 value) {
+  if (!is_passthrough_class_port(port)) {
+    Lvmm::io_emulated_write(port, value);
+    return;
+  }
+  ++hstats_.device_accesses;
+  charge(hosted_.device_register);
+  if (hosted_.switch_on_every_access) charge_world_switch();
+
+  // Doorbells issue real I/O: that takes a host syscall (and the NIC path
+  // copies the queued frames into host buffers first).
+  if (port == hw::kNicBase + 0x08) {
+    account_nic_doorbell(value);
+  } else if (port >= hw::kScsiBase0 &&
+             ((port - hw::kScsiBase0) % hw::kScsiPortStride) == 0x04) {
+    if (!hosted_.switch_on_every_access) charge_world_switch();
+    charge(hosted_.host_syscall);
+    ++hstats_.host_syscalls;
+  }
+  machine_.router().io_write(port, value);
+}
+
+void HostedVmm::account_nic_doorbell(u32 new_tail) {
+  if (!hosted_.switch_on_every_access) charge_world_switch();
+  charge(hosted_.host_syscall);
+  ++hstats_.host_syscalls;
+
+  // Sum the lengths of the descriptors queued by this doorbell: the host
+  // path copies each frame out of guest memory.
+  const u32 ring_base = machine_.nic().io_read(0x00);
+  const u32 ring_size = machine_.nic().io_read(0x04);
+  if (ring_size == 0) return;
+  u64 bytes = 0;
+  for (u32 i = last_tail_seen_; i != new_tail && i - last_tail_seen_ < ring_size;
+       ++i) {
+    const PAddr da = ring_base + (i % ring_size) * hw::kNicDescBytes;
+    if (!machine_.mem().contains(da, hw::kNicDescBytes)) break;
+    bytes += machine_.mem().read32(da + 4);
+  }
+  last_tail_seen_ = new_tail;
+  charge_copy(bytes);
+}
+
+void HostedVmm::on_device_interrupt_forwarded(unsigned irq) {
+  // Physical interrupts land in the host first: host handler + world switch
+  // back into the VMM before the guest can be resumed.
+  charge(hosted_.host_interrupt);
+  ++hstats_.host_interrupts;
+  charge_world_switch();
+
+  // Completed SCSI reads were staged through host buffers: copy to guest.
+  if (irq >= hw::kScsiIrq0 && irq < hw::kScsiIrq0 + machine_.num_disks()) {
+    const unsigned d = irq - hw::kScsiIrq0;
+    const u64 now_bytes = machine_.disk(d).bytes_transferred();
+    if (now_bytes > disk_bytes_seen_[d]) {
+      const u64 delta = now_bytes - disk_bytes_seen_[d];
+      charge(static_cast<Cycles>(double(delta) * hosted_.disk_copy_per_byte));
+      hstats_.bytes_copied += delta;
+      disk_bytes_seen_[d] = now_bytes;
+    }
+  }
+}
+
+}  // namespace vdbg::fullvmm

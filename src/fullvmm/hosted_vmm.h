@@ -1,0 +1,57 @@
+// Hosted full virtual machine monitor — the VMware Workstation 4 baseline.
+//
+// Shares the whole trap-and-emulate core with the lightweight monitor (ring
+// compression, shadow paging, virtual PIC/PIT, injection); the difference is
+// the paper's point: NO device passthrough. Every SCSI/NIC/diag port access
+// traps and is emulated, and real I/O is re-issued through a modelled
+// host-OS path (world switch + syscall + copies), as in a hosted VMM.
+#pragma once
+
+#include <array>
+
+#include "fullvmm/hosted_costs.h"
+#include "vmm/lvmm.h"
+
+namespace vdbg::fullvmm {
+
+class HostedVmm final : public vmm::Lvmm {
+ public:
+  struct Stats {
+    u64 world_switches = 0;
+    u64 host_syscalls = 0;
+    u64 host_interrupts = 0;
+    u64 bytes_copied = 0;
+    u64 device_accesses = 0;
+  };
+
+  HostedVmm(hw::Machine& machine, const Config& cfg,
+            const HostedCosts& hosted = HostedCosts::defaults())
+      : Lvmm(machine, cfg), hosted_(hosted) {}
+
+  const Stats& hosted_stats() const { return hstats_; }
+  const HostedCosts& hosted_costs() const { return hosted_; }
+
+ protected:
+  /// Hosted VMMs support arbitrary guests on emulated devices: nothing is
+  /// open in the I/O bitmap.
+  void configure_io_bitmap() override;
+
+  u32 io_emulated_read(u16 port) override;
+  void io_emulated_write(u16 port, u32 value) override;
+  void on_device_interrupt_forwarded(unsigned irq) override;
+
+ private:
+  bool is_passthrough_class_port(u16 port) const;
+  void charge_world_switch();
+  void charge_copy(u64 bytes);
+  /// Doorbell on the virtual NIC: account the host transmit path for the
+  /// frames just queued.
+  void account_nic_doorbell(u32 new_tail);
+
+  HostedCosts hosted_;
+  Stats hstats_;
+  u32 last_tail_seen_ = 0;
+  std::array<u64, 8> disk_bytes_seen_{};
+};
+
+}  // namespace vdbg::fullvmm

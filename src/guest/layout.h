@@ -1,0 +1,103 @@
+// Guest physical memory map, interrupt vector assignments and the
+// harness<->guest mailbox ABI for the MiniTactix guest OS.
+//
+// The same guest binary runs on all three platforms (native, lightweight
+// VMM, hosted VMM); it believes it owns kGuestMemBytes of RAM. The monitor
+// region above that is invisible to it — exactly the paper's arrangement,
+// where the lightweight monitor hides in memory the OS never sees.
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg::guest {
+
+// --- physical layout ---
+inline constexpr u32 kGuestMemBytes = 56u * 1024 * 1024;
+inline constexpr u32 kMonitorBase = kGuestMemBytes;  // monitor-owned frames
+
+inline constexpr u32 kMailboxBase = 0x1000;     // stats/config page
+inline constexpr u32 kKernelBase = 0x10000;     // kernel image + IDT + data
+inline constexpr u32 kKernelStackTop = 0x110000;
+inline constexpr u32 kIntrStackTop = 0x120000;  // ring-transition stack
+inline constexpr u32 kPageDir = 0x400000;
+inline constexpr u32 kPageTables = 0x401000;    // 14 tables map 56 MiB
+inline constexpr u32 kDiskBufBase = 0x800000;   // 6 x chunk buffers
+inline constexpr u32 kPktPoolBase = 0x1400000;  // 256 x 2 KiB packet buffers
+inline constexpr u32 kPktBufBytes = 2048;
+inline constexpr u32 kNicRingBase = 0x1500000;  // 256 TX descriptors
+inline constexpr u32 kNicRingSize = 256;
+inline constexpr u32 kNicRxRingBase = 0x1510000;  // 16 RX descriptors
+inline constexpr u32 kNicRxRingSize = 16;
+inline constexpr u32 kNicRxBufBase = 0x1520000;   // 16 x 2 KiB buffers
+inline constexpr u32 kScsiReqBase = 0x1600000;  // 3 x 16-byte request blocks
+inline constexpr u32 kAppBase = 0x2000000;      // user-mode application
+inline constexpr u32 kAppStackTop = 0x2110000;
+
+// --- interrupt vectors (PIC offsets 0x20/0x28, matching the ICW setup) ---
+inline constexpr u8 kVecTimer = 0x20;      // IRQ0
+inline constexpr u8 kVecUart = 0x24;       // IRQ4
+inline constexpr u8 kVecNic = 0x25;        // IRQ5
+inline constexpr u8 kVecScsi0 = 0x2a;      // IRQ10 (slave)
+inline constexpr u8 kVecSyscall = 0x30;
+inline constexpr u32 kIdtEntries = 0x31;
+
+// --- syscall numbers (r0 on entry; result in r0) ---
+inline constexpr u32 kSysSend = 1;  // send next segment: 0 ok, 1 no data, 2 ring full
+inline constexpr u32 kSysWait = 2;  // block until next interrupt
+inline constexpr u32 kSysExit = 3;  // r1 = exit code -> diag exit port
+
+// --- mailbox word offsets (byte offsets from kMailboxBase) ---
+// Counters are written by the guest and read by the harness; config words
+// are written by the harness (or builder defaults) before boot.
+struct Mailbox {
+  static constexpr u32 kMagic = 0x00;      // 0x4d696e69 once boot completes
+  static constexpr u32 kTicks = 0x04;
+  static constexpr u32 kSegmentsSent = 0x08;
+  static constexpr u32 kBytesSentLo = 0x0c;
+  static constexpr u32 kDiskReads = 0x10;
+  static constexpr u32 kTxCompletions = 0x14;
+  static constexpr u32 kUnderruns = 0x18;
+  static constexpr u32 kRingFull = 0x1c;
+  static constexpr u32 kIdleLoops = 0x20;
+  static constexpr u32 kSeq = 0x24;
+  static constexpr u32 kSyscalls = 0x28;
+  static constexpr u32 kLastError = 0x2c;   // panic vector, 0 = healthy
+  // --- config (harness -> guest) ---
+  static constexpr u32 kRateBytesPerTick = 0x30;
+  static constexpr u32 kSegmentBytes = 0x34;   // payload data per datagram
+  static constexpr u32 kChunkBytes = 0x38;     // per-disk read size (2 MiB)
+  static constexpr u32 kRunFlags = 0x3c;
+  static constexpr u32 kStopAfterSegments = 0x40;
+  static constexpr u32 kPanicPc = 0x44;
+  static constexpr u32 kHeartbeat = 0x48;
+  static constexpr u32 kLastTickTsc = 0x4c;  // ISR-entry timestamp (flagged)
+  // --- UDP control channel (NIC receive path) ---
+  static constexpr u32 kCtrlRequests = 0x50;  // valid requests processed
+  static constexpr u32 kLastCtrlCmd = 0x54;
+  static constexpr u32 kLastCtrlArg = 0x58;
+
+  static constexpr u32 kMagicValue = 0x4d696e69;  // "Mini"
+
+  // kRunFlags bits
+  static constexpr u32 kFlagOffloadChecksum = 1u << 0;  // NIC offload, skip sw sum
+  static constexpr u32 kFlagNoCopy = 1u << 1;           // ablation: skip payload copy
+  /// Timer ISR reads the diag TSC port at entry and stores it to
+  /// kLastTickTsc (adds one port access per tick; off by default).
+  static constexpr u32 kFlagMeasureLatency = 1u << 2;
+};
+
+/// UDP control-channel request layout (datagram payload):
+///   +0  u16  padding (aligns the words for the guest's 32-bit loads)
+///   +2  u32  magic  (kCtrlMagic)
+///   +6.. see builder — actually the payload is laid out as:
+///   [u16 pad][u32 magic][u32 cmd][u32 arg], so within the FRAME the words
+///   sit at Ethernet+44/48/52, 4-byte aligned.
+inline constexpr u32 kCtrlMagic = 0x4c525443;  // "CTRL"
+inline constexpr u32 kCtrlCmdSetRate = 1;      // arg = bytes per tick
+inline constexpr u32 kCtrlCmdMark = 2;         // arg echoed to the mailbox
+
+/// Exit codes the guest writes to the diag exit port.
+inline constexpr u32 kExitDone = 0x600d;   // reached stop_after_segments
+inline constexpr u32 kExitPanic = 0xdead;  // unhandled exception
+
+}  // namespace vdbg::guest

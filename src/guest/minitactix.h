@@ -1,0 +1,104 @@
+// MiniTactix: the guest real-time OS standing in for HiTactix.
+//
+// The entire OS is genuine VX32 machine code emitted through the assembler
+// builder — boot, PIC/PIT/NIC initialisation, page-table construction, a
+// baked IDT, interrupt service routines for timer/NIC/SCSI, a syscall layer,
+// and the paper's data-transfer application running in user mode: read
+// `chunk_bytes` blocks from three SCSI disks round-robin (double-buffered),
+// split them into `segment_bytes` UDP datagrams, and transmit them over the
+// gigabit NIC at a rate paced by the timer tick.
+//
+// The same image runs unmodified on real (simulated) hardware, on the
+// lightweight VMM and on the hosted full VMM — the property the paper's
+// monitor is designed around.
+#pragma once
+
+#include "asm/program.h"
+#include "cpu/phys_mem.h"
+#include "net/packet_sink.h"
+#include "net/udp.h"
+
+namespace vdbg::guest {
+
+/// Build-time parameters (baked into the image).
+struct BuildConfig {
+  net::FlowSpec flow = default_flow();
+  /// Unroll factors for the payload copy / checksum loops; calibration of
+  /// the guest's per-byte CPU work (HiTactix's tuned data path).
+  /// copy loop strides copy_unroll*4 bytes; segment_bytes must be a
+  /// multiple of it. checksum loop strides checksum_unroll*2 bytes over
+  /// segment_bytes+4 (the sequence word), so 2 is the safe default.
+  unsigned copy_unroll = 4;      // 32-bit words copied per loop iteration
+  unsigned checksum_unroll = 2;  // 16-bit words summed per loop iteration
+
+  static net::FlowSpec default_flow();
+};
+
+/// Run-time parameters (written into the mailbox page before boot).
+struct RunConfig {
+  u32 rate_bytes_per_tick = 0;  // payload-data bytes per 1 ms tick
+  u32 segment_bytes = 1024;     // payload data per datagram (excl. seq word)
+  u32 chunk_bytes = 2u * 1024 * 1024;  // per-disk read size (the paper's 2 MB)
+  u32 run_flags = 0;            // Mailbox::kFlag*
+  u32 stop_after_segments = 0;  // 0 = run forever
+
+  /// Convenience: pace for `mbps` megabits per second of payload data.
+  static RunConfig for_rate_mbps(double mbps);
+};
+
+struct GuestImage {
+  vasm::Program kernel;
+  vasm::Program app;
+
+  void load(cpu::PhysMem& mem) const {
+    kernel.load(mem);
+    app.load(mem);
+  }
+};
+
+/// Assembles the OS + application. Throws std::invalid_argument on
+/// inconsistent configuration.
+GuestImage build_minitactix(const BuildConfig& cfg = BuildConfig());
+
+/// Writes the run configuration into the guest mailbox page. Call after
+/// Machine::load and before running. Validates divisibility constraints.
+void write_run_config(cpu::PhysMem& mem, const RunConfig& rc);
+
+/// Harness-side view of the guest's mailbox counters.
+struct MailboxStats {
+  u32 magic = 0;
+  u32 ticks = 0;
+  u32 segments_sent = 0;
+  u32 bytes_sent = 0;
+  u32 disk_reads = 0;
+  u32 tx_completions = 0;
+  u32 underruns = 0;
+  u32 ring_full = 0;
+  u32 seq = 0;
+  u32 syscalls = 0;
+  u32 last_error = 0;
+  u32 panic_pc = 0;
+  u32 heartbeat = 0;
+  u32 last_tick_tsc_value = 0;
+  u32 ctrl_requests = 0;
+  u32 last_ctrl_cmd = 0;
+  u32 last_ctrl_arg = 0;
+
+  u32 last_tick_tsc() const { return last_tick_tsc_value; }
+};
+MailboxStats read_mailbox(const cpu::PhysMem& mem);
+
+/// Builds a PacketSink validator that checks each received segment against
+/// the deterministic disk content the guest must be streaming: sequence
+/// number `seq` maps to chunk seq*seg/chunk (disk chunk%3, stripe chunk/3)
+/// at offset seq*seg%chunk. Lets integrity tests verify the complete
+/// disk -> DMA -> copy -> checksum -> NIC -> wire pipeline byte-for-byte.
+net::PacketSink::Validator make_stream_validator(const RunConfig& rc);
+
+/// Builds a control-channel datagram (full Ethernet frame) for the guest's
+/// UDP control interface: [pad16][kCtrlMagic][cmd][arg] as payload.
+std::vector<u8> build_control_frame(u32 cmd, u32 arg,
+                                    const net::FlowSpec& reverse_flow =
+                                        BuildConfig::default_flow());
+
+}  // namespace vdbg::guest

@@ -1,0 +1,240 @@
+#include "guest/nanocoop.h"
+
+#include "asm/assembler.h"
+#include "cpu/isa.h"
+#include "guest/layout.h"
+#include "hw/diag_port.h"
+#include "hw/scsi_disk.h"
+
+namespace vdbg::guest {
+
+using vasm::Assembler;
+using vasm::l;
+using cpu::kR0;
+using cpu::kR1;
+using cpu::kR2;
+using cpu::kR3;
+using cpu::kR4;
+using cpu::kR5;
+using cpu::kR6;
+using cpu::kSp;
+
+namespace {
+
+constexpr u32 kMb = NanoMailbox::kBase;
+constexpr u32 kBootStack = 0x28000;
+constexpr u32 kStackA = 0x30000;
+constexpr u32 kStackB = 0x38000;
+constexpr u32 kReqBlock = 0x5000;   // SCSI request block
+constexpr u32 kReadBuf = 0x40000;   // 4 KiB DMA landing zone
+constexpr u32 kSectorsPerRead = 8;  // 4 KiB per poll cycle
+
+u16 disk_port(u16 off) { return static_cast<u16>(hw::kScsiBase0 + off); }
+
+/// yield(): cooperative stack switch between task A and task B. Persistent
+/// task registers are r4-r6 by convention.
+void emit_yield(Assembler& a) {
+  a.label("yield");
+  a.push(kR6);
+  a.push(kR5);
+  a.push(kR4);
+  // sp_save[cur] = sp
+  a.movi(kR0, l("cur_task"));
+  a.ld32(kR1, kR0, 0);
+  a.shli(kR2, kR1, 2);
+  a.addi(kR2, kR2, l("sp_save"));
+  a.st32(kR2, 0, kSp);
+  // cur ^= 1; count the switch
+  a.xori(kR1, kR1, u32{1});
+  a.st32(kR0, 0, kR1);
+  a.movi(kR0, u32{kMb});
+  a.ld32(kR2, kR0, i32(NanoMailbox::kYields));
+  a.addi(kR2, kR2, u32{1});
+  a.st32(kR0, i32(NanoMailbox::kYields), kR2);
+  // sp = sp_save[cur]
+  a.shli(kR2, kR1, 2);
+  a.addi(kR2, kR2, l("sp_save"));
+  a.ld32(kSp, kR2, 0);
+  a.pop(kR4);
+  a.pop(kR5);
+  a.pop(kR6);
+  a.ret();
+}
+
+void emit_tasks(Assembler& a) {
+  // Task A: a compute loop that yields every 64 iterations.
+  a.label("task_a");
+  a.movi(kR4, u32{0});  // iteration counter (persistent)
+  a.label("ta_loop");
+  a.addi(kR4, kR4, u32{1});
+  a.movi(kR0, u32{kMb});
+  a.st32(kR0, i32(NanoMailbox::kTaskAIters), kR4);
+  // a little arithmetic so the loop isn't free
+  a.muli(kR1, kR4, u32{2654435761u});
+  a.shri(kR1, kR1, 16);
+  a.andi(kR1, kR4, u32{63});
+  a.cmpi(kR1, u32{0});
+  a.jnz(l("ta_loop"));
+  a.call(l("yield"));
+  a.jmp(l("ta_loop"));
+
+  // Task B: polled disk reads + checksum.
+  a.label("task_b");
+  a.movi(kR4, u32{0});  // blocks read (persistent)
+  a.movi(kR5, u32{0});  // running checksum (persistent)
+  a.label("tb_loop");
+  // request block: lba = (reads * 8) & 4095, sectors, buffer
+  a.shli(kR0, kR4, 3);
+  a.andi(kR0, kR0, u32{4095});
+  a.movi(kR1, u32{kReqBlock});
+  a.st32(kR1, 0, kR0);
+  a.movi(kR0, u32{kSectorsPerRead});
+  a.st32(kR1, 4, kR0);
+  a.movi(kR0, u32{kReadBuf});
+  a.st32(kR1, 8, kR0);
+  a.movi(kR0, u32{0});
+  a.st32(kR1, 12, kR0);
+  a.movi(kR0, u32{kReqBlock});
+  a.out(disk_port(0x00), kR0);
+  a.movi(kR0, u32{1});
+  a.out(disk_port(0x04), kR0);
+  // Poll the completion bit (the controller IRQ stays masked: polled mode).
+  a.label("tb_poll");
+  a.in(kR0, disk_port(0x08));
+  a.cmpi(kR0, u32{0});
+  a.jz(l("tb_poll"));
+  a.movi(kR0, u32{1});
+  a.out(disk_port(0x08), kR0);  // ack
+  a.in(kR0, disk_port(0x0c));   // status
+  a.cmpi(kR0, u32{0});
+  a.jnz(l("tb_error"));
+  // checksum the 4 KiB
+  a.movi(kR1, u32{kReadBuf});
+  a.movi(kR2, u32{kReadBuf + kSectorsPerRead * hw::kSectorBytes});
+  a.label("tb_sum");
+  a.ld32(kR0, kR1, 0);
+  a.add(kR5, kR5, kR0);
+  a.addi(kR1, kR1, u32{4});
+  a.cmp(kR1, kR2);
+  a.jb(l("tb_sum"));
+  a.addi(kR4, kR4, u32{1});
+  a.movi(kR0, u32{kMb});
+  a.st32(kR0, i32(NanoMailbox::kTaskBReads), kR4);
+  a.st32(kR0, i32(NanoMailbox::kTaskBSum), kR5);
+  a.call(l("yield"));
+  a.jmp(l("tb_loop"));
+  a.label("tb_error");
+  a.movi(kR1, u32{kMb});
+  a.ori(kR0, kR0, u32{0x200});
+  a.st32(kR1, i32(NanoMailbox::kLastError), kR0);
+  a.label("tb_dead");
+  a.hlt();
+  a.jmp(l("tb_dead"));
+}
+
+void emit_isrs_and_idt(Assembler& a) {
+  a.label("nano_timer_isr");
+  a.push(kR0);
+  a.push(kR1);
+  a.movi(kR1, u32{kMb});
+  a.ld32(kR0, kR1, i32(NanoMailbox::kTicks));
+  a.addi(kR0, kR0, u32{1});
+  a.st32(kR1, i32(NanoMailbox::kTicks), kR0);
+  a.movi(kR0, u32{0x20});
+  a.out(0x20, kR0);
+  a.pop(kR1);
+  a.pop(kR0);
+  a.iret();
+
+  a.label("nano_panic");
+  a.movi(kR1, u32{kMb});
+  a.movi(kR0, u32{0xfe});
+  a.st32(kR1, i32(NanoMailbox::kLastError), kR0);
+  a.movi(kR0, u32{kExitPanic});
+  a.out(hw::kDiagExitPort, kR0);
+  a.label("nano_panic_loop");
+  a.hlt();
+  a.jmp(l("nano_panic_loop"));
+
+  a.align(8);
+  a.label("nano_idt");
+  for (u32 v = 0; v < 0x30; ++v) {
+    a.data_ref(l(v == 0x20 ? "nano_timer_isr" : "nano_panic"));
+    a.data32(cpu::Gate{0, true, 0, 0}.pack_flags());
+  }
+}
+
+}  // namespace
+
+vasm::Program build_nanocoop() {
+  Assembler a(kKernelBase);
+  a.label("entry");
+  a.movi(kSp, u32{kBootStack});
+
+  // PIC: classic ICW sequence, then unmask ONLY the timer line.
+  auto outb = [&](u16 port, u32 v) {
+    a.movi(kR0, u32{v});
+    a.out(port, kR0);
+  };
+  outb(0x20, 0x11);
+  outb(0x21, 0x20);
+  outb(0x21, 0x04);
+  outb(0x21, 0x01);
+  outb(0xa0, 0x11);
+  outb(0xa1, 0x28);
+  outb(0xa1, 0x02);
+  outb(0xa1, 0x01);
+  outb(0x21, 0xfe);  // only IRQ0
+  outb(0xa1, 0xff);
+
+  // PIT at 250 Hz: divisor 4773 = 0x12a5.
+  outb(0x43, 0x34);
+  outb(0x40, 0xa5);
+  outb(0x40, 0x12);
+
+  a.movi(kR0, l("nano_idt"));
+  a.lidt(kR0, 0x30);
+
+  // Bootstrap task B's stack: {r4, r5, r6, return-to-task_b}, so the first
+  // yield into it "returns" to the task entry with zeroed registers.
+  a.movi(kR1, u32{kStackB - 16});
+  a.movi(kR0, u32{0});
+  a.st32(kR1, 0, kR0);   // r4
+  a.st32(kR1, 4, kR0);   // r5
+  a.st32(kR1, 8, kR0);   // r6
+  a.movi(kR0, l("task_b"));
+  a.st32(kR1, 12, kR0);  // return address
+  a.movi(kR0, l("sp_save", 4));
+  a.st32(kR0, 0, kR1);
+  // cur_task = 0 (zero-initialised data), task A owns the boot flow.
+  a.movi(kR0, u32{NanoMailbox::kMagicValue});
+  a.movi(kR1, u32{kMb});
+  a.st32(kR1, i32(NanoMailbox::kMagic), kR0);
+  a.sti();
+  a.movi(kSp, u32{kStackA});
+  a.jmp(l("task_a"));
+
+  emit_yield(a);
+  emit_tasks(a);
+  emit_isrs_and_idt(a);
+
+  a.align(8);
+  a.word_var("cur_task");
+  a.label("sp_save");
+  a.reserve(8);
+  return a.finalize();
+}
+
+NanoStats read_nano_mailbox(const cpu::PhysMem& mem) {
+  NanoStats s;
+  s.magic = mem.read32(kMb + NanoMailbox::kMagic);
+  s.ticks = mem.read32(kMb + NanoMailbox::kTicks);
+  s.task_a_iters = mem.read32(kMb + NanoMailbox::kTaskAIters);
+  s.task_b_reads = mem.read32(kMb + NanoMailbox::kTaskBReads);
+  s.task_b_sum = mem.read32(kMb + NanoMailbox::kTaskBSum);
+  s.yields = mem.read32(kMb + NanoMailbox::kYields);
+  s.last_error = mem.read32(kMb + NanoMailbox::kLastError);
+  return s;
+}
+
+}  // namespace vdbg::guest

@@ -1,0 +1,52 @@
+// NanoCoop: a second, deliberately different guest OS.
+//
+// The paper claims the monitor "can work with any OSs running on PC/AT
+// architectures" because it presents the same interfaces as the real
+// hardware. MiniTactix exercises one OS shape (user-mode app, syscalls,
+// preemptive interrupt-driven I/O). NanoCoop exercises another:
+//   * everything runs in kernel mode (a common RTOS configuration),
+//   * two cooperative tasks hand the CPU to each other via an explicit
+//     yield (stack-switching context switch),
+//   * the PIT runs at 250 Hz instead of 1 kHz,
+//   * only disk 0 is used, polled-completion (no SCSI interrupt unmasked),
+//   * no networking, no paging (runs with CR0.PG clear its whole life),
+//   * its own mailbox ABI at a different address.
+// Booting it unmodified on native hardware and under the monitor — with
+// the same observable behaviour — is the customisability claim made
+// executable.
+#pragma once
+
+#include "asm/program.h"
+#include "cpu/phys_mem.h"
+
+namespace vdbg::guest {
+
+/// NanoCoop mailbox (at kNanoMailbox, distinct from MiniTactix's).
+struct NanoMailbox {
+  static constexpr u32 kBase = 0x2000;
+  static constexpr u32 kMagic = 0x00;       // 0x4e616e6f "Nano"
+  static constexpr u32 kTicks = 0x04;       // 250 Hz
+  static constexpr u32 kTaskAIters = 0x08;  // task A loop count
+  static constexpr u32 kTaskBReads = 0x0c;  // disk blocks task B read
+  static constexpr u32 kTaskBSum = 0x10;    // running checksum of the data
+  static constexpr u32 kYields = 0x14;      // cooperative switches
+  static constexpr u32 kLastError = 0x18;
+
+  static constexpr u32 kMagicValue = 0x4e616e6f;
+};
+
+/// Assembles the NanoCoop image (kernel at the usual 0x10000 base).
+vasm::Program build_nanocoop();
+
+struct NanoStats {
+  u32 magic = 0;
+  u32 ticks = 0;
+  u32 task_a_iters = 0;
+  u32 task_b_reads = 0;
+  u32 task_b_sum = 0;
+  u32 yields = 0;
+  u32 last_error = 0;
+};
+NanoStats read_nano_mailbox(const cpu::PhysMem& mem);
+
+}  // namespace vdbg::guest

@@ -1,0 +1,269 @@
+#include "guest/netrecorder.h"
+
+#include "asm/assembler.h"
+#include "cpu/isa.h"
+#include "guest/layout.h"
+#include "hw/diag_port.h"
+#include "hw/nic.h"
+#include "hw/scsi_disk.h"
+
+namespace vdbg::guest {
+
+using vasm::Assembler;
+using vasm::l;
+using cpu::kR0;
+using cpu::kR1;
+using cpu::kR2;
+using cpu::kR3;
+using cpu::kR4;
+using cpu::kR5;
+using cpu::kR6;
+using cpu::kSp;
+
+namespace {
+
+constexpr u32 kMb = RecorderMailbox::kBase;
+constexpr u32 kRxRing = 0x8000;
+constexpr u32 kRxRingSize = 8;
+constexpr u32 kRxBufs = 0x40000;
+constexpr u32 kAccBase = 0x100000;  // the recorded byte stream
+constexpr u32 kWriteReq = 0x5000;
+
+u16 nic(u16 off) { return static_cast<u16>(hw::kNicBase + off); }
+u16 disk(u16 off) {
+  return static_cast<u16>(hw::kScsiBase0 +
+                          kRecorderDisk * hw::kScsiPortStride + off);
+}
+
+/// try_flush: when no write is in flight and >=1 full sector accumulated,
+/// issue a WRITE of every complete sector. Clobbers r0-r3.
+void emit_try_flush(Assembler& a) {
+  a.label("try_flush");
+  a.movi(kR0, l("in_flight"));
+  a.ld32(kR1, kR0, 0);
+  a.cmpi(kR1, u32{0});
+  a.jnz(l("tf_out"));
+  a.movi(kR0, l("acc_total"));
+  a.ld32(kR1, kR0, 0);
+  a.movi(kR0, l("flushed"));
+  a.ld32(kR2, kR0, 0);
+  a.sub(kR1, kR1, kR2);  // available bytes
+  a.cmpi(kR1, u32{hw::kSectorBytes});
+  a.jb(l("tf_out"));
+  a.shri(kR1, kR1, 9);  // full sectors
+  // request block
+  a.movi(kR0, u32{kWriteReq});
+  a.mov(kR3, kR2);
+  a.shri(kR3, kR3, 9);
+  a.addi(kR3, kR3, u32{kRecorderStartLba});
+  a.st32(kR0, 0, kR3);  // lba
+  a.st32(kR0, 4, kR1);  // sectors
+  a.addi(kR3, kR2, u32{kAccBase});
+  a.st32(kR0, 8, kR3);  // source buffer
+  a.movi(kR3, u32{0});
+  a.st32(kR0, 12, kR3);
+  // pending bytes = sectors * 512
+  a.shli(kR1, kR1, 9);
+  a.movi(kR0, l("pending"));
+  a.st32(kR0, 0, kR1);
+  a.movi(kR1, u32{1});
+  a.movi(kR0, l("in_flight"));
+  a.st32(kR0, 0, kR1);
+  a.movi(kR0, u32{kWriteReq});
+  a.out(disk(0x00), kR0);
+  a.movi(kR0, u32{1});
+  a.out(disk(0x10), kR0);  // WRITE doorbell
+  a.label("tf_out");
+  a.ret();
+}
+
+void emit_nic_isr(Assembler& a) {
+  a.label("rec_nic_isr");
+  for (auto r : {kR0, kR1, kR2, kR3, kR4, kR5, kR6}) a.push(r);
+  a.in(kR0, nic(0x28));  // RX_HEAD
+  a.movi(kR1, l("rx_tail"));
+  a.ld32(kR1, kR1, 0);
+  a.label("rec_rx_loop");
+  a.cmp(kR1, kR0);
+  a.jz(l("rec_rx_done"));
+  a.andi(kR2, kR1, u32{kRxRingSize - 1});
+  a.shli(kR2, kR2, 4);
+  a.addi(kR2, kR2, u32{kRxRing});
+  a.ld32(kR2, kR2, 0);  // buffer address
+  // UDP length (big-endian at frame+38); payload = len - 8 at frame+42.
+  a.ld8(kR3, kR2, 38);
+  a.shli(kR3, kR3, 8);
+  a.ld8(kR4, kR2, 39);
+  a.or_(kR3, kR3, kR4);
+  a.subi(kR3, kR3, u32{8});  // payload bytes
+  a.addi(kR2, kR2, u32{42});  // src
+  // dst = kAccBase + acc_total
+  a.movi(kR4, l("acc_total"));
+  a.ld32(kR5, kR4, 0);
+  a.addi(kR5, kR5, u32{kAccBase});
+  // copy r3 bytes from [r2] to [r5]
+  a.label("rec_copy");
+  a.cmpi(kR3, u32{0});
+  a.jz(l("rec_copy_done"));
+  a.ld8(kR6, kR2, 0);
+  a.st8(kR5, 0, kR6);
+  a.addi(kR2, kR2, u32{1});
+  a.addi(kR5, kR5, u32{1});
+  a.subi(kR3, kR3, u32{1});
+  a.jmp(l("rec_copy"));
+  a.label("rec_copy_done");
+  // acc_total = r5 - kAccBase
+  a.subi(kR5, kR5, u32{kAccBase});
+  a.st32(kR4, 0, kR5);
+  // mailbox: frames++, bytes = acc_total
+  a.movi(kR4, u32{kMb});
+  a.ld32(kR6, kR4, i32(RecorderMailbox::kFrames));
+  a.addi(kR6, kR6, u32{1});
+  a.st32(kR4, i32(RecorderMailbox::kFrames), kR6);
+  a.st32(kR4, i32(RecorderMailbox::kBytes), kR5);
+  a.addi(kR1, kR1, u32{1});
+  a.jmp(l("rec_rx_loop"));
+  a.label("rec_rx_done");
+  a.movi(kR2, l("rx_tail"));
+  a.st32(kR2, 0, kR1);
+  a.out(nic(0x2c), kR1);  // recycle descriptors
+  a.call(l("try_flush"));
+  a.movi(kR0, u32{1});
+  a.out(nic(0x10), kR0);  // ack NIC ISR
+  a.movi(kR0, u32{0x20});
+  a.out(0x20, kR0);  // EOI master
+  for (auto r : {kR6, kR5, kR4, kR3, kR2, kR1, kR0}) a.pop(r);
+  a.iret();
+}
+
+void emit_scsi_isr(Assembler& a) {
+  a.label("rec_scsi_isr");
+  for (auto r : {kR0, kR1, kR2, kR3}) a.push(r);
+  a.movi(kR0, u32{1});
+  a.out(disk(0x08), kR0);  // ack device
+  a.in(kR0, disk(0x0c));
+  a.cmpi(kR0, u32{0});
+  a.jz(l("rec_write_ok"));
+  a.movi(kR1, u32{kMb});
+  a.ori(kR0, kR0, u32{0x300});
+  a.st32(kR1, i32(RecorderMailbox::kLastError), kR0);
+  a.label("rec_write_ok");
+  // flushed += pending; sectors += pending>>9; in_flight = 0
+  a.movi(kR0, l("pending"));
+  a.ld32(kR1, kR0, 0);
+  a.movi(kR0, l("flushed"));
+  a.ld32(kR2, kR0, 0);
+  a.add(kR2, kR2, kR1);
+  a.st32(kR0, 0, kR2);
+  a.movi(kR0, u32{kMb});
+  a.ld32(kR2, kR0, i32(RecorderMailbox::kSectors));
+  a.shri(kR1, kR1, 9);
+  a.add(kR2, kR2, kR1);
+  a.st32(kR0, i32(RecorderMailbox::kSectors), kR2);
+  a.movi(kR0, l("in_flight"));
+  a.movi(kR1, u32{0});
+  a.st32(kR0, 0, kR1);
+  a.call(l("try_flush"));
+  a.movi(kR0, u32{0x20});
+  a.out(0xa0, kR0);  // EOI slave
+  a.out(0x20, kR0);  // EOI master
+  for (auto r : {kR3, kR2, kR1, kR0}) a.pop(r);
+  a.iret();
+}
+
+}  // namespace
+
+vasm::Program build_netrecorder() {
+  Assembler a(kKernelBase);
+  a.label("entry");
+  a.movi(kSp, u32{0x28000});
+
+  auto outb = [&](u16 port, u32 v) {
+    a.movi(kR0, u32{v});
+    a.out(port, kR0);
+  };
+  // PIC: unmask NIC (IRQ5), cascade (IRQ2) and the recorder disk (IRQ12).
+  outb(0x20, 0x11);
+  outb(0x21, 0x20);
+  outb(0x21, 0x04);
+  outb(0x21, 0x01);
+  outb(0xa0, 0x11);
+  outb(0xa1, 0x28);
+  outb(0xa1, 0x02);
+  outb(0xa1, 0x01);
+  outb(0x21, 0xdb);  // allow IRQ2, IRQ5
+  outb(0xa1, 0xef);  // allow IRQ12
+
+  // NIC receive ring.
+  outb(nic(0x20), kRxRing);
+  outb(nic(0x24), kRxRingSize);
+  a.movi(kR0, u32{0});
+  a.label("rec_rx_init");
+  a.mov(kR1, kR0);
+  a.shli(kR1, kR1, 4);
+  a.addi(kR1, kR1, u32{kRxRing});
+  a.mov(kR2, kR0);
+  a.shli(kR2, kR2, 11);
+  a.addi(kR2, kR2, u32{kRxBufs});
+  a.st32(kR1, 0, kR2);
+  a.movi(kR2, u32{2048});
+  a.st32(kR1, 4, kR2);
+  a.addi(kR0, kR0, u32{1});
+  a.cmpi(kR0, u32{kRxRingSize});
+  a.jb(l("rec_rx_init"));
+  outb(nic(0x14), 2);  // IMR: rx interrupt only
+
+  a.movi(kR0, l("rec_idt"));
+  a.lidt(kR0, 0x30);
+  a.movi(kR0, u32{RecorderMailbox::kMagicValue});
+  a.movi(kR1, u32{kMb});
+  a.st32(kR1, i32(RecorderMailbox::kMagic), kR0);
+  a.sti();
+  a.label("rec_idle");
+  a.hlt();
+  a.jmp(l("rec_idle"));
+
+  emit_try_flush(a);
+  emit_nic_isr(a);
+  emit_scsi_isr(a);
+
+  a.label("rec_panic");
+  a.movi(kR1, u32{kMb});
+  a.movi(kR0, u32{0xfd});
+  a.st32(kR1, i32(RecorderMailbox::kLastError), kR0);
+  a.movi(kR0, u32{kExitPanic});
+  a.out(hw::kDiagExitPort, kR0);
+  a.label("rec_panic_loop");
+  a.hlt();
+  a.jmp(l("rec_panic_loop"));
+
+  a.align(8);
+  a.label("rec_idt");
+  for (u32 v = 0; v < 0x30; ++v) {
+    const char* handler = v == 0x25   ? "rec_nic_isr"
+                          : v == 0x2c ? "rec_scsi_isr"
+                                      : "rec_panic";
+    a.data_ref(l(handler));
+    a.data32(cpu::Gate{0, true, 0, 0}.pack_flags());
+  }
+
+  a.align(8);
+  a.word_var("rx_tail");
+  a.word_var("acc_total");
+  a.word_var("flushed");
+  a.word_var("pending");
+  a.word_var("in_flight");
+  return a.finalize();
+}
+
+RecorderStats read_recorder_mailbox(const cpu::PhysMem& mem) {
+  RecorderStats s;
+  s.magic = mem.read32(kMb + RecorderMailbox::kMagic);
+  s.frames = mem.read32(kMb + RecorderMailbox::kFrames);
+  s.bytes = mem.read32(kMb + RecorderMailbox::kBytes);
+  s.sectors = mem.read32(kMb + RecorderMailbox::kSectors);
+  s.last_error = mem.read32(kMb + RecorderMailbox::kLastError);
+  return s;
+}
+
+}  // namespace vdbg::guest

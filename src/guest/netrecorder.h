@@ -1,0 +1,40 @@
+// NetRecorder: a third guest personality — the reverse of MiniTactix's
+// pipeline. It receives UDP datagrams on the NIC (interrupt-driven receive
+// ring), accumulates the payload stream, and records it to SCSI disk 2
+// using WRITE commands, overlapping network receive with disk writes.
+// Kernel-mode only, no paging; NIC and SCSI are driven directly (the
+// passthrough fast path) on every platform.
+#pragma once
+
+#include "asm/program.h"
+#include "cpu/phys_mem.h"
+
+namespace vdbg::guest {
+
+struct RecorderMailbox {
+  static constexpr u32 kBase = 0x3000;
+  static constexpr u32 kMagic = 0x00;       // 0x5265636f "Reco"
+  static constexpr u32 kFrames = 0x04;      // datagrams received
+  static constexpr u32 kBytes = 0x08;       // payload bytes accumulated
+  static constexpr u32 kSectors = 0x0c;     // sectors flushed to disk
+  static constexpr u32 kLastError = 0x10;
+
+  static constexpr u32 kMagicValue = 0x5265636f;
+};
+
+/// Disk the recorder writes to, and where the stream starts.
+inline constexpr unsigned kRecorderDisk = 2;
+inline constexpr u32 kRecorderStartLba = 0x1000;
+
+vasm::Program build_netrecorder();
+
+struct RecorderStats {
+  u32 magic = 0;
+  u32 frames = 0;
+  u32 bytes = 0;
+  u32 sectors = 0;
+  u32 last_error = 0;
+};
+RecorderStats read_recorder_mailbox(const cpu::PhysMem& mem);
+
+}  // namespace vdbg::guest

@@ -1,0 +1,57 @@
+#include "harness/platform.h"
+
+#include <stdexcept>
+
+#include "guest/layout.h"
+
+namespace vdbg::harness {
+
+std::string_view platform_name(PlatformKind k) {
+  switch (k) {
+    case PlatformKind::kNative: return "real-hardware";
+    case PlatformKind::kLvmm: return "lvmm";
+    case PlatformKind::kHosted: return "vmware-ws4-like";
+  }
+  return "?";
+}
+
+Platform::Platform(PlatformKind kind) : Platform(kind, PlatformOptions{}) {}
+
+Platform::Platform(PlatformKind kind, const PlatformOptions& opts)
+    : kind_(kind), opts_(opts) {
+  machine_ = std::make_unique<hw::Machine>(opts_.machine);
+  image_ = guest::build_minitactix(opts_.build);
+}
+
+void Platform::prepare(const guest::RunConfig& rc) {
+  if (prepared_) throw std::logic_error("Platform::prepare called twice");
+  prepared_ = true;
+  rc_ = rc;
+
+  image_.load(machine_->mem());
+  machine_->cpu().state().pc = *image_.kernel.symbol("entry");
+  guest::write_run_config(machine_->mem(), rc);
+  machine_->nic().set_wire_sink(
+      [this](std::span<const u8> f, Cycles now) { sink_.on_frame(f, now); });
+
+  if (kind_ == PlatformKind::kNative) return;
+
+  vmm::Lvmm::Config mc;
+  mc.costs = opts_.lvmm_costs;
+  mc.device_passthrough = opts_.lvmm_device_passthrough;
+  mc.monitor_base = guest::kMonitorBase;
+  mc.monitor_len = opts_.machine.mem_bytes - guest::kMonitorBase;
+  mc.guest_mem_limit = guest::kGuestMemBytes;
+  if (mc.monitor_len == 0 || opts_.machine.mem_bytes <= guest::kMonitorBase) {
+    throw std::invalid_argument("machine too small for the monitor region");
+  }
+  if (kind_ == PlatformKind::kLvmm) {
+    monitor_ = std::make_unique<vmm::Lvmm>(*machine_, mc);
+  } else {
+    monitor_ = std::make_unique<fullvmm::HostedVmm>(*machine_, mc,
+                                                    opts_.hosted_costs);
+  }
+  monitor_->install();
+}
+
+}  // namespace vdbg::harness

@@ -1,0 +1,72 @@
+// Experiment platforms: the three systems of the paper's evaluation.
+//   kNative — MiniTactix directly on the simulated hardware ("real hardware")
+//   kLvmm   — under the lightweight virtual machine monitor
+//   kHosted — under the hosted full VMM (the VMware WS4 baseline)
+// A Platform owns the machine, the guest image, the monitor (if any) and the
+// receiving packet sink, and knows how to boot the same guest binary on any
+// of the three.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "fullvmm/hosted_vmm.h"
+#include "guest/minitactix.h"
+#include "hw/machine.h"
+#include "net/packet_sink.h"
+#include "vmm/lvmm.h"
+
+namespace vdbg::harness {
+
+enum class PlatformKind : u8 { kNative, kLvmm, kHosted };
+
+std::string_view platform_name(PlatformKind k);
+
+struct PlatformOptions {
+  hw::MachineConfig machine{};
+  guest::BuildConfig build{};
+  vmm::LvmmCosts lvmm_costs = vmm::LvmmCosts::defaults();
+  fullvmm::HostedCosts hosted_costs = fullvmm::HostedCosts::defaults();
+  /// Ablation knob: disable the LVMM's device passthrough (trap-all I/O).
+  bool lvmm_device_passthrough = true;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformKind kind);
+  Platform(PlatformKind kind, const PlatformOptions& opts);
+
+  /// Loads the guest, writes the run configuration, installs the monitor
+  /// (when any) and wires the NIC to the sink. Must be called exactly once
+  /// before running.
+  void prepare(const guest::RunConfig& rc);
+
+  PlatformKind kind() const { return kind_; }
+  hw::Machine& machine() { return *machine_; }
+  net::PacketSink& sink() { return sink_; }
+  /// Monitor, when the platform has one (kLvmm and kHosted); else nullptr.
+  vmm::Lvmm* monitor() { return monitor_.get(); }
+  fullvmm::HostedVmm* hosted() {
+    return kind_ == PlatformKind::kHosted
+               ? static_cast<fullvmm::HostedVmm*>(monitor_.get())
+               : nullptr;
+  }
+  const guest::GuestImage& image() const { return image_; }
+  const guest::RunConfig& run_config() const { return rc_; }
+
+  guest::MailboxStats mailbox() const {
+    return guest::read_mailbox(machine_->mem());
+  }
+
+ private:
+  PlatformKind kind_;
+  PlatformOptions opts_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<vmm::Lvmm> monitor_;
+  guest::GuestImage image_;
+  guest::RunConfig rc_;
+  net::PacketSink sink_;
+  bool prepared_ = false;
+};
+
+}  // namespace vdbg::harness

@@ -1,0 +1,17 @@
+// Table/CSV rendering of experiment results for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace vdbg::harness {
+
+/// Human-readable fixed-width table, one row per measurement.
+void print_table(std::ostream& os, const std::vector<Measurement>& rows);
+
+/// Machine-readable CSV (header + rows), for replotting Fig. 3.1.
+void print_csv(std::ostream& os, const std::vector<Measurement>& rows);
+
+}  // namespace vdbg::harness

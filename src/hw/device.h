@@ -1,0 +1,35 @@
+// Base interfaces shared by all device models.
+#pragma once
+
+#include "common/event_queue.h"
+#include "common/types.h"
+
+namespace vdbg::hw {
+
+/// Read access to the machine's cycle clock (the CPU's cycle counter).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Cycles now() const = 0;
+};
+
+/// A device that decodes a contiguous range of I/O ports. The router passes
+/// port-relative offsets.
+class IoDevice {
+ public:
+  virtual ~IoDevice() = default;
+  virtual u32 io_read(u16 offset) = 0;
+  virtual void io_write(u16 offset, u32 value) = 0;
+};
+
+/// Interrupt request sink (implemented by the PIC).
+class IrqSink {
+ public:
+  virtual ~IrqSink() = default;
+  /// Level-triggered: the line follows the device's pending condition.
+  virtual void set_irq_level(unsigned irq, bool asserted) = 0;
+  /// Edge-triggered: one latched request (PIT-style pulse output).
+  virtual void pulse_irq(unsigned irq) = 0;
+};
+
+}  // namespace vdbg::hw

@@ -1,0 +1,72 @@
+// Debug/diagnostic port block (0xE0-0xFF), in the spirit of the Bochs/QEMU
+// 0xE9 hack: lets guest code emit characters and values to the host harness
+// and request machine exit. Tests and examples use it as the guest's stdout;
+// the workload uses it to report completion.
+//
+// Offsets from 0xE0:
+//   +0x09 (port 0xE9)  write: append byte to the text log
+//   +0x10 (port 0xF0)  write: append u32 to the value log; read: host value
+//   +0x14 (port 0xF4)  write: request machine stop with this exit code
+//   +0x18 (port 0xF8)  read: low 32 bits of the CPU cycle counter (a TSC
+//                      for guests; used by the interrupt-latency bench)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+
+namespace vdbg::hw {
+
+inline constexpr u16 kDiagBase = 0xe0;
+inline constexpr u16 kDiagPortCount = 0x20;
+inline constexpr u16 kDiagCharPort = 0xe9;
+inline constexpr u16 kDiagValuePort = 0xf0;
+inline constexpr u16 kDiagExitPort = 0xf4;
+inline constexpr u16 kDiagTscPort = 0xf8;
+
+class DiagPort final : public IoDevice {
+ public:
+  u32 io_read(u16 offset) override {
+    if (offset == 0x10) return host_value_;
+    if (offset == 0x18 && tsc_fn_) return tsc_fn_();
+    return 0;
+  }
+
+  void io_write(u16 offset, u32 value) override {
+    switch (offset) {
+      case 0x09:
+        text_.push_back(static_cast<char>(value & 0xff));
+        break;
+      case 0x10:
+        values_.push_back(value);
+        break;
+      case 0x14:
+        if (exit_fn_) exit_fn_(value);
+        break;
+      default:
+        break;
+    }
+  }
+
+  const std::string& text() const { return text_; }
+  const std::vector<u32>& values() const { return values_; }
+  void clear() {
+    text_.clear();
+    values_.clear();
+  }
+
+  void set_host_value(u32 v) { host_value_ = v; }
+  void set_exit_fn(std::function<void(u32)> fn) { exit_fn_ = std::move(fn); }
+  void set_tsc_fn(std::function<u32()> fn) { tsc_fn_ = std::move(fn); }
+
+ private:
+  std::string text_;
+  std::vector<u32> values_;
+  u32 host_value_ = 0;
+  std::function<void(u32)> exit_fn_;
+  std::function<u32()> tsc_fn_;
+};
+
+}  // namespace vdbg::hw

@@ -1,0 +1,44 @@
+#include "hw/io_bus.h"
+
+#include <stdexcept>
+
+namespace vdbg::hw {
+
+void PortRouter::map(u16 base, u16 count, IoDevice* dev) {
+  const u32 end = u32(base) + count;
+  if (end > 0x10000) throw std::invalid_argument("port range overflows");
+  for (const auto& m : maps_) {
+    const u32 m_end = u32(m.base) + m.count;
+    if (base < m_end && m.base < end) {
+      throw std::invalid_argument("overlapping port ranges");
+    }
+  }
+  maps_.push_back({base, count, dev});
+}
+
+const PortRouter::Mapping* PortRouter::find(u16 port) const {
+  for (const auto& m : maps_) {
+    if (port >= m.base && port < u32(m.base) + m.count) return &m;
+  }
+  return nullptr;
+}
+
+IoDevice* PortRouter::device_at(u16 port) const {
+  const Mapping* m = find(port);
+  return m ? m->dev : nullptr;
+}
+
+u32 PortRouter::io_read(u16 port) {
+  ++reads_;
+  const Mapping* m = find(port);
+  if (!m) return 0xffffffffu;  // floating bus
+  return m->dev->io_read(static_cast<u16>(port - m->base));
+}
+
+void PortRouter::io_write(u16 port, u32 value) {
+  ++writes_;
+  const Mapping* m = find(port);
+  if (m) m->dev->io_write(static_cast<u16>(port - m->base), value);
+}
+
+}  // namespace vdbg::hw

@@ -1,0 +1,40 @@
+// Port I/O router: maps port ranges to devices, implementing the CPU's bus.
+#pragma once
+
+#include <vector>
+
+#include "cpu/bus.h"
+#include "hw/device.h"
+
+namespace vdbg::hw {
+
+class PortRouter final : public cpu::IoBus {
+ public:
+  /// Claims ports [base, base+count) for `dev`. Ranges must not overlap;
+  /// throws std::invalid_argument if they do.
+  void map(u16 base, u16 count, IoDevice* dev);
+
+  u32 io_read(u16 port) override;
+  void io_write(u16 port, u32 value) override;
+
+  /// Device mapped at `port`, or nullptr. Monitors use this to reach the
+  /// physical device backing an emulated register block.
+  IoDevice* device_at(u16 port) const;
+
+  u64 reads() const { return reads_; }
+  u64 writes() const { return writes_; }
+
+ private:
+  struct Mapping {
+    u16 base;
+    u16 count;
+    IoDevice* dev;
+  };
+  const Mapping* find(u16 port) const;
+
+  std::vector<Mapping> maps_;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
+};
+
+}  // namespace vdbg::hw

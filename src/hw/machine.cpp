@@ -1,0 +1,116 @@
+#include "hw/machine.h"
+
+#include <algorithm>
+
+namespace vdbg::hw {
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg), mem_(cfg.mem_bytes) {
+  cpu_ = std::make_unique<cpu::Cpu>(mem_, router_, &pic_, cfg_.costs);
+  pit_ = std::make_unique<Pit>(eq_, *this, pic_);
+  uart_ = std::make_unique<Uart>(eq_, *this, pic_, cfg_.uart);
+  nic_ = std::make_unique<Nic>(eq_, *this, pic_, mem_, cfg_.nic);
+  for (unsigned i = 0; i < cfg_.num_disks; ++i) {
+    disks_.push_back(std::make_unique<ScsiDisk>(
+        i, eq_, *this, pic_, kScsiIrq0 + i, mem_, cfg_.scsi));
+  }
+
+  router_.map(kPicMasterBase, 2, &pic_.master_ports());
+  router_.map(kPicSlaveBase, 2, &pic_.slave_ports());
+  router_.map(kPitBase, 4, pit_.get());
+  router_.map(kUartBase, 8, uart_.get());
+  router_.map(kNicBase, 0x40, nic_.get());
+  for (unsigned i = 0; i < cfg_.num_disks; ++i) {
+    router_.map(static_cast<u16>(kScsiBase0 + i * kScsiPortStride),
+                kScsiPortStride, disks_[i].get());
+  }
+  router_.map(kDiagBase, kDiagPortCount, &diag_);
+
+  diag_.set_exit_fn([this](u32 code) {
+    guest_exit_ = code;
+    // Stop the CPU at the next instruction boundary so the run loop sees
+    // the exit promptly instead of spinning out the rest of the slice.
+    cpu_->request_stop();
+  });
+  diag_.set_tsc_fn([this] { return static_cast<u32>(cpu_->cycles()); });
+
+  // Preempt a running CPU slice when a device schedules an event earlier
+  // than the slice's planned end, so completions/interrupts are observed
+  // with their true timing (a polling guest must see them promptly).
+  eq_.set_deadline_observer([this](Cycles d) { cpu_->lower_run_limit(d); });
+}
+
+void Machine::load(const vasm::Program& image) {
+  image.load(mem_);
+  const auto entry = image.symbol("entry");
+  cpu_->state().pc = entry.value_or(image.base);
+}
+
+double Machine::cpu_load(const LoadProbe& probe) const {
+  const Cycles total = now() - probe.start_cycles;
+  if (total == 0) return 0.0;
+  const Cycles idle = idle_cycles_ - probe.start_idle;
+  return 1.0 - static_cast<double>(idle) / static_cast<double>(total);
+}
+
+Machine::StopReason Machine::run_for(Cycles budget) {
+  const Cycles end = now() + budget;
+  while (now() < end) {
+    eq_.run_until(now());
+    if (external_stop_) {
+      external_stop_ = false;
+      return StopReason::kExternalStop;
+    }
+    if (guest_exit_) return StopReason::kGuestExit;
+    if (cpu_->shutdown()) return StopReason::kShutdown;
+
+    if (frozen_) {
+      if (frozen_service_) frozen_service_();
+      if (external_stop_ || guest_exit_ || !frozen_) continue;
+      const auto next = eq_.next_deadline();
+      if (!next) return StopReason::kIdleDeadlock;
+      const Cycles target = std::min(end, std::max(*next, now()));
+      if (target <= now()) continue;  // due events handled at loop top
+      idle_cycles_ += target - now();
+      cpu_->add_cycles(target - now());
+      continue;
+    }
+
+    if (cpu_->halted()) {
+      const bool wakeable =
+          pic_.intr_asserted() &&
+          (cpu_->trap_hook() != nullptr || cpu_->state().intr_enabled());
+      if (wakeable) {
+        cpu_->run(1);  // processes the pending interrupt immediately
+        continue;
+      }
+      const auto next = eq_.next_deadline();
+      if (!next) return StopReason::kIdleDeadlock;
+      const Cycles target = std::min(end, *next);
+      if (target <= now()) continue;
+      idle_cycles_ += target - now();
+      cpu_->add_cycles(target - now());
+      continue;
+    }
+
+    const auto next = eq_.next_deadline();
+    const Cycles slice_end = next ? std::min(end, *next) : end;
+    if (slice_end <= now()) continue;
+    cpu_->run(slice_end - now());
+    // Exit reasons (halt, shutdown, stop request) are observed at loop top.
+  }
+  eq_.run_until(now());
+  if (guest_exit_) return StopReason::kGuestExit;
+  if (cpu_->shutdown()) return StopReason::kShutdown;
+  return StopReason::kBudget;
+}
+
+Machine::StopReason Machine::run_until_stopped(Cycles max) {
+  const Cycles end = now() + max;
+  while (now() < end) {
+    const StopReason r = run_for(std::min<Cycles>(end - now(), 1'000'000));
+    if (r != StopReason::kBudget) return r;
+  }
+  return StopReason::kBudget;
+}
+
+}  // namespace vdbg::hw

@@ -1,0 +1,122 @@
+// The simulated PC/AT-class target machine: CPU, physical memory, PIC pair,
+// PIT, UART, three SCSI controllers, gigabit NIC, diagnostic port, and the
+// discrete-event loop that advances them coherently.
+//
+// The machine knows nothing about monitors: a platform (native / LVMM /
+// hosted VMM) configures the CPU (trap hook, I/O bitmap, protected frames)
+// and then drives run_for().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "asm/program.h"
+#include "common/event_queue.h"
+#include "cpu/cpu.h"
+#include "hw/diag_port.h"
+#include "hw/io_bus.h"
+#include "hw/nic.h"
+#include "hw/pic.h"
+#include "hw/pit.h"
+#include "hw/scsi_disk.h"
+#include "hw/uart.h"
+
+namespace vdbg::hw {
+
+struct MachineConfig {
+  u32 mem_bytes = 64u * 1024 * 1024;
+  unsigned num_disks = 3;
+  cpu::CostModel costs = cpu::CostModel::pentium3();
+  Uart::Config uart{};
+  ScsiDisk::Config scsi{};
+  Nic::Config nic{};
+};
+
+class Machine final : public Clock {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  // --- component access ---
+  cpu::Cpu& cpu() { return *cpu_; }
+  cpu::PhysMem& mem() { return mem_; }
+  EventQueue& events() { return eq_; }
+  PortRouter& router() { return router_; }
+  Pic& pic() { return pic_; }
+  Pit& pit() { return *pit_; }
+  Uart& uart() { return *uart_; }
+  Nic& nic() { return *nic_; }
+  ScsiDisk& disk(unsigned i) { return *disks_.at(i); }
+  unsigned num_disks() const { return static_cast<unsigned>(disks_.size()); }
+  DiagPort& diag() { return diag_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  Cycles now() const override { return cpu_->cycles(); }
+
+  /// Loads a program image and points the CPU at `entry` (label "entry" or
+  /// the image base when absent).
+  void load(const vasm::Program& image);
+
+  enum class StopReason : u8 {
+    kBudget,        // the requested span elapsed
+    kShutdown,      // triple fault (native mode: machine is dead)
+    kGuestExit,     // guest wrote the diag exit port
+    kIdleDeadlock,  // halted/frozen with no pending events: nothing can ever happen
+    kExternalStop,  // external_stop() was called (host-side tooling)
+  };
+
+  /// Advances simulated time by up to `budget` cycles, interleaving CPU
+  /// execution and device events.
+  StopReason run_for(Cycles budget);
+
+  /// Convenience: run until guest exit / shutdown / deadlock, in slices,
+  /// up to `max` cycles total.
+  StopReason run_until_stopped(Cycles max);
+
+  /// Host tooling: make the current/next run_for return kExternalStop.
+  void external_stop() { external_stop_ = true; }
+
+  /// Debugger support: while frozen the CPU does not execute, but simulated
+  /// time and devices advance; `service` (the monitor's polling loop) runs
+  /// every iteration.
+  void set_cpu_frozen(bool frozen) { frozen_ = frozen; }
+  bool cpu_frozen() const { return frozen_; }
+  void set_frozen_service(std::function<void()> service) {
+    frozen_service_ = std::move(service);
+  }
+
+  // --- accounting ---
+  Cycles idle_cycles() const { return idle_cycles_; }
+  /// CPU load over a window: 1 - idle/total.
+  struct LoadProbe {
+    Cycles start_cycles = 0;
+    Cycles start_idle = 0;
+  };
+  LoadProbe begin_load_probe() const { return {now(), idle_cycles_}; }
+  double cpu_load(const LoadProbe& probe) const;
+
+  std::optional<u32> guest_exit_code() const { return guest_exit_; }
+  void clear_guest_exit() { guest_exit_.reset(); }
+
+ private:
+  MachineConfig cfg_;
+  EventQueue eq_;
+  cpu::PhysMem mem_;
+  PortRouter router_;
+  Pic pic_;
+  DiagPort diag_;
+  std::unique_ptr<cpu::Cpu> cpu_;
+  std::unique_ptr<Pit> pit_;
+  std::unique_ptr<Uart> uart_;
+  std::unique_ptr<Nic> nic_;
+  std::vector<std::unique_ptr<ScsiDisk>> disks_;
+
+  bool frozen_ = false;
+  std::function<void()> frozen_service_;
+  bool external_stop_ = false;
+  std::optional<u32> guest_exit_;
+  Cycles idle_cycles_ = 0;
+};
+
+}  // namespace vdbg::hw

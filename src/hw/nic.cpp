@@ -1,0 +1,185 @@
+#include "hw/nic.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "net/udp.h"
+
+namespace vdbg::hw {
+
+Nic::Nic(EventQueue& eq, const Clock& clock, IrqSink& irq, cpu::PhysMem& mem,
+         Config cfg)
+    : eq_(eq), clock_(clock), irq_(irq), mem_(mem), cfg_(cfg) {}
+
+PAddr Nic::desc_addr(u32 index) const {
+  return ring_base_ + (index % ring_size_) * kNicDescBytes;
+}
+
+u32 Nic::io_read(u16 offset) {
+  switch (offset) {
+    case 0x00: return ring_base_;
+    case 0x04: return ring_size_;
+    case 0x08: return tail_;
+    case 0x0c: return head_;
+    case 0x10: return isr_;
+    case 0x14: return imr_;
+    case 0x18: return 0x56343231;  // "12:34:56" low half, arbitrary
+    case 0x1c: return 0x00009a78;
+    case 0x20: return rx_base_;
+    case 0x24: return rx_size_;
+    case 0x28: return rx_head_;
+    case 0x2c: return rx_tail_;
+    default: return 0;
+  }
+}
+
+void Nic::io_write(u16 offset, u32 value) {
+  switch (offset) {
+    case 0x00:
+      ring_base_ = value;
+      break;
+    case 0x04:
+      ring_size_ = value;
+      break;
+    case 0x08:
+      tail_ = value;
+      kick();
+      break;
+    case 0x10:
+      isr_ = 0;
+      irq_.set_irq_level(kNicIrq, false);
+      break;
+    case 0x14:
+      imr_ = value;
+      update_irq();
+      break;
+    case 0x20:
+      rx_base_ = value;
+      break;
+    case 0x24:
+      rx_size_ = value;
+      break;
+    case 0x2c:
+      rx_tail_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void Nic::kick() {
+  if (engine_active_) return;
+  if (ring_size_ == 0) return;
+  if (head_ == tail_) return;
+  engine_active_ = true;
+  transmit_next(clock_.now());
+}
+
+void Nic::transmit_next(Cycles from) {
+  if (head_ == tail_) {
+    engine_active_ = false;
+    return;
+  }
+  const PAddr da = desc_addr(head_);
+  if (!mem_.contains(da, kNicDescBytes)) {
+    // Ring itself is broken: flag the error and stop the engine.
+    isr_ |= 2;
+    ++errors_;
+    engine_active_ = false;
+    irq_.set_irq_level(kNicIrq, true);
+    return;
+  }
+  const u32 buf = mem_.read32(da);
+  const u32 len = mem_.read32(da + 4);
+  const u32 flags = mem_.read32(da + 8);
+
+  const bool bad = len == 0 || len > kNicMaxFrame || !mem_.contains(buf, len);
+  std::vector<u8> frame;
+  if (!bad) {
+    frame.resize(len);
+    mem_.read_block(buf, frame);
+    if (flags & NicDescFlags::kChecksumOffload) {
+      // Hardware assist: recompute the UDP checksum of a well-formed frame.
+      auto parsed = net::parse_frame(frame);
+      if (parsed) {
+        const auto fixed = net::build_frame(
+            net::FlowSpec{parsed->src_mac, parsed->dst_mac, parsed->src_ip,
+                          parsed->dst_ip, parsed->src_port, parsed->dst_port},
+            parsed->payload);
+        frame = fixed;
+      }
+    }
+  }
+
+  // Serialisation time on the wire; errors complete immediately.
+  const u32 wire_bytes = len + cfg_.framing_overhead_bytes;
+  const Cycles delay =
+      bad ? 1
+          : transfer_cycles(wire_bytes, cfg_.line_bits_per_sec / 8.0);
+  eq_.schedule_in(
+      from, delay,
+      [this, f = std::move(frame), da, flags, bad](Cycles now) mutable {
+        frame_done(now, std::move(f), da, flags, bad);
+      },
+      "nic.tx");
+}
+
+void Nic::update_irq() {
+  const bool tx_cond = (imr_ & 1) && (isr_ & 3);
+  const bool rx_cond = (imr_ & 2) && (isr_ & 4);
+  irq_.set_irq_level(kNicIrq, tx_cond || rx_cond);
+}
+
+bool Nic::host_rx_frame(std::span<const u8> frame, Cycles now) {
+  (void)now;
+  if (rx_size_ == 0 || frame.empty() || frame.size() > kNicMaxFrame) {
+    ++rx_dropped_;
+    return false;
+  }
+  if (rx_head_ - rx_tail_ >= rx_size_) {  // no free descriptor
+    ++rx_dropped_;
+    return false;
+  }
+  const PAddr da = rx_base_ + (rx_head_ % rx_size_) * kNicDescBytes;
+  if (!mem_.contains(da, kNicDescBytes)) {
+    ++rx_dropped_;
+    return false;
+  }
+  const u32 buf = mem_.read32(da);
+  const u32 cap = mem_.read32(da + 4);
+  const u32 len = static_cast<u32>(frame.size());
+  const u32 copy = std::min(len, cap);
+  if (!mem_.contains(buf, copy) || mem_.overlaps_protected(buf, copy)) {
+    ++rx_dropped_;
+    return false;
+  }
+  mem_.write_block(buf, frame.subspan(0, copy));
+  mem_.write32(da + 8, copy < len ? 2u : 1u);  // truncated : filled
+  mem_.write32(da + 12, copy);
+  ++rx_head_;
+  ++rx_frames_;
+  isr_ |= 4;
+  update_irq();
+  return true;
+}
+
+void Nic::frame_done(Cycles now, std::vector<u8> frame, PAddr desc_addr_v,
+                     u32 flags, bool error) {
+  if (!mem_.overlaps_protected(desc_addr_v + 12, 4)) {
+    mem_.write32(desc_addr_v + 12, error ? 2u : 1u);
+  }
+  ++head_;
+  if (error) {
+    ++errors_;
+    isr_ |= 2;
+  } else {
+    ++frames_;
+    bytes_ += frame.size();
+    if (wire_) wire_(frame, now);
+    if (flags & NicDescFlags::kIrqOnComplete) isr_ |= 1;
+  }
+  update_irq();
+  transmit_next(now);
+}
+
+}  // namespace vdbg::hw

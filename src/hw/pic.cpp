@@ -1,0 +1,125 @@
+#include "hw/pic.h"
+
+namespace vdbg::hw {
+
+Pic::Pic() {
+  master_.offset = 0x20;
+  slave_.offset = 0x28;
+  master_io_.pic = this;
+  master_io_.slave = false;
+  slave_io_.pic = this;
+  slave_io_.slave = true;
+}
+
+void Pic::set_irq_level(unsigned irq, bool asserted) {
+  Chip& c = chip(irq >= 8);
+  const u8 bit = static_cast<u8>(1u << (irq & 7));
+  if (asserted) {
+    c.level |= bit;
+  } else {
+    c.level &= static_cast<u8>(~bit);
+  }
+}
+
+void Pic::pulse_irq(unsigned irq) {
+  Chip& c = chip(irq >= 8);
+  c.edge |= static_cast<u8>(1u << (irq & 7));
+}
+
+int Pic::deliverable(const Chip& c, u8 extra_pending) {
+  const u8 pending =
+      static_cast<u8>(((c.level | c.edge | extra_pending) & ~c.imr));
+  if (!pending) return -1;
+  for (int i = 0; i < 8; ++i) {
+    const u8 bit = static_cast<u8>(1u << i);
+    if (c.isr & bit) return -1;  // higher/equal priority in service
+    if (pending & bit) return i;
+  }
+  return -1;
+}
+
+bool Pic::intr_asserted() const {
+  const bool slave_pending = deliverable(slave_) >= 0;
+  const u8 extra = slave_pending ? u8(1u << kPicCascadeIrq) : 0;
+  return deliverable(master_, extra) >= 0;
+}
+
+u8 Pic::acknowledge() {
+  const bool slave_pending = deliverable(slave_) >= 0;
+  const u8 extra = slave_pending ? u8(1u << kPicCascadeIrq) : 0;
+  const int m = deliverable(master_, extra);
+  if (m < 0) return spurious_vector();
+
+  master_.isr |= static_cast<u8>(1u << m);
+  master_.edge &= static_cast<u8>(~(1u << m));
+  if (m == int(kPicCascadeIrq)) {
+    const int s = deliverable(slave_);
+    if (s < 0) return static_cast<u8>(slave_.offset + 7);  // slave spurious
+    slave_.isr |= static_cast<u8>(1u << s);
+    slave_.edge &= static_cast<u8>(~(1u << s));
+    return static_cast<u8>(slave_.offset + s);
+  }
+  return static_cast<u8>(master_.offset + m);
+}
+
+u32 Pic::chip_read(Chip& c, u16 offset) {
+  if (offset == 0) {
+    return c.read_isr ? c.isr : static_cast<u8>(c.level | c.edge);
+  }
+  return c.imr;
+}
+
+void Pic::chip_write(Chip& c, u16 offset, u32 value) {
+  const u8 v = static_cast<u8>(value);
+  if (offset == 0) {
+    if (v & 0x10) {  // ICW1: begin initialisation
+      c.icw_step = 2;
+      c.icw4_needed = v & 0x01;
+      c.imr = 0xff;
+      c.isr = 0;
+      c.edge = 0;
+      c.read_isr = false;
+      return;
+    }
+    if ((v & 0x18) == 0x08) {  // OCW3
+      if ((v & 0x03) == 0x03) c.read_isr = true;
+      if ((v & 0x03) == 0x02) c.read_isr = false;
+      return;
+    }
+    // OCW2
+    if ((v & 0xe0) == 0x20) {  // non-specific EOI: clear highest ISR bit
+      for (int i = 0; i < 8; ++i) {
+        const u8 bit = static_cast<u8>(1u << i);
+        if (c.isr & bit) {
+          c.isr &= static_cast<u8>(~bit);
+          break;
+        }
+      }
+      return;
+    }
+    if ((v & 0xe0) == 0x60) {  // specific EOI
+      c.isr &= static_cast<u8>(~(1u << (v & 7)));
+      return;
+    }
+    return;  // other OCW2 modes (rotate) not modelled
+  }
+
+  // Data port.
+  switch (c.icw_step) {
+    case 2:
+      c.offset = static_cast<u8>(v & 0xf8);
+      c.icw_step = 3;
+      return;
+    case 3:
+      c.icw_step = c.icw4_needed ? 4 : -1;
+      return;
+    case 4:
+      c.icw_step = -1;
+      return;
+    default:
+      c.imr = v;  // OCW1
+      return;
+  }
+}
+
+}  // namespace vdbg::hw

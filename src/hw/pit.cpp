@@ -1,0 +1,77 @@
+#include "hw/pit.h"
+
+#include "common/units.h"
+
+namespace vdbg::hw {
+
+Cycles Pit::period_cycles() const {
+  const u32 div = divisor_ == 0 ? 0x10000 : divisor_;
+  const double seconds = double(div) / kPitInputHz;
+  const Cycles c = seconds_to_cycles(seconds);
+  return c == 0 ? 1 : c;
+}
+
+u32 Pit::io_read(u16 offset) {
+  // Count readback is not modelled; tests observe tick interrupts instead.
+  (void)offset;
+  return 0;
+}
+
+void Pit::io_write(u16 offset, u32 value) {
+  const u8 v = static_cast<u8>(value);
+  if (offset == 3) {  // control word at base+3 (port 0x43)
+    const u8 channel = v >> 6;
+    const u8 access = (v >> 4) & 3;
+    if (channel != 0) return;  // only channel 0 modelled
+    if (access == 3) {
+      phase_ = Phase::kLoByte;
+    } else if (access == 1) {
+      phase_ = Phase::kLoByte;  // lobyte only: hi assumed 0 at write
+    } else if (access == 2) {
+      phase_ = Phase::kHiByte;
+      pending_lo_ = 0;
+    }
+    return;
+  }
+  if (offset != 0) return;  // channels 1/2 not modelled
+
+  switch (phase_) {
+    case Phase::kLoByte:
+      pending_lo_ = v;
+      phase_ = Phase::kHiByte;
+      return;
+    case Phase::kHiByte:
+      divisor_ = (u32(v) << 8) | pending_lo_;
+      if (divisor_ == 0) divisor_ = 0x10000;
+      phase_ = Phase::kIdle;
+      stop();
+      arm(clock_.now());
+      return;
+    case Phase::kIdle:
+      return;
+  }
+}
+
+void Pit::stop() {
+  if (event_ != 0) {
+    eq_.cancel(event_);
+    event_ = 0;
+  }
+}
+
+void Pit::arm(Cycles from) {
+  event_ = eq_.schedule_in(
+      from, period_cycles(), [this](Cycles now) { fire(now); }, "pit.tick");
+}
+
+void Pit::fire(Cycles now) {
+  event_ = 0;
+  ++ticks_;
+  last_fire_ = now;
+  irq_.pulse_irq(0);
+  // Re-arm relative to the firing time so jitter never accumulates, even
+  // when the event loop runs behind.
+  arm(now);
+}
+
+}  // namespace vdbg::hw

@@ -1,0 +1,53 @@
+// 8254-style programmable interval timer, channel 0 (system tick).
+//
+// The second device the paper's monitor emulates for the guest. The OS
+// programs a divisor of the 1.193182 MHz input clock via the classic
+// control-word + lobyte/hibyte sequence; the output pulses IRQ0 (edge) at
+// the programmed rate.
+#pragma once
+
+#include "common/event_queue.h"
+#include "hw/device.h"
+
+namespace vdbg::hw {
+
+inline constexpr u16 kPitBase = 0x40;          // ch0 data; control at +3
+inline constexpr double kPitInputHz = 1193182.0;
+
+class Pit final : public IoDevice {
+ public:
+  Pit(EventQueue& eq, const Clock& clock, IrqSink& irq)
+      : eq_(eq), clock_(clock), irq_(irq) {}
+  ~Pit() { stop(); }
+
+  u32 io_read(u16 offset) override;
+  void io_write(u16 offset, u32 value) override;
+
+  /// Stops the periodic tick (used on machine teardown / re-programming).
+  void stop();
+
+  bool running() const { return event_ != 0; }
+  u32 divisor() const { return divisor_; }
+  Cycles period_cycles() const;
+  u64 ticks_fired() const { return ticks_; }
+  /// Cycle timestamp of the most recent tick (for latency measurements).
+  Cycles last_fire_cycles() const { return last_fire_; }
+
+ private:
+  void arm(Cycles from);
+  void fire(Cycles now);
+
+  EventQueue& eq_;
+  const Clock& clock_;
+  IrqSink& irq_;
+
+  u32 divisor_ = 0x10000;  // 8254 semantics: 0 counts as 65536
+  u64 ticks_ = 0;
+  Cycles last_fire_ = 0;
+  EventId event_ = 0;
+  // Control-word state: which byte of the divisor the next ch0 write sets.
+  enum class Phase { kIdle, kLoByte, kHiByte } phase_ = Phase::kIdle;
+  u32 pending_lo_ = 0;
+};
+
+}  // namespace vdbg::hw

@@ -1,0 +1,159 @@
+#include "hw/scsi_disk.h"
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace vdbg::hw {
+
+ScsiDisk::ScsiDisk(unsigned id, EventQueue& eq, const Clock& clock,
+                   IrqSink& irq, unsigned irq_line, cpu::PhysMem& mem,
+                   Config cfg)
+    : id_(id),
+      eq_(eq),
+      clock_(clock),
+      irq_(irq),
+      irq_line_(irq_line),
+      mem_(mem),
+      cfg_(cfg) {}
+
+u8 ScsiDisk::pattern_byte(unsigned disk_id, u32 lba, u32 off) {
+  // Cheap deterministic mix; distinct across disks, sectors and offsets.
+  u32 x = lba * 2654435761u + off * 40503u + disk_id * 97u + 0x9e37u;
+  x ^= x >> 15;
+  x *= 2246822519u;
+  x ^= x >> 13;
+  return static_cast<u8>(x);
+}
+
+void ScsiDisk::fill_pattern(unsigned disk_id, u32 lba, std::span<u8> out) {
+  u32 sector = lba;
+  u32 off = 0;
+  for (auto& b : out) {
+    b = pattern_byte(disk_id, sector, off);
+    if (++off == kSectorBytes) {
+      off = 0;
+      ++sector;
+    }
+  }
+}
+
+u32 ScsiDisk::io_read(u16 offset) {
+  switch (offset) {
+    case 0x08:
+      return intr_pending_ ? 1u : 0u;
+    case 0x0c:
+      return last_status_;
+    default:
+      return 0;
+  }
+}
+
+void ScsiDisk::io_write(u16 offset, u32 value) {
+  switch (offset) {
+    case 0x00:
+      req_addr_ = value;
+      break;
+    case 0x04:
+      submit(/*is_write=*/false);
+      break;
+    case 0x10:
+      submit(/*is_write=*/true);
+      break;
+    case 0x08:
+      (void)value;
+      intr_pending_ = false;
+      irq_.set_irq_level(irq_line_, false);
+      break;
+    default:
+      break;
+  }
+}
+
+void ScsiDisk::finish_with(u32 status, PAddr req_addr) {
+  last_status_ = status;
+  if (mem_.contains(req_addr + 12, 4) &&
+      !mem_.overlaps_protected(req_addr + 12, 4)) {
+    mem_.write32(req_addr + 12, status);
+  }
+  intr_pending_ = true;
+  irq_.set_irq_level(irq_line_, true);
+}
+
+void ScsiDisk::read_medium(u32 lba, std::span<u8> out) const {
+  fill_pattern(id_, lba, out);
+  // Overlay any sectors the guest wrote.
+  u32 sector = lba;
+  for (std::size_t off = 0; off < out.size(); off += kSectorBytes, ++sector) {
+    const auto it = written_.find(sector);
+    if (it == written_.end()) continue;
+    const std::size_t n = std::min<std::size_t>(kSectorBytes, out.size() - off);
+    std::copy_n(it->second.begin(), n, out.begin() + off);
+  }
+}
+
+void ScsiDisk::submit(bool is_write) {
+  if (busy_) {
+    // Doorbell while in flight: reject without touching the active request.
+    last_status_ = kBusy;
+    return;
+  }
+  const PAddr req = req_addr_;
+  if (!mem_.contains(req, kScsiRequestBytes)) {
+    finish_with(kBadRequest, req);
+    return;
+  }
+  const u32 lba = mem_.read32(req);
+  const u32 sectors = mem_.read32(req + 4);
+  const u32 dest = mem_.read32(req + 8);
+
+  if (sectors == 0 || sectors > cfg_.max_sectors_per_request ||
+      lba >= cfg_.capacity_sectors ||
+      sectors > cfg_.capacity_sectors - lba || (dest & 3)) {
+    finish_with(kBadRequest, req);
+    return;
+  }
+  const u32 bytes = sectors * kSectorBytes;
+  if (!mem_.contains(dest, bytes)) {
+    finish_with(kDmaError, req);
+    return;
+  }
+  if (!is_write && mem_.overlaps_protected(dest, bytes)) {
+    // DMA guard: the monitor's frames are not reachable by bus masters.
+    finish_with(kDmaError, req);
+    return;
+  }
+
+  busy_ = true;
+  const Cycles delay =
+      cfg_.command_overhead +
+      transfer_cycles(bytes, cfg_.sustained_bytes_per_sec);
+  eq_.schedule_in(
+      clock_.now(), delay,
+      [this, lba, sectors, dest, req, is_write](Cycles now) {
+        complete(now, lba, sectors, dest, req, is_write);
+      },
+      "scsi.complete");
+}
+
+void ScsiDisk::complete(Cycles, u32 lba, u32 sectors, u32 buf_addr,
+                        PAddr req_addr, bool is_write) {
+  const u32 bytes = sectors * kSectorBytes;
+  if (is_write) {
+    // Memory -> disk: capture each sector into the overlay.
+    for (u32 i = 0; i < sectors; ++i) {
+      auto& sector = written_[lba + i];
+      mem_.read_block(buf_addr + i * kSectorBytes, sector);
+    }
+  } else {
+    std::vector<u8> buf(bytes);
+    read_medium(lba, buf);
+    mem_.write_block(buf_addr, buf);
+  }
+  busy_ = false;
+  ++completed_;
+  bytes_ += bytes;
+  finish_with(kOk, req_addr);
+}
+
+}  // namespace vdbg::hw

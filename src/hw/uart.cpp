@@ -1,0 +1,113 @@
+#include "hw/uart.h"
+
+namespace vdbg::hw {
+
+void Uart::update_irq() {
+  const bool rx_cond = (ier_ & 0x01) && !rx_.empty();
+  const bool tx_cond = (ier_ & 0x02) && thre_intr_;
+  irq_.set_irq_level(kUartIrq, rx_cond || tx_cond);
+}
+
+u32 Uart::io_read(u16 offset) {
+  switch (offset) {
+    case 0: {  // RBR
+      u8 v = 0;
+      if (!rx_.empty()) {
+        v = rx_.front();
+        rx_.pop_front();
+      }
+      update_irq();
+      return v;
+    }
+    case 1:
+      return ier_;
+    case 2: {  // IIR: priority-encoded pending source
+      u8 v = 0x01;  // none
+      if ((ier_ & 0x01) && !rx_.empty()) {
+        v = 0x04;
+      } else if ((ier_ & 0x02) && thre_intr_) {
+        v = 0x02;
+        thre_intr_ = false;  // reading IIR clears the THRE source
+        update_irq();
+      }
+      return v;
+    }
+    case 3:
+      return lcr_;
+    case 4:
+      return mcr_;
+    case 5: {  // LSR
+      u8 v = 0;
+      if (!rx_.empty()) v |= 0x01;                       // DR
+      if (tx_.size() < cfg_.tx_fifo_depth) v |= 0x20;    // THRE (room)
+      if (tx_.empty() && !tx_busy_) v |= 0x40;           // TEMT
+      return v;
+    }
+    case 6:
+      return 0xb0;  // MSR: CTS/DSR/DCD asserted
+    default:
+      return 0;
+  }
+}
+
+void Uart::io_write(u16 offset, u32 value) {
+  const u8 v = static_cast<u8>(value);
+  switch (offset) {
+    case 0:  // THR
+      thre_intr_ = false;
+      if (tx_.size() < cfg_.tx_fifo_depth) tx_.push_back(v);
+      // Bytes written to a full FIFO are dropped, as on real hardware.
+      if (!tx_busy_) start_tx(clock_.now());
+      update_irq();
+      break;
+    case 1:
+      ier_ = v;
+      update_irq();
+      break;
+    case 2:  // FCR: FIFO control; resets accepted, trigger levels ignored
+      if (v & 0x02) rx_.clear();
+      if (v & 0x04) tx_.clear();
+      update_irq();
+      break;
+    case 3:
+      lcr_ = v;
+      break;
+    case 4:
+      mcr_ = v;
+      break;
+    default:
+      break;
+  }
+}
+
+void Uart::start_tx(Cycles from) {
+  if (tx_.empty()) return;
+  tx_busy_ = true;
+  tx_shift_ = tx_.front();
+  tx_.pop_front();
+  eq_.schedule_in(
+      from, cfg_.byte_time, [this](Cycles now) { tx_done(now); }, "uart.tx");
+}
+
+void Uart::tx_done(Cycles now) {
+  tx_busy_ = false;
+  if (tx_sink_) tx_sink_(tx_shift_);
+  if (!tx_.empty()) {
+    start_tx(now);
+  } else {
+    thre_intr_ = true;
+    update_irq();
+  }
+}
+
+void Uart::host_inject(u8 byte) {
+  rx_.push_back(byte);
+  update_irq();
+}
+
+void Uart::host_inject(std::string_view bytes) {
+  for (char c : bytes) rx_.push_back(static_cast<u8>(c));
+  update_irq();
+}
+
+}  // namespace vdbg::hw

@@ -1,0 +1,71 @@
+#include "net/packet_sink.h"
+
+#include "common/units.h"
+
+namespace vdbg::net {
+
+void PacketSink::on_frame(std::span<const u8> frame, Cycles now) {
+  const auto parsed = parse_frame(frame);
+  if (!parsed) {
+    ++parse_errors_;
+    return;
+  }
+  if (!parsed->ip_checksum_ok || !parsed->udp_checksum_ok) {
+    ++checksum_errors_;
+    return;
+  }
+  ++frames_;
+  payload_bytes_ += parsed->payload.size();
+  if (have_arrival_) {
+    interarrival_.add(static_cast<double>(now - last_arrival_));
+  }
+  last_arrival_ = now;
+  have_arrival_ = true;
+
+  std::span<const u8> body = parsed->payload;
+  u32 seq = 0;
+  if (expect_seq_) {
+    if (body.size() < 4) {
+      ++parse_errors_;
+      return;
+    }
+    seq = u32(body[0]) | (u32(body[1]) << 8) | (u32(body[2]) << 16) |
+          (u32(body[3]) << 24);
+    body = body.subspan(4);
+    if (have_seq_) {
+      if (seq == last_seq_ + 1) {
+        // in order
+      } else if (seq > last_seq_ + 1) {
+        ++seq_gaps_;
+      } else {
+        ++out_of_order_;
+      }
+    }
+    if (!have_seq_ || seq > last_seq_) last_seq_ = seq;
+    have_seq_ = true;
+  }
+
+  if (validator_ && !validator_(seq, body)) ++content_errors_;
+  if (captured_.size() < capture_limit_) {
+    captured_.emplace_back(parsed->payload.begin(), parsed->payload.end());
+  }
+  window_bytes_ += body.size();
+}
+
+void PacketSink::begin_window(Cycles now) {
+  window_start_ = now;
+  window_bytes_ = 0;
+}
+
+double PacketSink::interarrival_us(double percentile) const {
+  return cycles_to_seconds(
+             static_cast<Cycles>(interarrival_.percentile(percentile))) *
+         1e6;
+}
+
+double PacketSink::window_goodput_mbps(Cycles now) const {
+  if (now <= window_start_) return 0.0;
+  return bytes_per_cycles_to_mbps(window_bytes_, now - window_start_);
+}
+
+}  // namespace vdbg::net

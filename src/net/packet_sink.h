@@ -1,0 +1,84 @@
+// Receiving end of the simulated gigabit link: parses every frame the NIC
+// puts on the wire, validates checksums and sequence numbers, and measures
+// goodput over a window. This plays the role of the measurement host on the
+// far end of the paper's UDP stream.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/udp.h"
+
+namespace vdbg::net {
+
+class PacketSink {
+ public:
+  /// Wire callback (wired to hw::Nic). `now` is the simulated cycle at which
+  /// the last bit left the NIC.
+  void on_frame(std::span<const u8> frame, Cycles now);
+
+  /// Application convention: payload begins with a little-endian u32
+  /// sequence number. Enabled by default; disable for raw streams.
+  void set_expect_sequence(bool on) { expect_seq_ = on; }
+
+  /// Optional deep-content validator called per frame with the sequence
+  /// number and the payload after the sequence word. Return false to count
+  /// a content error. Used by integrity tests; too slow for benches.
+  using Validator = std::function<bool(u32 seq, std::span<const u8> body)>;
+  void set_payload_validator(Validator v) { validator_ = std::move(v); }
+
+  /// Keeps copies of the first `n` payloads for test inspection.
+  void set_capture_limit(std::size_t n) { capture_limit_ = n; }
+  const std::vector<std::vector<u8>>& captured() const { return captured_; }
+
+  // --- cumulative counters ---
+  u64 frames() const { return frames_; }
+  u64 payload_bytes() const { return payload_bytes_; }
+  u64 parse_errors() const { return parse_errors_; }
+  u64 checksum_errors() const { return checksum_errors_; }
+  u64 sequence_gaps() const { return seq_gaps_; }
+  u64 out_of_order() const { return out_of_order_; }
+  u64 content_errors() const { return content_errors_; }
+  u32 last_sequence() const { return last_seq_; }
+
+  // --- inter-arrival jitter (streaming QoS) ---
+  /// Histogram of inter-frame arrival gaps in cycles (valid frames only).
+  const Histogram& interarrival() const { return interarrival_; }
+  /// Percentile of the inter-arrival gap, in microseconds.
+  double interarrival_us(double percentile) const;
+
+  // --- measurement window ---
+  void begin_window(Cycles now);
+  /// Goodput (UDP payload bytes, excluding the sequence word when sequence
+  /// numbering is on) over the current window, in Mbps.
+  double window_goodput_mbps(Cycles now) const;
+  u64 window_bytes() const { return window_bytes_; }
+
+ private:
+  bool expect_seq_ = true;
+  Validator validator_;
+  std::size_t capture_limit_ = 0;
+  std::vector<std::vector<u8>> captured_;
+
+  u64 frames_ = 0;
+  u64 payload_bytes_ = 0;
+  u64 parse_errors_ = 0;
+  u64 checksum_errors_ = 0;
+  u64 seq_gaps_ = 0;
+  u64 out_of_order_ = 0;
+  u64 content_errors_ = 0;
+  bool have_seq_ = false;
+  u32 last_seq_ = 0;
+
+  Cycles window_start_ = 0;
+  u64 window_bytes_ = 0;
+
+  Histogram interarrival_;
+  Cycles last_arrival_ = 0;
+  bool have_arrival_ = false;
+};
+
+}  // namespace vdbg::net

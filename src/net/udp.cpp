@@ -1,0 +1,146 @@
+#include "net/udp.h"
+
+#include "common/checksum.h"
+
+namespace vdbg::net {
+
+namespace {
+
+void put16(std::vector<u8>& v, u16 x) {
+  v.push_back(static_cast<u8>(x >> 8));
+  v.push_back(static_cast<u8>(x));
+}
+void put32(std::vector<u8>& v, u32 x) {
+  put16(v, static_cast<u16>(x >> 16));
+  put16(v, static_cast<u16>(x));
+}
+u16 get16(std::span<const u8> b, u32 off) {
+  return static_cast<u16>((u16(b[off]) << 8) | b[off + 1]);
+}
+u32 get32(std::span<const u8> b, u32 off) {
+  return (u32(get16(b, off)) << 16) | get16(b, off + 2);
+}
+void set16(std::span<u8> b, u32 off, u16 x) {
+  b[off] = static_cast<u8>(x >> 8);
+  b[off + 1] = static_cast<u8>(x);
+}
+
+}  // namespace
+
+std::vector<u8> build_header_template(const FlowSpec& flow) {
+  std::vector<u8> f;
+  f.reserve(kAllHeaderBytes);
+  // Ethernet
+  f.insert(f.end(), flow.dst_mac.begin(), flow.dst_mac.end());
+  f.insert(f.end(), flow.src_mac.begin(), flow.src_mac.end());
+  put16(f, kEtherTypeIpv4);
+  // IPv4: version 4, IHL 5, DSCP 0
+  f.push_back(0x45);
+  f.push_back(0x00);
+  put16(f, 0);  // total length: per-packet
+  put16(f, 0);  // identification
+  put16(f, 0x4000);  // DF, no fragment offset
+  f.push_back(64);   // TTL
+  f.push_back(kIpProtoUdp);
+  put16(f, 0);  // header checksum: per-packet
+  put32(f, flow.src_ip);
+  put32(f, flow.dst_ip);
+  // UDP
+  put16(f, flow.src_port);
+  put16(f, flow.dst_port);
+  put16(f, 0);  // length: per-packet
+  put16(f, 0);  // checksum: per-packet
+  return f;
+}
+
+u32 pseudo_header_partial_sum(const FlowSpec& flow) {
+  u32 s = 0;
+  s += flow.src_ip >> 16;
+  s += flow.src_ip & 0xffff;
+  s += flow.dst_ip >> 16;
+  s += flow.dst_ip & 0xffff;
+  s += kIpProtoUdp;
+  return s;
+}
+
+std::vector<u8> build_frame(const FlowSpec& flow,
+                            std::span<const u8> payload) {
+  std::vector<u8> f = build_header_template(flow);
+  f.insert(f.end(), payload.begin(), payload.end());
+  std::span<u8> b{f};
+
+  const u16 udp_len = static_cast<u16>(kUdpHeaderBytes + payload.size());
+  const u16 ip_len = static_cast<u16>(kIpHeaderBytes + udp_len);
+  set16(b, kEthHeaderBytes + 2, ip_len);
+  set16(b, kEthHeaderBytes + kIpHeaderBytes + 4, udp_len);
+
+  // IPv4 header checksum.
+  const u16 ip_csum =
+      internet_checksum(b.subspan(kEthHeaderBytes, kIpHeaderBytes));
+  set16(b, kEthHeaderBytes + 10, ip_csum);
+
+  // UDP checksum over pseudo-header + UDP header + payload.
+  InternetChecksum c;
+  c.add_u16(static_cast<u16>(flow.src_ip >> 16));
+  c.add_u16(static_cast<u16>(flow.src_ip));
+  c.add_u16(static_cast<u16>(flow.dst_ip >> 16));
+  c.add_u16(static_cast<u16>(flow.dst_ip));
+  c.add_u16(kIpProtoUdp);
+  c.add_u16(udp_len);
+  c.add(b.subspan(kEthHeaderBytes + kIpHeaderBytes, udp_len));
+  u16 udp_csum = c.fold();
+  if (udp_csum == 0) udp_csum = 0xffff;  // RFC 768: 0 means "no checksum"
+  set16(b, kEthHeaderBytes + kIpHeaderBytes + 6, udp_csum);
+  return f;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const u8> frame) {
+  if (frame.size() < kAllHeaderBytes) return std::nullopt;
+  if (get16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+  if (frame[kEthHeaderBytes] != 0x45) return std::nullopt;  // v4, IHL 5 only
+  if (frame[kEthHeaderBytes + 9] != kIpProtoUdp) return std::nullopt;
+
+  ParsedFrame p;
+  for (int i = 0; i < 6; ++i) {
+    p.dst_mac[i] = frame[i];
+    p.src_mac[i] = frame[6 + i];
+  }
+  p.ip_total_len = get16(frame, kEthHeaderBytes + 2);
+  p.src_ip = get32(frame, kEthHeaderBytes + 12);
+  p.dst_ip = get32(frame, kEthHeaderBytes + 16);
+  p.src_port = get16(frame, kEthHeaderBytes + kIpHeaderBytes);
+  p.dst_port = get16(frame, kEthHeaderBytes + kIpHeaderBytes + 2);
+  p.udp_len = get16(frame, kEthHeaderBytes + kIpHeaderBytes + 4);
+
+  if (p.ip_total_len < kIpHeaderBytes + kUdpHeaderBytes) return std::nullopt;
+  if (p.udp_len < kUdpHeaderBytes) return std::nullopt;
+  if (u32(p.ip_total_len) != kIpHeaderBytes + u32(p.udp_len)) {
+    return std::nullopt;
+  }
+  if (frame.size() < kEthHeaderBytes + p.ip_total_len) return std::nullopt;
+
+  p.ip_checksum_ok =
+      internet_checksum(frame.subspan(kEthHeaderBytes, kIpHeaderBytes)) == 0;
+
+  const u16 udp_csum = get16(frame, kEthHeaderBytes + kIpHeaderBytes + 6);
+  p.udp_checksum_present = udp_csum != 0;
+  if (!p.udp_checksum_present) {
+    p.udp_checksum_ok = true;
+  } else {
+    InternetChecksum c;
+    c.add_u16(static_cast<u16>(p.src_ip >> 16));
+    c.add_u16(static_cast<u16>(p.src_ip));
+    c.add_u16(static_cast<u16>(p.dst_ip >> 16));
+    c.add_u16(static_cast<u16>(p.dst_ip));
+    c.add_u16(kIpProtoUdp);
+    c.add_u16(p.udp_len);
+    c.add(frame.subspan(kEthHeaderBytes + kIpHeaderBytes, p.udp_len));
+    p.udp_checksum_ok = c.fold() == 0;
+  }
+
+  p.payload = frame.subspan(kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes,
+                            p.udp_len - kUdpHeaderBytes);
+  return p;
+}
+
+}  // namespace vdbg::net

@@ -1,0 +1,75 @@
+// Ethernet/IPv4/UDP frame building and parsing.
+//
+// The guest transmits full frames (Ethernet + IPv4 + UDP + payload). The
+// host side builds the immutable header *template* that gets baked into the
+// guest image; the guest patches per-packet fields (IP total length, IP
+// checksum, UDP length, UDP checksum) in simulated code. The packet sink
+// parses and verifies frames with the same codec, so a guest-side checksum
+// bug is caught end-to-end.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg::net {
+
+inline constexpr u32 kEthHeaderBytes = 14;
+inline constexpr u32 kIpHeaderBytes = 20;
+inline constexpr u32 kUdpHeaderBytes = 8;
+inline constexpr u32 kAllHeaderBytes =
+    kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes;  // 42
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+inline constexpr u8 kIpProtoUdp = 17;
+
+using MacAddr = std::array<u8, 6>;
+
+struct FlowSpec {
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  u32 src_ip = 0;  // host byte order
+  u32 dst_ip = 0;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+};
+
+/// Builds a 42-byte header template for `flow` with zero payload length and
+/// zero checksums. The guest (or host-side helpers below) fills in the
+/// per-packet fields.
+std::vector<u8> build_header_template(const FlowSpec& flow);
+
+/// Completes a template+payload frame entirely host-side: sets lengths,
+/// computes the IPv4 header checksum and the UDP checksum (with
+/// pseudo-header). Used by tests and by the full-VMM's emulated NIC path.
+std::vector<u8> build_frame(const FlowSpec& flow, std::span<const u8> payload);
+
+/// Partial ones'-complement sum (not folded, not inverted) of the UDP
+/// pseudo-header fields that do not depend on the packet length: source and
+/// destination IP and the protocol number. The guest adds the UDP length
+/// (twice: once for the pseudo-header, once for the header field), the
+/// ports, and the payload sum, then folds. Returned unfolded.
+u32 pseudo_header_partial_sum(const FlowSpec& flow);
+
+struct ParsedFrame {
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  u32 src_ip = 0;
+  u32 dst_ip = 0;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u16 ip_total_len = 0;
+  u16 udp_len = 0;
+  bool ip_checksum_ok = false;
+  bool udp_checksum_ok = false;  // true also when checksum disabled (0)
+  bool udp_checksum_present = false;
+  std::span<const u8> payload;
+};
+
+/// Parses and validates a frame. Returns nullopt for anything structurally
+/// broken (short frame, non-IPv4, non-UDP, inconsistent lengths).
+std::optional<ParsedFrame> parse_frame(std::span<const u8> frame);
+
+}  // namespace vdbg::net

@@ -1,0 +1,48 @@
+// Cycle-cost model for monitor work (the functional/timing split: monitor
+// logic runs in C++, its simulated CPU time is charged from this table).
+//
+// Calibration notes (EXPERIMENTS.md has the derivation): a 2005-era software
+// monitor pays for a full register save/restore, a decode, and a dispatch on
+// every trap — microseconds, not nanoseconds, on a Pentium III. The headline
+// shape of Fig. 3.1 (LVMM ≈ a quarter of native) is dominated by
+// exit_base × (exits per segment); the hosted baseline adds the world-switch
+// table in fullvmm/hosted_costs.h on top.
+#pragma once
+
+#include "common/types.h"
+
+namespace vdbg::vmm {
+
+struct LvmmCosts {
+  /// Entry/exit of the monitor: trap microcode + save/restore + dispatch.
+  Cycles exit_base = 3850;
+  /// Decode + emulate one privileged instruction (CLI/STI/HLT/LIDT/CR).
+  Cycles instr_emulate = 350;
+  /// Emulated PIC/PIT register access (on top of instr_emulate).
+  Cycles device_emulate = 500;
+  /// Interrupt arrival handling: physical EOI, vPIC update, mask juggling.
+  Cycles intr_arrival = 900;
+  /// Injecting an event into the guest: gate read, frame build.
+  Cycles inject = 1800;
+  /// Emulating guest IRET: frame read, validation, state swap.
+  Cycles iret_emulate = 1800;
+  /// Shadow page-table sync after a hidden #PF (guest walk + install).
+  Cycles shadow_sync = 3500;
+  /// Write-protected guest page-table write emulation.
+  Cycles pt_write_emulate = 2200;
+  /// Reflecting a fault to the guest (on top of inject).
+  Cycles reflect_extra = 300;
+  /// Debug stub: per received/transmitted byte of RSP traffic.
+  Cycles stub_per_byte = 400;
+  /// Debug stub: per executed command (memory read, breakpoint set, ...).
+  Cycles stub_per_command = 4000;
+  /// VM-exit tracer: per recorded event (a few stores into the ring).
+  Cycles trace_per_event = 40;
+
+  static const LvmmCosts& defaults() {
+    static const LvmmCosts c{};
+    return c;
+  }
+};
+
+}  // namespace vdbg::vmm

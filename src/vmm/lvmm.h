@@ -1,0 +1,187 @@
+// The lightweight virtual machine monitor — the paper's contribution.
+//
+// The monitor installs itself as the CPU's trap hook (the simulation
+// equivalent of owning the real IDT from ring 0) and de-privileges the guest
+// kernel to ring 1. It emulates ONLY what the debugging functions need:
+//   * the interrupt controller (virtual 8259 pair; the physical PIC is the
+//     monitor's),
+//   * the timer (forwarded to the physical PIT),
+//   * privileged CPU state (CLI/STI/HLT/IRET/LIDT/CR*/INVLPG),
+//   * the page/interrupt tables (shadow paging + virtual IDT).
+// High-throughput devices — the SCSI controllers and the NIC — stay OPEN in
+// the I/O permission bitmap: the guest drives them directly, which is the
+// paper's performance argument.
+//
+// Monitor work is charged simulated cycles from LvmmCosts; all counters are
+// exposed for the benchmark harness.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "hw/machine.h"
+#include "hw/pic.h"
+#include "vmm/costs.h"
+#include "vmm/shadow_mmu.h"
+#include "vmm/trace.h"
+#include "vmm/vcpu.h"
+
+namespace vdbg::vmm {
+
+/// Debugger-facing callbacks. The RSP stub implements this; a monitor with
+/// no delegate reflects breakpoints to the guest and reports crashes only
+/// via VcpuState::crashed.
+class DebugDelegate {
+ public:
+  virtual ~DebugDelegate() = default;
+  enum class StopReason : u8 { kBreakpoint, kStep, kCrash, kWatchpoint };
+  /// True when the #BP at `pc` belongs to a debugger breakpoint (as opposed
+  /// to a BRK the guest executes on its own).
+  virtual bool owns_breakpoint(VAddr pc) = 0;
+  /// True when the stub armed a single step and wants the next #DB.
+  virtual bool wants_step() = 0;
+  /// The guest has been frozen; reason tells why.
+  virtual void on_guest_stop(StopReason reason) = 0;
+  /// A byte/interrupt arrived on the monitor's communication device.
+  virtual void on_uart_activity() = 0;
+};
+
+class Lvmm : public cpu::TrapHook {
+ public:
+  struct Config {
+    LvmmCosts costs = LvmmCosts::defaults();
+    PAddr monitor_base = 0;
+    u32 monitor_len = 0;
+    u32 guest_mem_limit = 0;
+    /// The paper's key design choice. True (default): SCSI/NIC/diag ports
+    /// are open in the I/O bitmap and the guest drives the devices
+    /// directly. False (ablation): those ports trap and the monitor relays
+    /// each access — emulation cost without the hosted VMM's host path.
+    bool device_passthrough = true;
+  };
+
+  Lvmm(hw::Machine& machine, const Config& cfg);
+  ~Lvmm() override;
+
+  /// Takes over the machine: trap hook, I/O bitmap (passthrough for
+  /// SCSI/NIC/diag, traps for PIC/PIT/UART), DMA protection of the monitor
+  /// region, physical PIC programming, identity paging, guest entry at
+  /// ring 1. Call once, after Machine::load.
+  void install();
+
+  // --- cpu::TrapHook ---
+  void on_event(cpu::Cpu& cpu, const cpu::Fault& fault) override;
+  void on_external_interrupt(cpu::Cpu& cpu, u8 vector) override;
+
+  // --- state access ---
+  VcpuState& vcpu() { return vcpu_; }
+  const VcpuState& vcpu() const { return vcpu_; }
+  ShadowMmu& shadow() { return *shadow_; }
+  const VmExitStats& exit_stats() const { return stats_; }
+  hw::Pic& vpic() { return vpic_; }
+  hw::Machine& machine() { return machine_; }
+  const Config& config() const { return cfg_; }
+
+  // --- guest memory (through the guest's own translation) ---
+  bool guest_va_to_pa(VAddr va, bool write, PAddr& pa) const;
+  bool guest_read(VAddr va, std::span<u8> out) const;
+  bool guest_write(VAddr va, std::span<const u8> in);
+  bool guest_read32(VAddr va, u32& value) const;
+  bool guest_write32(VAddr va, u32 value);
+
+  // --- debugger support ---
+  void set_debug_delegate(DebugDelegate* d) { debug_ = d; }
+  /// Freezes/unfreezes guest execution (devices and simulated time go on).
+  void freeze_guest(DebugDelegate::StopReason reason);
+  void resume_guest();
+  bool guest_frozen() const { return frozen_; }
+  /// Arms a hardware single step of the guest (physical TF).
+  void arm_single_step();
+
+  // --- data watchpoints (write), built on shadow paging ---
+  /// Watches guest-virtual [va, va+len). Requires guest paging enabled
+  /// (MiniTactix enables it at boot); returns false otherwise.
+  bool add_watchpoint(VAddr va, u32 len);
+  bool remove_watchpoint(VAddr va, u32 len);
+  struct WatchHit {
+    VAddr va = 0;   // first watched byte touched
+    u32 value = 0;  // value stored
+    unsigned size = 0;
+    u32 pc = 0;     // pc of the store (already advanced past it)
+  };
+  const WatchHit& last_watch_hit() const { return watch_hit_; }
+  std::size_t watchpoint_count() const { return watches_.size(); }
+
+  /// True while the monitor's private memory is uncorrupted (canary page).
+  bool monitor_memory_intact() const;
+
+  /// Charges monitor cycles (also used by the stub).
+  void charge(Cycles c);
+
+  /// Attaches a VM-exit tracer (enable via ExitTracer::set_enabled).
+  /// Recording charges LvmmCosts::trace_per_event per event.
+  void set_tracer(ExitTracer* tracer) { tracer_ = tracer; }
+  ExitTracer* tracer() const { return tracer_; }
+
+ protected:
+  // Trapped-port emulation; the hosted VMM subclass extends the port set.
+  virtual u32 io_emulated_read(u16 port);
+  virtual void io_emulated_write(u16 port, u32 value);
+  /// Extra arrival cost hook (hosted VMM charges the host-OS path).
+  virtual void on_device_interrupt_forwarded(unsigned irq) { (void)irq; }
+  /// I/O bitmap policy; the hosted VMM denies everything.
+  virtual void configure_io_bitmap();
+
+  cpu::Cpu& cpu() { return machine_.cpu(); }
+  cpu::CpuState& st() { return machine_.cpu().state(); }
+
+  hw::Machine& machine_;
+  Config cfg_;
+  VcpuState vcpu_;
+  VmExitStats stats_;
+
+ private:
+  void emulate_privileged(const cpu::Instr& in);
+  void emulate_io(const cpu::Instr& in, u16 port);
+  void emulate_guest_iret();
+  void handle_page_fault(const cpu::Fault& f);
+  void handle_pt_write(PAddr target_pa);
+  void handle_watch_write(const cpu::Fault& f);
+  void sync_watch_pages();
+
+  /// Injects an event through the guest's virtual IDT. `resume_pc` is the
+  /// return address pushed in the frame.
+  void inject(u8 vector, u32 errcode, u32 resume_pc, bool is_soft_int,
+              int depth = 0);
+  void reflect(const cpu::Fault& f, u32 resume_pc);
+  void try_inject();
+  void guest_crash();
+
+  bool is_device_class_port(u16 port) const;
+  void physical_pic_init();
+  void physical_pic_write(bool slave, u16 offset, u8 value);
+  void physical_eoi(unsigned irq);
+  void physical_set_mask(unsigned irq, bool masked);
+  /// vPIC port handling with physical-unmask-on-guest-EOI coupling.
+  void vpic_write(bool slave, u16 offset, u32 value);
+
+  bool fetch_guest_instr(cpu::Instr& out);
+  void trace(TraceKind kind, u8 vector, u16 detail, u32 extra);
+
+  ShadowMmu* shadow_ = nullptr;  // owned; constructed in ctor
+  hw::Pic vpic_;
+  std::set<unsigned> masked_pending_;
+  DebugDelegate* debug_ = nullptr;
+  ExitTracer* tracer_ = nullptr;
+  struct WatchRange {
+    VAddr va;
+    u32 len;
+  };
+  std::vector<WatchRange> watches_;
+  WatchHit watch_hit_{};
+  bool frozen_ = false;
+  bool installed_ = false;
+};
+
+}  // namespace vdbg::vmm

@@ -1,0 +1,96 @@
+// Remote-debugging stub embedded in the lightweight monitor.
+//
+// This is the paper's "remote debugging functions" box: it receives
+// debugging commands over the communication device (the UART the monitor
+// owns), executes them against the guest (memory/register access, software
+// breakpoints by opcode patching, single-stepping via the trap flag, run
+// control), and reports stop events — all without any cooperation from the
+// OS under debug, and surviving arbitrary guest misbehaviour.
+//
+// Wire protocol: GDB remote-serial-protocol framing ($data#xx with '+'/'-'
+// acks, 0x03 break-in) and the classic command set:
+//   ?  g  G  p  P  m  M  c  s  Z0  z0  qSupported  qAttached  k
+// plus custom queries:
+//   qVdbg.Crashed        -> "1"/"0"
+//   qVdbg.Exits          -> decimal VM-exit count
+//   qVdbg.MonitorIntact  -> "1"/"0" (canary check)
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hw/uart.h"
+#include "vmm/lvmm.h"
+
+namespace vdbg::vmm {
+
+class DebugStub final : public DebugDelegate {
+ public:
+  DebugStub(Lvmm& monitor, hw::Uart& uart);
+
+  /// Registers with the monitor and the machine, enables UART interrupts.
+  void attach();
+
+  // --- DebugDelegate ---
+  bool owns_breakpoint(VAddr pc) override;
+  bool wants_step() override;
+  void on_guest_stop(StopReason reason) override;
+  void on_uart_activity() override;
+
+  /// Drains RX, processes packets, pumps TX. Called from the monitor on
+  /// UART interrupts and from the machine loop while the guest is frozen.
+  void service();
+
+  // --- introspection for tests ---
+  bool target_stopped() const { return stopped_; }
+  std::size_t breakpoint_count() const { return breakpoints_.size(); }
+  u64 commands_executed() const { return commands_; }
+
+ private:
+  // Packet layer.
+  void rx_byte(u8 b);
+  void send_packet(const std::string& payload);
+  void send_raw(char c);
+  void pump_tx();
+
+  // Command execution.
+  void execute(const std::string& packet);
+  std::string cmd_read_registers();
+  std::string cmd_write_registers(const std::string& hex);
+  std::string cmd_read_memory(const std::string& args);
+  std::string cmd_write_memory(const std::string& args);
+  std::string cmd_breakpoint(const std::string& args, bool insert);
+  std::string cmd_query(const std::string& q);
+  void do_continue();
+  void do_step();
+  void report_stop(const std::string& reply);
+
+  bool insert_breakpoint(VAddr addr);
+  bool remove_breakpoint(VAddr addr);
+
+  Lvmm& mon_;
+  hw::Uart& uart_;
+
+  // RSP receive state machine.
+  enum class RxState { kIdle, kPayload, kCsum1, kCsum2 } rx_state_ =
+      RxState::kIdle;
+  std::string rx_buf_;
+  u8 rx_csum_ = 0;
+  char rx_csum_hi_ = 0;
+
+  std::deque<u8> tx_queue_;
+
+  /// addr -> original opcode byte replaced by BRK.
+  std::map<VAddr, u8> breakpoints_;
+
+  bool stopped_ = false;        // guest frozen by us
+  bool user_stepping_ = false;  // 's' in flight
+  /// Breakpoint being transparently stepped over during resume.
+  std::optional<VAddr> step_over_;
+
+  u64 commands_ = 0;
+};
+
+}  // namespace vdbg::vmm

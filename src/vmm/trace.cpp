@@ -1,0 +1,64 @@
+#include "vmm/trace.h"
+
+#include <cstdio>
+
+namespace vdbg::vmm {
+
+std::string_view trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPrivileged: return "priv";
+    case TraceKind::kIoRead: return "io-rd";
+    case TraceKind::kIoWrite: return "io-wr";
+    case TraceKind::kSoftInt: return "int";
+    case TraceKind::kInterrupt: return "irq";
+    case TraceKind::kInjection: return "inject";
+    case TraceKind::kReflect: return "reflect";
+    case TraceKind::kShadowSync: return "shadow";
+    case TraceKind::kPtWrite: return "pt-wr";
+    case TraceKind::kGuestCrash: return "CRASH";
+    case TraceKind::kDebugStop: return "dbg-stop";
+  }
+  return "?";
+}
+
+ExitTracer::ExitTracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void ExitTracer::record(const TraceEvent& e) {
+  if (!enabled_) return;
+  if (live_ == ring_.size()) ++overwritten_;
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+  if (live_ < ring_.size()) ++live_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> ExitTracer::snapshot() const { return tail(live_); }
+
+std::vector<TraceEvent> ExitTracer::tail(std::size_t n) const {
+  if (n > live_) n = live_;
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // next_ points one past the newest; walk back n entries.
+  std::size_t start = (next_ + ring_.size() - n) % ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void ExitTracer::clear() {
+  next_ = 0;
+  live_ = 0;
+}
+
+std::string ExitTracer::format(const TraceEvent& e) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "[%12llu] %-8s pc=%08x vec=%02x d=%04x x=%08x",
+                (unsigned long long)e.timestamp,
+                std::string(trace_kind_name(e.kind)).c_str(), e.pc, e.vector,
+                e.detail, e.extra);
+  return buf;
+}
+
+}  // namespace vdbg::vmm

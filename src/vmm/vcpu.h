@@ -1,0 +1,47 @@
+// Virtual CPU state the monitor maintains for the de-privileged guest.
+//
+// Ring compression: guest "ring 0" runs at physical ring 1, guest ring 3
+// stays at ring 3. The physical PSW.IF is owned by the monitor (always on
+// while the guest runs); the guest's view of IF/CPL/CR*/IDTR lives here.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "cpu/isa.h"
+
+namespace vdbg::vmm {
+
+struct VcpuState {
+  bool vif = true;       // guest's virtual interrupt-enable flag
+  u8 vcpl = 0;           // guest's believed privilege (0 or 3)
+  std::array<u32, cpu::kNumCrs> vcr{};  // guest CR0/CR2/CR3 + ring stacks
+  u32 vidt_base = 0;
+  u32 vidt_count = 0;
+  bool halted = false;   // guest executed HLT
+  bool crashed = false;  // guest triple-faulted; monitor still alive
+
+  bool paging_enabled() const { return vcr[cpu::kCr0] & cpu::kCr0PgBit; }
+
+  /// Physical ring implementing a virtual privilege level.
+  static u8 physical_ring(u8 vcpl) {
+    return vcpl == cpu::kRing3 ? cpu::kRing3 : cpu::kRing1;
+  }
+};
+
+/// Per-reason VM-exit counters, for tests, benches and the ablation study.
+struct VmExitStats {
+  u64 total = 0;
+  u64 privileged_instr = 0;  // CLI/STI/HLT/LIDT/CR/INVLPG/IRET
+  u64 io_emulated = 0;       // trapped IN/OUT
+  u64 interrupts = 0;        // physical interrupt arrivals
+  u64 injections = 0;        // events pushed into the guest
+  u64 shadow_syncs = 0;      // hidden page faults resolved
+  u64 pt_writes = 0;         // write-protected guest PT writes emulated
+  u64 reflected_faults = 0;  // guest-visible exceptions forwarded
+  u64 soft_ints = 0;         // guest INT n reflections (syscalls)
+  u64 unknown_ports = 0;
+  Cycles charged_cycles = 0;  // total monitor cycles billed to the CPU
+};
+
+}  // namespace vdbg::vmm

@@ -1,0 +1,150 @@
+// Assembler and instruction-encoding tests, including a property-style
+// round-trip over randomized instruction fields.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/rng.h"
+
+namespace vdbg::test {
+namespace {
+
+using namespace vasm;
+using cpu::Instr;
+using cpu::Opcode;
+using cpu::kR0;
+using cpu::kR1;
+using cpu::kR2;
+
+TEST(Encoding, RoundTripAllOpcodes) {
+  for (u32 raw = 0; raw < 256; ++raw) {
+    if (!cpu::opcode_valid(static_cast<u8>(raw))) continue;
+    Instr in{static_cast<Opcode>(raw), 3, 5, 6, 0xdeadbeef};
+    const auto bytes = in.encode();
+    const Instr back = Instr::decode(bytes.data());
+    EXPECT_EQ(back.op, in.op);
+    EXPECT_EQ(back.rd, in.rd);
+    EXPECT_EQ(back.rs1, in.rs1);
+    EXPECT_EQ(back.rs2, in.rs2);
+    EXPECT_EQ(back.imm, in.imm);
+  }
+}
+
+TEST(Encoding, RoundTripRandomizedFields) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    Instr in;
+    in.op = Opcode::kAddI;
+    in.rd = static_cast<u8>(rng.below(256));
+    in.rs1 = static_cast<u8>(rng.below(256));
+    in.rs2 = static_cast<u8>(rng.below(256));
+    in.imm = rng.next_u32();
+    const auto bytes = in.encode();
+    const Instr back = Instr::decode(bytes.data());
+    EXPECT_EQ(back.rd, in.rd);
+    EXPECT_EQ(back.rs1, in.rs1);
+    EXPECT_EQ(back.rs2, in.rs2);
+    EXPECT_EQ(back.imm, in.imm);
+  }
+}
+
+TEST(Encoding, ImmIsLittleEndian) {
+  Instr in{Opcode::kMovI, 0, 0, 0, 0x04030201};
+  const auto b = in.encode();
+  EXPECT_EQ(b[4], 0x01);
+  EXPECT_EQ(b[5], 0x02);
+  EXPECT_EQ(b[6], 0x03);
+  EXPECT_EQ(b[7], 0x04);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a(0x1000);
+  a.jmp(l("fwd"));       // forward reference
+  a.label("back");
+  a.nop();
+  a.label("fwd");
+  a.jmp(l("back"));      // backward reference
+  const auto p = a.finalize();
+  const Instr first = Instr::decode(p.bytes.data());
+  EXPECT_EQ(first.imm, p.symbol("fwd").value());
+  const Instr last = Instr::decode(p.bytes.data() + 16);
+  EXPECT_EQ(last.imm, p.symbol("back").value());
+}
+
+TEST(Assembler, RefAddendApplies) {
+  Assembler a(0x1000);
+  a.movi(kR0, l("data", 8));
+  a.label("data");
+  a.data32(1);
+  a.data32(2);
+  a.data32(3);
+  const auto p = a.finalize();
+  const Instr in = Instr::decode(p.bytes.data());
+  EXPECT_EQ(in.imm, p.symbol("data").value() + 8);
+}
+
+TEST(Assembler, DataRefEmitsResolvedWord) {
+  Assembler a(0x2000);
+  a.label("target");
+  a.nop();
+  a.data_ref(l("target"));
+  const auto p = a.finalize();
+  const u32 word = u32(p.bytes[8]) | (u32(p.bytes[9]) << 8) |
+                   (u32(p.bytes[10]) << 16) | (u32(p.bytes[11]) << 24);
+  EXPECT_EQ(word, 0x2000u);
+}
+
+TEST(Assembler, WordVarDefinesAlignedSymbol) {
+  Assembler a(0x1000);
+  a.data8(1);  // misalign on purpose
+  const u32 addr = a.word_var("counter", 77);
+  EXPECT_EQ(addr % 4, 0u);
+  const auto p = a.finalize();
+  EXPECT_EQ(p.symbol("counter").value(), addr);
+  EXPECT_EQ(p.bytes[addr - 0x1000], 77);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a(0);
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, UnresolvedLabelThrowsAtFinalize) {
+  Assembler a(0);
+  a.jmp(l("nowhere"));
+  EXPECT_THROW(a.finalize(), std::runtime_error);
+}
+
+TEST(Assembler, FinalizeTwiceThrows) {
+  Assembler a(0);
+  a.nop();
+  a.finalize();
+  EXPECT_THROW(a.finalize(), std::runtime_error);
+}
+
+TEST(Assembler, InstructionsAutoAlignAfterData) {
+  Assembler a(0x1000);
+  a.data8(0xaa);  // 1 byte of data
+  a.nop();        // must land on the next 8-byte boundary
+  const auto p = a.finalize();
+  EXPECT_EQ(p.bytes.size(), 16u);
+  EXPECT_EQ(p.bytes[8], static_cast<u8>(Opcode::kNop));
+}
+
+TEST(Program, LoadRejectsOutOfRange) {
+  Assembler a(0xfffff000);
+  a.reserve(0x2000);  // extends past 4 GiB
+  auto p = a.finalize();
+  cpu::PhysMem mem(1 << 20);
+  EXPECT_THROW(p.load(mem), std::out_of_range);
+}
+
+TEST(Program, SymbolLookupMissingReturnsNullopt) {
+  Assembler a(0);
+  a.nop();
+  const auto p = a.finalize();
+  EXPECT_FALSE(p.symbol("ghost").has_value());
+}
+
+}  // namespace
+}  // namespace vdbg::test

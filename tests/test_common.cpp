@@ -1,0 +1,259 @@
+// Unit tests for the common substrate: event queue, ring buffer, statistics,
+// Internet checksum, hex utilities, RNG determinism and unit conversions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/event_queue.h"
+#include "common/hexdump.h"
+#include "common/ring_buffer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace vdbg::test {
+namespace {
+
+// ---------------------------------------------------------------- events --
+TEST(EventQueue, FiresInDeadlineOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(30, [&](Cycles) { fired.push_back(3); });
+  q.schedule_at(10, [&](Cycles) { fired.push_back(1); });
+  q.schedule_at(20, [&](Cycles) { fired.push_back(2); });
+  EXPECT_EQ(q.run_until(25), 2);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.run_until(30), 1);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameDeadlineFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(10, [&, i](Cycles) { fired.push_back(i); });
+  }
+  q.run_until(10);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule_at(10, [&](Cycles) { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+  EXPECT_EQ(q.run_until(100), 0);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextDeadlineSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule_at(5, [](Cycles) {});
+  q.schedule_at(9, [](Cycles) {});
+  EXPECT_EQ(q.next_deadline().value(), 5u);
+  q.cancel(a);
+  EXPECT_EQ(q.next_deadline().value(), 9u);
+}
+
+TEST(EventQueue, CallbackMayRescheduleItself) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(Cycles)> tick = [&](Cycles now) {
+    if (++count < 5) q.schedule_at(now + 10, tick);
+  };
+  q.schedule_at(10, tick);
+  q.run_until(100);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, CallbackSchedulingWithinWindowFiresSamePass) {
+  EventQueue q;
+  bool inner = false;
+  q.schedule_at(10, [&](Cycles now) {
+    q.schedule_at(now + 1, [&](Cycles) { inner = true; });
+  });
+  q.run_until(20);
+  EXPECT_TRUE(inner);
+}
+
+TEST(EventQueue, CancelledCallbackDestroyed) {
+  EventQueue q;
+  auto shared = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = shared;
+  const EventId id = q.schedule_at(10, [keep = shared](Cycles) {});
+  shared.reset();
+  EXPECT_FALSE(weak.expired());  // held by the queue
+  q.cancel(id);
+  q.run_until(100);  // tombstone processed here
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(EventQueue, DeadlineObserverSeesEverySchedule) {
+  EventQueue q;
+  std::vector<Cycles> seen;
+  q.set_deadline_observer([&](Cycles d) { seen.push_back(d); });
+  q.schedule_at(50, [](Cycles) {});
+  q.schedule_at(10, [](Cycles) {});
+  // Rescheduling from inside a callback is observed too.
+  q.schedule_at(20, [&](Cycles now) {
+    q.schedule_at(now + 5, [](Cycles) {});
+  });
+  q.run_until(30);
+  EXPECT_EQ(seen, (std::vector<Cycles>{50, 10, 20, 25}));
+}
+
+// ------------------------------------------------------------------ ring --
+TEST(RingBuffer, FifoOrderAndCapacity) {
+  RingBuffer<int, 4> rb;
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rb.push(i));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rb.pop().value(), i);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, WrapsCorrectly) {
+  RingBuffer<int, 3> rb;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(rb.push(round));
+    EXPECT_EQ(rb.pop().value(), round);
+  }
+}
+
+TEST(RingBuffer, PeekDoesNotConsume) {
+  RingBuffer<int, 2> rb;
+  rb.push(7);
+  EXPECT_EQ(rb.peek().value(), 7);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.pop().value(), 7);
+}
+
+// ----------------------------------------------------------------- stats --
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(double(i));
+  EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+  // Adding after a query re-sorts.
+  h.add(1000.0);
+  EXPECT_NEAR(h.percentile(100), 1000.0, 1e-9);
+}
+
+// -------------------------------------------------------------- checksum --
+TEST(Checksum, Rfc1071KnownVector) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const u8 data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, VerifiesToZeroWithChecksumIncluded) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u8> data(2 * rng.between(4, 64));
+    for (auto& b : data) b = static_cast<u8>(rng.next_u32());
+    const u16 c = internet_checksum(data);
+    // Append the checksum and verify the ones'-complement property.
+    data.push_back(static_cast<u8>(c >> 8));
+    data.push_back(static_cast<u8>(c));
+    EXPECT_EQ(internet_checksum(data), 0u) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const u8 odd[] = {0xab};
+  const u8 even[] = {0xab, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  Rng rng(9);
+  std::vector<u8> data(128);
+  for (auto& b : data) b = static_cast<u8>(rng.next_u32());
+  InternetChecksum inc;
+  inc.add(std::span<const u8>(data).subspan(0, 50));
+  inc.add(std::span<const u8>(data).subspan(50));
+  EXPECT_EQ(inc.fold(), internet_checksum(data));
+}
+
+// ------------------------------------------------------------------- hex --
+TEST(Hex, RoundTripRandom) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<u8> data(rng.between(0, 64));
+    for (auto& b : data) b = static_cast<u8>(rng.next_u32());
+    const auto s = to_hex(data);
+    const auto back = from_hex(s);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
+  EXPECT_TRUE(from_hex("").has_value());       // empty ok
+}
+
+TEST(Hex, DumpFormatsOffsetsAndAscii) {
+  std::vector<u8> data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<u8>('A' + i));
+  const std::string dump = hexdump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("ABCDEFGH"), std::string::npos);
+  EXPECT_NE(dump.find("00001010"), std::string::npos);  // second line
+}
+
+// ------------------------------------------------------------------- rng --
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(1234), b(1234), c(999);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const u64 v = r.between(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ----------------------------------------------------------------- units --
+TEST(Units, CycleTimeRoundTrip) {
+  EXPECT_EQ(seconds_to_cycles(1.0), Cycles{1260000000});
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1260000000), 1.0);
+  // 1 Gbps for 1 second = 125 MB moved.
+  EXPECT_NEAR(bytes_per_cycles_to_mbps(125'000'000, seconds_to_cycles(1.0)),
+              1000.0, 1e-6);
+  EXPECT_EQ(transfer_cycles(126, 126e6), Cycles{1260});
+}
+
+}  // namespace
+}  // namespace vdbg::test

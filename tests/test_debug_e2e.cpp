@@ -1,0 +1,217 @@
+// End-to-end remote-debugging tests: host debugger <-> serial link <->
+// monitor stub <-> guest, while the guest streams I/O — the paper's core
+// use case (debug an OS *without* stopping its high-throughput I/O from
+// working, and survive its crashes).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/units.h"
+#include "debug/remote_debugger.h"
+#include "guest/layout.h"
+#include "guest/minitactix.h"
+#include "harness/platform.h"
+#include "vmm/stub.h"
+
+namespace vdbg::test {
+namespace {
+
+using debug::RemoteDebugger;
+using guest::RunConfig;
+using harness::Platform;
+using harness::PlatformKind;
+using StopKind = RemoteDebugger::StopKind;
+
+struct DebugRig {
+  explicit DebugRig(RunConfig rc = RunConfig()) {
+    platform = std::make_unique<Platform>(PlatformKind::kLvmm);
+    platform->prepare(rc);
+    stub = std::make_unique<vmm::DebugStub>(*platform->monitor(),
+                                            platform->machine().uart());
+    stub->attach();
+    dbg = std::make_unique<RemoteDebugger>(platform->machine());
+    dbg->add_symbols(platform->image().kernel);
+    dbg->add_symbols(platform->image().app);
+  }
+
+  std::unique_ptr<Platform> platform;
+  std::unique_ptr<vmm::DebugStub> stub;
+  std::unique_ptr<RemoteDebugger> dbg;
+};
+
+TEST(DebugSession, ConnectInterruptInspectResume) {
+  DebugRig rig(RunConfig::for_rate_mbps(40.0));
+  ASSERT_TRUE(rig.dbg->connect());
+
+  // Let the guest boot and stream a little.
+  rig.platform->machine().run_for(seconds_to_cycles(0.03));
+  ASSERT_EQ(rig.platform->mailbox().magic, guest::Mailbox::kMagicValue);
+
+  // Break in asynchronously.
+  EXPECT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+  EXPECT_TRUE(rig.stub->target_stopped());
+
+  const auto regs = rig.dbg->read_registers();
+  ASSERT_TRUE(regs.has_value());
+  EXPECT_NE(regs->pc, 0u);
+
+  // While frozen, guest counters must not advance (CPU stopped) ...
+  const auto before = rig.platform->mailbox();
+  rig.platform->machine().run_for(seconds_to_cycles(0.01));
+  const auto after = rig.platform->mailbox();
+  EXPECT_EQ(before.segments_sent, after.segments_sent);
+
+  // ... and resuming picks the stream back up.
+  EXPECT_EQ(rig.dbg->continue_and_wait(seconds_to_cycles(0.001)),
+            StopKind::kTimeout);  // no stop event: it simply runs
+  rig.platform->machine().run_for(seconds_to_cycles(0.03));
+  EXPECT_GT(rig.platform->mailbox().segments_sent, after.segments_sent);
+}
+
+TEST(DebugSession, BreakpointInNicDriverHitsDuringStreaming) {
+  DebugRig rig(RunConfig::for_rate_mbps(40.0));
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.03));
+
+  const auto isr_nic = rig.dbg->lookup("isr_nic");
+  ASSERT_TRUE(isr_nic.has_value());
+  ASSERT_TRUE(rig.dbg->set_breakpoint(*isr_nic));
+
+  // The NIC completes a frame within a few ms at 40 Mbps.
+  const auto stop = rig.dbg->continue_and_wait(seconds_to_cycles(0.05));
+  // 'c' while running is a no-op command, so the stop arrives as a packet.
+  ASSERT_EQ(stop, StopKind::kBreak);
+  const auto regs = rig.dbg->read_registers();
+  ASSERT_TRUE(regs.has_value());
+  EXPECT_EQ(regs->pc, *isr_nic);
+  EXPECT_EQ(rig.dbg->describe(regs->pc), "isr_nic");
+
+  // Hit it again: transparent step-over must re-arm the breakpoint.
+  ASSERT_EQ(rig.dbg->continue_and_wait(seconds_to_cycles(0.05)),
+            StopKind::kBreak);
+  EXPECT_EQ(rig.dbg->read_registers()->pc, *isr_nic);
+
+  // Remove it and stream on cleanly.
+  ASSERT_TRUE(rig.dbg->clear_breakpoint(*isr_nic));
+  EXPECT_EQ(rig.dbg->continue_and_wait(seconds_to_cycles(0.002)),
+            StopKind::kTimeout);
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+  EXPECT_EQ(rig.platform->sink().sequence_gaps(), 0u);
+  EXPECT_EQ(rig.platform->sink().checksum_errors(), 0u);
+  EXPECT_EQ(rig.platform->mailbox().last_error, 0u);
+}
+
+TEST(DebugSession, SingleStepAdvancesOneInstruction) {
+  DebugRig rig(RunConfig::for_rate_mbps(40.0));
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.03));
+  ASSERT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+
+  const auto before = rig.dbg->read_registers();
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(rig.dbg->step(), StopKind::kBreak);
+  const auto after = rig.dbg->read_registers();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after->pc, before->pc);
+}
+
+TEST(DebugSession, MemoryReadWriteRoundTripAndDisassembly) {
+  DebugRig rig;
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+  ASSERT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+
+  const u32 scratch = 0x00700000;  // free guest RAM
+  std::vector<u8> pattern(64);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<u8>(i * 7 + 1);
+  }
+  ASSERT_TRUE(rig.dbg->write_memory(scratch, pattern));
+  const auto back = rig.dbg->read_memory(scratch, 64);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pattern);
+
+  // Disassemble the guest entry: first instruction sets up the stack.
+  const auto entry = rig.dbg->lookup("entry");
+  ASSERT_TRUE(entry.has_value());
+  const auto lines = rig.dbg->disassemble(*entry, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("movi sp"), std::string::npos);
+}
+
+TEST(DebugSession, BreakpointSitesReadBackOriginalBytes) {
+  DebugRig rig(RunConfig::for_rate_mbps(40.0));
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+
+  const auto isr = rig.dbg->lookup("isr_timer").value();
+  const auto orig = rig.dbg->read_memory(isr, 8).value();
+  ASSERT_TRUE(rig.dbg->set_breakpoint(isr));
+  // Raw guest memory now holds BRK...
+  u8 raw = 0;
+  rig.platform->monitor()->guest_read(isr, {&raw, 1});
+  EXPECT_EQ(raw, static_cast<u8>(cpu::Opcode::kBrk));
+  // ...but the debugger's view is transparent.
+  EXPECT_EQ(rig.dbg->read_memory(isr, 8).value(), orig);
+  ASSERT_TRUE(rig.dbg->clear_breakpoint(isr));
+  rig.platform->monitor()->guest_read(isr, {&raw, 1});
+  EXPECT_EQ(raw, orig[0]);
+}
+
+TEST(DebugSession, RegisterWritesTakeEffect) {
+  DebugRig rig;
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+  ASSERT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+  ASSERT_TRUE(rig.dbg->write_register(3, 0xfeedface));
+  EXPECT_EQ(rig.dbg->read_registers()->r[3], 0xfeedfaceu);
+}
+
+TEST(DebugSession, GuestCrashIsReportedAndPostMortemWorks) {
+  DebugRig rig;
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.01));
+
+  // Destroy the guest IDT -> next injection virtually triple-faults.
+  const auto idt = rig.platform->image().kernel.symbol("idt").value();
+  for (u32 i = 0; i < guest::kIdtEntries * 8; i += 4) {
+    rig.platform->machine().mem().write32(idt + i, 0);
+  }
+  rig.platform->machine().run_for(seconds_to_cycles(0.01));
+  ASSERT_TRUE(rig.platform->monitor()->vcpu().crashed);
+
+  // The stub (and the whole debug environment) is still operational:
+  EXPECT_TRUE(rig.dbg->target_crashed());
+  EXPECT_TRUE(rig.dbg->monitor_intact());
+  // Post-mortem inspection of the dead guest works.
+  const auto regs = rig.dbg->read_registers();
+  ASSERT_TRUE(regs.has_value());
+  const auto mb = rig.dbg->read_memory(guest::kMailboxBase, 16);
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_EQ((*mb)[0], 'i');  // "Mini" magic, little-endian
+}
+
+TEST(DebugSession, StreamSurvivesRepeatedBreakInsWithIntegrity) {
+  RunConfig rc = RunConfig::for_rate_mbps(40.0);
+  rc.stop_after_segments = 200;
+  DebugRig rig(rc);
+  rig.platform->sink().set_payload_validator(guest::make_stream_validator(rc));
+  ASSERT_TRUE(rig.dbg->connect());
+
+  for (int i = 0; i < 5; ++i) {
+    rig.platform->machine().run_for(seconds_to_cycles(0.01));
+    if (rig.platform->machine().guest_exit_code()) break;
+    if (rig.dbg->interrupt() != StopKind::kBreak) break;
+    rig.dbg->continue_and_wait(seconds_to_cycles(0.0005));
+  }
+  rig.platform->machine().run_until_stopped(seconds_to_cycles(2.0));
+  rig.platform->machine().clear_guest_exit();
+  rig.platform->machine().run_for(seconds_to_cycles(0.002));
+
+  EXPECT_GE(rig.platform->sink().frames(), 200u);
+  EXPECT_EQ(rig.platform->sink().sequence_gaps(), 0u);
+  EXPECT_EQ(rig.platform->sink().content_errors(), 0u);
+  EXPECT_EQ(rig.platform->sink().checksum_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace vdbg::test

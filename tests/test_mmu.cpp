@@ -1,0 +1,208 @@
+// MMU unit tests: the full permission matrix (ring x U x W x access type),
+// A/D bit maintenance, TLB caching and invalidation, and fault error codes.
+#include <gtest/gtest.h>
+
+#include "cpu/mmu.h"
+
+namespace vdbg::test {
+namespace {
+
+using cpu::Access;
+using cpu::CpuState;
+using cpu::Mmu;
+using cpu::PfErr;
+using cpu::PhysMem;
+using cpu::Pte;
+
+struct MmuRig {
+  MmuRig() : mem(8 * 1024 * 1024), mmu(mem, cpu::CostModel::pentium3()) {
+    st.cr[cpu::kCr3] = kPd;
+    st.cr[cpu::kCr0] = cpu::kCr0PgBit;
+    // One table mapping the first 4 MiB; entries filled per test.
+    mem.write32(kPd, Pte::make(kPt, true, true));
+  }
+
+  void map(u32 page, PAddr frame, bool w, bool u) {
+    mem.write32(kPt + page * 4, Pte::make(frame, w, u));
+  }
+  u32 pte(u32 page) const { return mem.read32(kPt + page * 4); }
+
+  static constexpr PAddr kPd = 0x100000;
+  static constexpr PAddr kPt = 0x101000;
+  PhysMem mem;
+  Mmu mmu;
+  CpuState st;
+};
+
+struct PermCase {
+  bool pte_w, pte_u;
+  u8 cpl;
+  Access access;
+  bool allowed;
+};
+
+class PermissionMatrix : public ::testing::TestWithParam<PermCase> {};
+
+TEST_P(PermissionMatrix, EnforcesUserAndWriteBits) {
+  const auto& tc = GetParam();
+  MmuRig rig;
+  rig.map(5, 0x5000, tc.pte_w, tc.pte_u);
+  const auto r =
+      rig.mmu.translate(rig.st, 0x5000 | 0x123, tc.access, tc.cpl);
+  EXPECT_EQ(r.ok, tc.allowed);
+  if (r.ok) {
+    EXPECT_EQ(r.pa, 0x5123u);
+  } else {
+    EXPECT_EQ(r.fault.vector, u32{cpu::kVecPf});
+    EXPECT_TRUE(r.fault.errcode & PfErr::kPresent);  // protection, present
+    EXPECT_EQ(bool(r.fault.errcode & PfErr::kWrite),
+              tc.access == Access::kWrite);
+    EXPECT_EQ(bool(r.fault.errcode & PfErr::kUser), tc.cpl == cpu::kRing3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RingUWMatrix, PermissionMatrix,
+    ::testing::Values(
+        // supervisor (ring0/1): U bit irrelevant, W enforced
+        PermCase{true, false, 0, Access::kRead, true},
+        PermCase{true, false, 0, Access::kWrite, true},
+        PermCase{false, false, 0, Access::kWrite, false},
+        PermCase{false, false, 0, Access::kRead, true},
+        PermCase{true, false, 1, Access::kWrite, true},
+        PermCase{false, true, 1, Access::kWrite, false},
+        PermCase{true, true, 1, Access::kExec, true},
+        // user (ring3): needs U; W enforced
+        PermCase{true, true, 3, Access::kRead, true},
+        PermCase{true, true, 3, Access::kWrite, true},
+        PermCase{true, false, 3, Access::kRead, false},
+        PermCase{true, false, 3, Access::kExec, false},
+        PermCase{false, true, 3, Access::kWrite, false},
+        PermCase{false, true, 3, Access::kRead, true}));
+
+TEST(Mmu, NotPresentFaultHasPresentBitClear) {
+  MmuRig rig;  // page 9 never mapped
+  const auto r = rig.mmu.translate(rig.st, 0x9000, Access::kRead, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.fault.errcode & PfErr::kPresent);
+  EXPECT_EQ(r.fault.cr2, 0x9000u);
+}
+
+TEST(Mmu, NotPresentDirectoryFaults) {
+  MmuRig rig;
+  const auto r = rig.mmu.translate(rig.st, 0x40000000, Access::kRead, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.fault.errcode & PfErr::kPresent);
+}
+
+TEST(Mmu, DirectoryPermissionsCombineWithPte) {
+  MmuRig rig;
+  // Directory entry read-only: even a writable PTE must not grant writes.
+  rig.mem.write32(MmuRig::kPd, Pte::make(MmuRig::kPt, false, true));
+  rig.map(5, 0x5000, true, true);
+  EXPECT_FALSE(rig.mmu.translate(rig.st, 0x5000, Access::kWrite, 0).ok);
+  EXPECT_TRUE(rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0).ok);
+}
+
+TEST(Mmu, SetsAccessedAndDirtyBits) {
+  MmuRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_TRUE(rig.pte(5) & Pte::kA);
+  EXPECT_FALSE(rig.pte(5) & Pte::kD);
+  rig.mmu.translate(rig.st, 0x5000, Access::kWrite, 0);
+  EXPECT_TRUE(rig.pte(5) & Pte::kD);
+}
+
+TEST(Mmu, DirtySetOnTlbHitWrite) {
+  MmuRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);   // fill TLB
+  ASSERT_FALSE(rig.pte(5) & Pte::kD);
+  const auto r = rig.mmu.translate(rig.st, 0x5000, Access::kWrite, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.tlb_hit);
+  EXPECT_TRUE(rig.pte(5) & Pte::kD);  // D set without a fresh walk
+}
+
+TEST(Mmu, TlbCachesStaleTranslationUntilInvlpg) {
+  MmuRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  // Change the PTE behind the TLB's back.
+  rig.map(5, 0x7000, true, false);
+  auto r = rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_EQ(r.pa, 0x5000u);  // stale mapping served from the TLB
+  rig.mmu.invlpg(0x5000);
+  r = rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_EQ(r.pa, 0x7000u);  // fresh walk after invalidation
+}
+
+TEST(Mmu, FlushTlbDropsEverything) {
+  MmuRig rig;
+  rig.map(1, 0x1000, true, false);
+  rig.map(2, 0x2000, true, false);
+  rig.mmu.translate(rig.st, 0x1000, Access::kRead, 0);
+  rig.mmu.translate(rig.st, 0x2000, Access::kRead, 0);
+  rig.map(1, 0x3000, true, false);
+  rig.map(2, 0x4000, true, false);
+  rig.mmu.flush_tlb();
+  EXPECT_EQ(rig.mmu.translate(rig.st, 0x1000, Access::kRead, 0).pa, 0x3000u);
+  EXPECT_EQ(rig.mmu.translate(rig.st, 0x2000, Access::kRead, 0).pa, 0x4000u);
+}
+
+TEST(Mmu, ProbeHasNoSideEffects) {
+  MmuRig rig;
+  rig.map(5, 0x5000, true, false);
+  const u64 misses_before = rig.mmu.tlb_misses();
+  const auto r = rig.mmu.probe(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(rig.pte(5) & Pte::kA);  // no A bit
+  EXPECT_EQ(rig.mmu.tlb_misses(), misses_before);  // no TLB traffic
+}
+
+TEST(Mmu, PagingDisabledIsIdentity) {
+  MmuRig rig;
+  rig.st.cr[cpu::kCr0] = 0;
+  const auto r = rig.mmu.translate(rig.st, 0x123456, Access::kWrite, 3);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.pa, 0x123456u);
+}
+
+TEST(Mmu, PagingDisabledOutOfRangeIsGp) {
+  MmuRig rig;
+  rig.st.cr[cpu::kCr0] = 0;
+  const auto r = rig.mmu.translate(rig.st, 0x40000000, Access::kRead, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.vector, u32{cpu::kVecGp});
+}
+
+TEST(Mmu, MappedFrameBeyondRamFaults) {
+  MmuRig rig;
+  rig.map(5, 0x7ff0000, true, false);  // beyond the 8 MiB PhysMem
+  const auto r = rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Mmu, TlbMissCostCharged) {
+  MmuRig rig;
+  rig.map(5, 0x5000, true, false);
+  const auto miss = rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_GT(miss.cost, 0u);
+  const auto hit = rig.mmu.translate(rig.st, 0x5000, Access::kRead, 0);
+  EXPECT_EQ(hit.cost, 0u);
+  EXPECT_TRUE(hit.tlb_hit);
+}
+
+TEST(Mmu, HitAndMissCountersTrack) {
+  MmuRig rig;
+  rig.map(1, 0x1000, true, false);
+  rig.mmu.translate(rig.st, 0x1000, Access::kRead, 0);
+  rig.mmu.translate(rig.st, 0x1000, Access::kRead, 0);
+  rig.mmu.translate(rig.st, 0x1004, Access::kRead, 0);
+  EXPECT_EQ(rig.mmu.tlb_misses(), 1u);
+  EXPECT_EQ(rig.mmu.tlb_hits(), 2u);
+}
+
+}  // namespace
+}  // namespace vdbg::test

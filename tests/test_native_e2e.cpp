@@ -1,0 +1,197 @@
+// End-to-end tests of MiniTactix running directly on the simulated hardware
+// (the paper's "real hardware" platform): boot, interrupt plumbing, the
+// disk -> copy -> checksum -> NIC pipeline, pacing, and fault handling.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/units.h"
+#include "guest/layout.h"
+#include "guest/minitactix.h"
+#include "hw/machine.h"
+#include "net/packet_sink.h"
+
+namespace vdbg::test {
+namespace {
+
+using guest::Mailbox;
+using guest::RunConfig;
+using hw::Machine;
+
+struct NativeRig {
+  explicit NativeRig(RunConfig rc = RunConfig()) {
+    machine = std::make_unique<Machine>(hw::MachineConfig{});
+    image = guest::build_minitactix();
+    machine->load(image.kernel);
+    image.app.load(machine->mem());
+    machine->cpu().state().pc = *image.kernel.symbol("entry");
+    guest::write_run_config(machine->mem(), rc);
+    machine->nic().set_wire_sink(
+        [this](std::span<const u8> f, Cycles now) { sink.on_frame(f, now); });
+  }
+
+  std::unique_ptr<Machine> machine;
+  guest::GuestImage image;
+  net::PacketSink sink;
+};
+
+TEST(NativeBoot, ReachesMagicAndTicks) {
+  NativeRig rig;
+  rig.machine->run_for(seconds_to_cycles(0.02));
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_EQ(mb.magic, Mailbox::kMagicValue);
+  EXPECT_GE(mb.ticks, 15u);  // ~20 ms of 1 kHz ticks
+  EXPECT_LE(mb.ticks, 25u);
+  EXPECT_EQ(mb.last_error, 0u);
+  EXPECT_GE(mb.disk_reads, 3u);  // initial chunk prefetches completed
+}
+
+TEST(NativeBoot, PitTickRateIsOneKilohertz) {
+  NativeRig rig;
+  rig.machine->run_for(seconds_to_cycles(0.1));
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_NEAR(double(mb.ticks), 100.0, 5.0);
+}
+
+TEST(NativeTransfer, SegmentsArriveInOrderWithValidChecksums) {
+  RunConfig rc = RunConfig::for_rate_mbps(100.0);
+  rc.stop_after_segments = 64;
+  NativeRig rig(rc);
+  rig.sink.set_payload_validator(guest::make_stream_validator(rc));
+
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(2.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  EXPECT_EQ(rig.machine->guest_exit_code().value_or(0), guest::kExitDone);
+
+  // Let in-flight frames drain off the wire.
+  rig.machine->clear_guest_exit();
+  rig.machine->run_for(seconds_to_cycles(0.001));
+
+  EXPECT_GE(rig.sink.frames(), 64u);
+  EXPECT_EQ(rig.sink.parse_errors(), 0u);
+  EXPECT_EQ(rig.sink.checksum_errors(), 0u);
+  EXPECT_EQ(rig.sink.sequence_gaps(), 0u);
+  EXPECT_EQ(rig.sink.out_of_order(), 0u);
+  EXPECT_EQ(rig.sink.content_errors(), 0u);
+
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_EQ(mb.last_error, 0u);
+  EXPECT_GE(mb.segments_sent, 64u);
+}
+
+TEST(NativeTransfer, CrossesChunkBoundariesWithIntegrity) {
+  RunConfig rc = RunConfig::for_rate_mbps(400.0);
+  rc.chunk_bytes = 64 * 1024;  // small chunks force refills across all disks
+  rc.stop_after_segments = 400;  // > 6 chunks of 64 segments
+  NativeRig rig(rc);
+  rig.sink.set_payload_validator(guest::make_stream_validator(rc));
+
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(2.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  EXPECT_EQ(rig.sink.content_errors(), 0u);
+  EXPECT_EQ(rig.sink.checksum_errors(), 0u);
+  EXPECT_EQ(rig.sink.sequence_gaps(), 0u);
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_GE(mb.disk_reads, 6u);  // refills happened
+  EXPECT_EQ(mb.last_error, 0u);
+}
+
+TEST(NativeTransfer, PacingApproximatesTargetRate) {
+  RunConfig rc = RunConfig::for_rate_mbps(80.0);
+  NativeRig rig(rc);
+  // Warm up 20 ms, then measure 50 ms.
+  rig.machine->run_for(seconds_to_cycles(0.02));
+  rig.sink.begin_window(rig.machine->now());
+  rig.machine->run_for(seconds_to_cycles(0.05));
+  const double rate = rig.sink.window_goodput_mbps(rig.machine->now());
+  EXPECT_NEAR(rate, 80.0, 12.0);
+}
+
+TEST(NativeTransfer, CpuLoadGrowsWithRate) {
+  auto measure = [](double mbps) {
+    RunConfig rc = RunConfig::for_rate_mbps(mbps);
+    NativeRig rig(rc);
+    rig.machine->run_for(seconds_to_cycles(0.02));
+    const auto probe = rig.machine->begin_load_probe();
+    rig.machine->run_for(seconds_to_cycles(0.05));
+    return rig.machine->cpu_load(probe);
+  };
+  const double low = measure(50.0);
+  const double high = measure(400.0);
+  EXPECT_GT(high, low * 2.0);
+  EXPECT_GT(low, 0.0);
+  EXPECT_LT(high, 1.01);
+}
+
+TEST(NativeTransfer, ChecksumOffloadFlagProducesValidFramesToo) {
+  RunConfig rc = RunConfig::for_rate_mbps(100.0);
+  rc.run_flags = Mailbox::kFlagOffloadChecksum;
+  rc.stop_after_segments = 16;
+  NativeRig rig(rc);
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(2.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  rig.machine->clear_guest_exit();
+  rig.machine->run_for(seconds_to_cycles(0.001));
+  EXPECT_GE(rig.sink.frames(), 16u);
+  EXPECT_EQ(rig.sink.checksum_errors(), 0u);  // NIC computed them
+}
+
+TEST(NativeFault, UserBreakpointEscalatesToGuestPanic) {
+  NativeRig rig;
+  // Plant a BRK at the app entry: #BP has a ring-0 gate (panic path).
+  vasm::Assembler a(guest::kAppBase);
+  a.brk();
+  a.finalize().load(rig.machine->mem());
+
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(1.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  EXPECT_EQ(rig.machine->guest_exit_code().value_or(0), guest::kExitPanic);
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_EQ(mb.last_error, 3u);  // #BP vector recorded
+  EXPECT_EQ(mb.panic_pc, guest::kAppBase);
+}
+
+TEST(NativeFault, NullDereferenceIsCaughtByGuardPage) {
+  NativeRig rig;
+  // App immediately loads from address 0 -> #PF -> panic handler.
+  vasm::Assembler a(guest::kAppBase);
+  a.movi(cpu::kR1, u32{0});
+  a.ld32(cpu::kR0, cpu::kR1, 0);
+  a.finalize().load(rig.machine->mem());
+
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(1.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_EQ(mb.last_error, u32{cpu::kVecPf});
+}
+
+TEST(NativeFault, UserCannotTouchKernelText) {
+  NativeRig rig;
+  // App writes into the kernel image (supervisor page) -> #PF -> panic.
+  vasm::Assembler a(guest::kAppBase);
+  a.movi(cpu::kR1, u32{guest::kKernelBase});
+  a.movi(cpu::kR0, u32{0xbad});
+  a.st32(cpu::kR1, 0, cpu::kR0);
+  a.finalize().load(rig.machine->mem());
+
+  const auto stop = rig.machine->run_until_stopped(seconds_to_cycles(1.0));
+  EXPECT_EQ(stop, Machine::StopReason::kGuestExit);
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_EQ(mb.last_error, u32{cpu::kVecPf});
+  EXPECT_EQ(rig.machine->mem().read32(guest::kKernelBase) == 0xbadu, false);
+}
+
+TEST(NativeIdle, ZeroRateMachineIsMostlyIdle) {
+  RunConfig rc;  // rate 0: app never has tokens
+  NativeRig rig(rc);
+  rig.machine->run_for(seconds_to_cycles(0.02));
+  const auto probe = rig.machine->begin_load_probe();
+  rig.machine->run_for(seconds_to_cycles(0.05));
+  const double load = rig.machine->cpu_load(probe);
+  EXPECT_LT(load, 0.05);
+  const auto mb = guest::read_mailbox(rig.machine->mem());
+  EXPECT_GT(mb.heartbeat, 0u);  // app is alive, just waiting
+  EXPECT_EQ(mb.segments_sent, 0u);
+}
+
+}  // namespace
+}  // namespace vdbg::test

@@ -1,0 +1,225 @@
+// UDP/IPv4 codec and packet-sink tests, including random round-trip
+// properties and corruption detection.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/packet_sink.h"
+#include "net/udp.h"
+
+namespace vdbg::test {
+namespace {
+
+using namespace net;
+
+FlowSpec flow() {
+  FlowSpec f;
+  f.src_mac = {0x02, 1, 2, 3, 4, 5};
+  f.dst_mac = {0x02, 9, 8, 7, 6, 5};
+  f.src_ip = 0xc0a80102;  // 192.168.1.2
+  f.dst_ip = 0xc0a80101;
+  f.src_port = 5004;
+  f.dst_port = 6000;
+  return f;
+}
+
+TEST(UdpCodec, BuildParseRoundTrip) {
+  std::vector<u8> payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(static_cast<u8>(i));
+  const auto frame = build_frame(flow(), payload);
+  EXPECT_EQ(frame.size(), kAllHeaderBytes + payload.size());
+
+  const auto p = parse_frame(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->src_ip, flow().src_ip);
+  EXPECT_EQ(p->dst_ip, flow().dst_ip);
+  EXPECT_EQ(p->src_port, flow().src_port);
+  EXPECT_EQ(p->dst_port, flow().dst_port);
+  EXPECT_EQ(p->src_mac, flow().src_mac);
+  EXPECT_TRUE(p->ip_checksum_ok);
+  EXPECT_TRUE(p->udp_checksum_ok);
+  EXPECT_TRUE(p->udp_checksum_present);
+  ASSERT_EQ(p->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), p->payload.begin()));
+}
+
+TEST(UdpCodec, RandomPayloadProperty) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<u8> payload(rng.between(0, 1472));
+    for (auto& b : payload) b = static_cast<u8>(rng.next_u32());
+    const auto frame = build_frame(flow(), payload);
+    const auto p = parse_frame(frame);
+    ASSERT_TRUE(p.has_value()) << "trial " << trial;
+    EXPECT_TRUE(p->ip_checksum_ok);
+    EXPECT_TRUE(p->udp_checksum_ok);
+    EXPECT_EQ(p->payload.size(), payload.size());
+  }
+}
+
+TEST(UdpCodec, PayloadCorruptionBreaksUdpChecksumOnly) {
+  std::vector<u8> payload(200, 0x42);
+  auto frame = build_frame(flow(), payload);
+  frame[kAllHeaderBytes + 50] ^= 0x01;
+  const auto p = parse_frame(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->ip_checksum_ok);
+  EXPECT_FALSE(p->udp_checksum_ok);
+}
+
+TEST(UdpCodec, HeaderCorruptionBreaksIpChecksum) {
+  auto frame = build_frame(flow(), std::vector<u8>(16, 1));
+  frame[kEthHeaderBytes + 8] ^= 0xff;  // TTL
+  const auto p = parse_frame(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->ip_checksum_ok);
+}
+
+TEST(UdpCodec, ZeroChecksumMeansUnchecked) {
+  auto frame = build_frame(flow(), std::vector<u8>(16, 1));
+  frame[kEthHeaderBytes + kIpHeaderBytes + 6] = 0;
+  frame[kEthHeaderBytes + kIpHeaderBytes + 7] = 0;
+  const auto p = parse_frame(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->udp_checksum_present);
+  EXPECT_TRUE(p->udp_checksum_ok);
+}
+
+TEST(UdpCodec, RejectsStructurallyBrokenFrames) {
+  EXPECT_FALSE(parse_frame(std::vector<u8>(10)).has_value());  // short
+  auto frame = build_frame(flow(), std::vector<u8>(16, 1));
+  auto bad_ethertype = frame;
+  bad_ethertype[12] = 0x86;  // not IPv4
+  EXPECT_FALSE(parse_frame(bad_ethertype).has_value());
+  auto bad_proto = frame;
+  bad_proto[kEthHeaderBytes + 9] = 6;  // TCP
+  EXPECT_FALSE(parse_frame(bad_proto).has_value());
+  auto truncated = frame;
+  truncated.resize(frame.size() - 4);  // shorter than ip_total_len
+  EXPECT_FALSE(parse_frame(truncated).has_value());
+  auto bad_len = frame;
+  bad_len[kEthHeaderBytes + 2] = 0;  // ip_total_len < headers
+  bad_len[kEthHeaderBytes + 3] = 10;
+  EXPECT_FALSE(parse_frame(bad_len).has_value());
+}
+
+TEST(UdpCodec, TemplateMatchesBuildFrameHeaders) {
+  const auto tmpl = build_header_template(flow());
+  const auto frame = build_frame(flow(), std::vector<u8>(32, 7));
+  ASSERT_EQ(tmpl.size(), kAllHeaderBytes);
+  // Everything except the per-packet fields (lengths, checksums) matches.
+  for (u32 i = 0; i < kAllHeaderBytes; ++i) {
+    const bool per_packet =
+        (i >= 16 && i <= 17) ||  // ip total length
+        (i >= 24 && i <= 25) ||  // ip checksum
+        (i >= 38 && i <= 41);    // udp length + checksum
+    if (!per_packet) {
+      EXPECT_EQ(tmpl[i], frame[i]) << "offset " << i;
+    }
+  }
+}
+
+TEST(UdpCodec, PseudoHeaderPartialSumConsistent) {
+  // fold(partial + udp_len terms + header/payload sum) must equal the
+  // checksum build_frame computes; verify via the verification property.
+  const auto frame = build_frame(flow(), std::vector<u8>(64, 0x5a));
+  const auto p = parse_frame(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->udp_checksum_ok);
+  EXPECT_GT(pseudo_header_partial_sum(flow()), 0u);
+}
+
+// -------------------------------------------------------------- sink -----
+struct SinkRig {
+  SinkRig() { f = flow(); }
+  std::vector<u8> seq_frame(u32 seq, u32 body_bytes = 32) {
+    std::vector<u8> payload(4 + body_bytes, 0xcd);
+    payload[0] = static_cast<u8>(seq);
+    payload[1] = static_cast<u8>(seq >> 8);
+    payload[2] = static_cast<u8>(seq >> 16);
+    payload[3] = static_cast<u8>(seq >> 24);
+    return build_frame(f, payload);
+  }
+  FlowSpec f;
+  PacketSink sink;
+};
+
+TEST(PacketSink, CountsInOrderFrames) {
+  SinkRig rig;
+  for (u32 s = 0; s < 5; ++s) rig.sink.on_frame(rig.seq_frame(s), 0);
+  EXPECT_EQ(rig.sink.frames(), 5u);
+  EXPECT_EQ(rig.sink.sequence_gaps(), 0u);
+  EXPECT_EQ(rig.sink.out_of_order(), 0u);
+  EXPECT_EQ(rig.sink.last_sequence(), 4u);
+}
+
+TEST(PacketSink, DetectsGapsAndReordering) {
+  SinkRig rig;
+  rig.sink.on_frame(rig.seq_frame(0), 0);
+  rig.sink.on_frame(rig.seq_frame(2), 0);  // gap
+  rig.sink.on_frame(rig.seq_frame(1), 0);  // late
+  EXPECT_EQ(rig.sink.sequence_gaps(), 1u);
+  EXPECT_EQ(rig.sink.out_of_order(), 1u);
+}
+
+TEST(PacketSink, ChecksumErrorsCounted) {
+  SinkRig rig;
+  auto frame = rig.seq_frame(0);
+  frame.back() ^= 1;
+  rig.sink.on_frame(frame, 0);
+  EXPECT_EQ(rig.sink.frames(), 0u);
+  EXPECT_EQ(rig.sink.checksum_errors(), 1u);
+}
+
+TEST(PacketSink, ValidatorFlagsContentErrors) {
+  SinkRig rig;
+  rig.sink.set_payload_validator(
+      [](u32, std::span<const u8> body) { return body.empty(); });
+  rig.sink.on_frame(rig.seq_frame(0, 8), 0);
+  EXPECT_EQ(rig.sink.content_errors(), 1u);
+}
+
+TEST(PacketSink, WindowGoodputCountsBodyBytesOnly) {
+  SinkRig rig;
+  rig.sink.begin_window(0);
+  rig.sink.on_frame(rig.seq_frame(0, 1000), 0);
+  EXPECT_EQ(rig.sink.window_bytes(), 1000u);  // excludes the seq word
+  // 1000 bytes over 1.26e6 cycles (1 ms) = 8 Mbps.
+  EXPECT_NEAR(rig.sink.window_goodput_mbps(1'260'000), 8.0, 1e-6);
+}
+
+TEST(PacketSink, CaptureLimitKeepsFirstPayloads) {
+  SinkRig rig;
+  rig.sink.set_capture_limit(2);
+  for (u32 s = 0; s < 5; ++s) rig.sink.on_frame(rig.seq_frame(s), 0);
+  EXPECT_EQ(rig.sink.captured().size(), 2u);
+}
+
+TEST(PacketSink, InterArrivalJitterPercentiles) {
+  SinkRig rig;
+  // Arrivals at 0, 100, 200, 1000 cycles: gaps {100, 100, 800}.
+  rig.sink.on_frame(rig.seq_frame(0), 0);
+  rig.sink.on_frame(rig.seq_frame(1), 100);
+  rig.sink.on_frame(rig.seq_frame(2), 200);
+  rig.sink.on_frame(rig.seq_frame(3), 1000);
+  EXPECT_EQ(rig.sink.interarrival().count(), 3u);
+  EXPECT_NEAR(rig.sink.interarrival().percentile(0), 100.0, 1e-9);
+  EXPECT_NEAR(rig.sink.interarrival().percentile(100), 800.0, 1e-9);
+  // 100 cycles at 1.26 GHz = 0.0794 us.
+  EXPECT_NEAR(rig.sink.interarrival_us(0), 100.0 / 1260.0, 1e-3);
+  // Invalid frames do not pollute the distribution.
+  auto bad = rig.seq_frame(4);
+  bad.back() ^= 1;
+  rig.sink.on_frame(bad, 2000);
+  EXPECT_EQ(rig.sink.interarrival().count(), 3u);
+}
+
+TEST(PacketSink, RawMode) {
+  SinkRig rig;
+  rig.sink.set_expect_sequence(false);
+  rig.sink.on_frame(build_frame(rig.f, std::vector<u8>(10, 1)), 0);
+  EXPECT_EQ(rig.sink.frames(), 1u);
+  EXPECT_EQ(rig.sink.sequence_gaps(), 0u);
+}
+
+}  // namespace
+}  // namespace vdbg::test

@@ -1,0 +1,201 @@
+// Shadow-MMU unit tests: identity tables, guest walks, lazy sync, faithful
+// A/D maintenance with dirty tracking, guest page-table write protection
+// with derived-entry invalidation, pool recycling, and the third protection
+// level (monitor frames never mapped).
+#include <gtest/gtest.h>
+
+#include "cpu/mmu.h"
+#include "vmm/shadow_mmu.h"
+
+namespace vdbg::test {
+namespace {
+
+using cpu::PfErr;
+using cpu::Pte;
+using vmm::ShadowMmu;
+
+constexpr u32 kGuestLimit = 8 * 1024 * 1024;   // 8 MiB guest RAM
+constexpr u32 kMonitorBase = kGuestLimit;
+constexpr u32 kMonitorLen = 4 * 1024 * 1024;
+
+struct ShadowRig {
+  ShadowRig() : mem(kGuestLimit + kMonitorLen), shadow(mem, config()) {
+    // Guest page tables: PD at 1 MiB, one table at 1 MiB + 4 KiB.
+    mem.write32(kPd, Pte::make(kPt, true, true));
+  }
+  static ShadowMmu::Config config() {
+    ShadowMmu::Config c;
+    c.monitor_base = kMonitorBase;
+    c.monitor_len = kMonitorLen;
+    c.guest_mem_limit = kGuestLimit;
+    return c;
+  }
+  void map(u32 page, PAddr frame, bool w, bool u) {
+    mem.write32(kPt + page * 4, Pte::make(frame, w, u));
+  }
+  /// Reads the shadow PTE for va (0 when absent).
+  u32 shadow_pte(VAddr va) const {
+    const u32 pde = mem.read32(shadow.shadow_pd() + (va >> 22) * 4);
+    if (!(pde & Pte::kP)) return 0;
+    return mem.read32((pde & Pte::kFrameMask) + ((va >> 12) & 0x3ff) * 4);
+  }
+
+  static constexpr PAddr kPd = 0x100000;
+  static constexpr PAddr kPt = 0x101000;
+  cpu::PhysMem mem;
+  ShadowMmu shadow;
+};
+
+TEST(ShadowMmu, IdentityMapsGuestRamSupervisorOnly) {
+  ShadowRig rig;
+  const PAddr pd = rig.shadow.identity_pd();
+  // Probe a few addresses through the identity tables by hand.
+  for (PAddr a : {PAddr{0}, PAddr{0x123000}, PAddr{kGuestLimit - 0x1000}}) {
+    const u32 pde = rig.mem.read32(pd + (a >> 22) * 4);
+    ASSERT_TRUE(pde & Pte::kP);
+    const u32 pte =
+        rig.mem.read32((pde & Pte::kFrameMask) + ((a >> 12) & 0x3ff) * 4);
+    ASSERT_TRUE(pte & Pte::kP) << std::hex << a;
+    EXPECT_EQ(pte & Pte::kFrameMask, a & Pte::kFrameMask);
+    EXPECT_FALSE(pte & Pte::kU);
+  }
+  // Monitor frames are NOT identity-mapped.
+  const u32 pde = rig.mem.read32(pd + (kMonitorBase >> 22) * 4);
+  if (pde & Pte::kP) {
+    const u32 pte = rig.mem.read32((pde & Pte::kFrameMask) +
+                                   ((kMonitorBase >> 12) & 0x3ff) * 4);
+    EXPECT_FALSE(pte & Pte::kP);
+  }
+}
+
+TEST(ShadowMmu, GuestWalkReportsPermissionsAndErrcodes) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, /*w=*/false, /*u=*/true);
+  auto w = rig.shadow.walk_guest(ShadowRig::kPd, 0x5000, false, false);
+  EXPECT_TRUE(w.ok);
+  EXPECT_FALSE(w.writable);
+  EXPECT_TRUE(w.user);
+
+  w = rig.shadow.walk_guest(ShadowRig::kPd, 0x5000, true, false);
+  EXPECT_FALSE(w.ok);
+  EXPECT_TRUE(w.errcode & PfErr::kPresent);
+  EXPECT_TRUE(w.errcode & PfErr::kWrite);
+
+  w = rig.shadow.walk_guest(ShadowRig::kPd, 0x900000, false, false);
+  EXPECT_FALSE(w.ok);
+  EXPECT_FALSE(w.errcode & PfErr::kPresent);  // not mapped
+}
+
+TEST(ShadowMmu, FaultSyncInstallsEntryAndSetsGuestAccessed) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  const auto out =
+      rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, 0 /*read, sup*/);
+  EXPECT_EQ(out.kind, ShadowMmu::FaultOutcome::kSynced);
+  const u32 spte = rig.shadow_pte(0x5000);
+  ASSERT_TRUE(spte & Pte::kP);
+  EXPECT_EQ(spte & Pte::kFrameMask, 0x5000u);
+  EXPECT_TRUE(rig.mem.read32(ShadowRig::kPt + 5 * 4) & Pte::kA);
+  EXPECT_EQ(rig.shadow.syncs(), 1u);
+}
+
+TEST(ShadowMmu, DirtyTrackingMapsReadOnlyUntilWrite) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, 0);  // read fault
+  EXPECT_FALSE(rig.shadow_pte(0x5000) & Pte::kW);  // RO despite guest W
+  EXPECT_FALSE(rig.mem.read32(ShadowRig::kPt + 5 * 4) & Pte::kD);
+
+  const auto out =
+      rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, PfErr::kWrite);
+  EXPECT_EQ(out.kind, ShadowMmu::FaultOutcome::kSynced);
+  EXPECT_TRUE(rig.shadow_pte(0x5000) & Pte::kW);  // upgraded
+  EXPECT_TRUE(rig.mem.read32(ShadowRig::kPt + 5 * 4) & Pte::kD);  // guest D
+}
+
+TEST(ShadowMmu, GuestFaultsAreReflectedWithGuestErrcode) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, /*u=*/false);
+  // User access to a supervisor page: genuine guest fault.
+  const auto out = rig.shadow.handle_fault(ShadowRig::kPd, 0x5000,
+                                           PfErr::kUser | PfErr::kWrite);
+  EXPECT_EQ(out.kind, ShadowMmu::FaultOutcome::kReflect);
+  EXPECT_TRUE(out.guest_errcode & PfErr::kPresent);
+  EXPECT_TRUE(out.guest_errcode & PfErr::kUser);
+}
+
+TEST(ShadowMmu, MonitorFramesAreNeverMappedForTheGuest) {
+  ShadowRig rig;
+  rig.map(6, kMonitorBase, true, false);  // guest maps a monitor frame
+  const auto out =
+      rig.shadow.handle_fault(ShadowRig::kPd, 0x6000, PfErr::kWrite);
+  EXPECT_EQ(out.kind, ShadowMmu::FaultOutcome::kReflect);
+  EXPECT_TRUE(out.guest_errcode & PfErr::kPresent);  // denied as protection
+  EXPECT_EQ(rig.shadow_pte(0x6000), 0u);             // nothing installed
+}
+
+TEST(ShadowMmu, GuestPageTableFramesAreWriteProtected) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  // Identity-map the PT frame itself at its own address (page 0x101).
+  rig.mem.write32(ShadowRig::kPd + 0, Pte::make(ShadowRig::kPt, true, true));
+  rig.map(0x101, ShadowRig::kPt, true, false);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, 0);  // registers frames
+  // Now a read fault on the PT's own mapping: installed read-only.
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x101000, 0);
+  EXPECT_FALSE(rig.shadow_pte(0x101000) & Pte::kW);
+  // A write to it is classified as a PT write for emulation.
+  const auto out =
+      rig.shadow.handle_fault(ShadowRig::kPd, 0x101000 + 5 * 4, PfErr::kWrite);
+  EXPECT_EQ(out.kind, ShadowMmu::FaultOutcome::kPtWrite);
+  EXPECT_EQ(out.target_pa, ShadowRig::kPt + 5 * 4);
+}
+
+TEST(ShadowMmu, PtWriteUpdatesGuestAndInvalidatesDerivedEntry) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, PfErr::kWrite);
+  ASSERT_TRUE(rig.shadow_pte(0x5000) & Pte::kP);
+
+  // Emulated store remaps page 5 -> frame 0x7000.
+  rig.shadow.pt_write(ShadowRig::kPt + 5 * 4, 4, Pte::make(0x7000, true, false));
+  EXPECT_EQ(rig.mem.read32(ShadowRig::kPt + 5 * 4) & Pte::kFrameMask,
+            0x7000u);
+  EXPECT_EQ(rig.shadow_pte(0x5000), 0u);  // derived entry dropped
+  // Refault resolves to the new frame.
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, PfErr::kWrite);
+  EXPECT_EQ(rig.shadow_pte(0x5000) & Pte::kFrameMask, 0x7000u);
+}
+
+TEST(ShadowMmu, InvlpgDropsSingleEntry) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.map(6, 0x6000, true, false);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, 0);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x6000, 0);
+  rig.shadow.invlpg(0x5000);
+  EXPECT_EQ(rig.shadow_pte(0x5000), 0u);
+  EXPECT_NE(rig.shadow_pte(0x6000), 0u);
+}
+
+TEST(ShadowMmu, FlushDropsEverythingAndRecyclesPool) {
+  ShadowRig rig;
+  rig.map(5, 0x5000, true, false);
+  rig.shadow.handle_fault(ShadowRig::kPd, 0x5000, 0);
+  const u64 used = rig.shadow.pool_in_use();
+  EXPECT_GT(used, 0u);
+  rig.shadow.flush();
+  EXPECT_EQ(rig.shadow_pte(0x5000), 0u);
+  EXPECT_EQ(rig.shadow.pool_in_use(), 0u);
+  EXPECT_GE(rig.shadow.flushes(), 1u);
+}
+
+TEST(ShadowMmu, MonitorRegionTooSmallThrows) {
+  cpu::PhysMem mem(kGuestLimit + kMonitorLen);
+  ShadowMmu::Config c = ShadowRig::config();
+  c.monitor_len = 4 * 4096;  // nowhere near enough for the tables
+  EXPECT_THROW(vmm::ShadowMmu(mem, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbg::test

@@ -1,0 +1,126 @@
+// Shared helpers for the vdbg test suite.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "cpu/cpu.h"
+#include "cpu/phys_mem.h"
+#include "hw/machine.h"
+
+namespace vdbg::test {
+
+/// Port bus that records accesses and serves scripted read values.
+class ScriptedIoBus final : public cpu::IoBus {
+ public:
+  struct Access {
+    bool write;
+    u16 port;
+    u32 value;
+  };
+
+  u32 io_read(u16 port) override {
+    u32 v = read_value_;
+    auto it = port_values_.find(port);
+    if (it != port_values_.end()) v = it->second;
+    log.push_back({false, port, v});
+    return v;
+  }
+  void io_write(u16 port, u32 value) override {
+    log.push_back({true, port, value});
+  }
+
+  void set_read_value(u32 v) { read_value_ = v; }
+  void set_port_value(u16 port, u32 v) { port_values_[port] = v; }
+
+  std::vector<Access> log;
+
+ private:
+  u32 read_value_ = 0;
+  std::map<u16, u32> port_values_;
+};
+
+/// A bare CPU harness: 1 MiB flat memory, scripted I/O, no interrupts.
+/// Assembles `body` at 0x1000 and provides run helpers.
+class CpuHarness {
+ public:
+  CpuHarness() : mem(1024 * 1024), cpu(mem, io, nullptr) {}
+
+  /// Assembles with `emit`, loads, points pc at the image base.
+  void load(const std::function<void(vasm::Assembler&)>& emit,
+            u32 base = 0x1000) {
+    vasm::Assembler a(base);
+    emit(a);
+    prog = a.finalize();
+    prog.load(mem);
+    cpu.state().pc = base;
+  }
+
+  /// Steps up to `max_instructions`; stops early on halt/shutdown.
+  cpu::RunExit run(u64 max_instructions = 10000) {
+    cpu::RunExit r = cpu::RunExit::kBudget;
+    for (u64 i = 0; i < max_instructions; ++i) {
+      r = cpu.step_one();
+      if (r != cpu::RunExit::kBudget) break;
+    }
+    return r;
+  }
+
+  u32 reg(cpu::Reg r) const { return cpu.state().regs[r]; }
+
+  cpu::PhysMem mem;
+  ScriptedIoBus io;
+  cpu::Cpu cpu;
+  vasm::Program prog;
+};
+
+/// Emits per-vector trap stubs + a gate table labelled "idt", and a common
+/// handler that records the event at fixed addresses then halts:
+///   0x500 <- vector, 0x504 <- errcode, 0x508 <- saved pc, 0x50c <- saved
+///   psw, 0x510 <- saved sp, 0x514 <- marker 0x7e57
+/// The test body must `movi r0, l("idt"); lidt r0, count` itself.
+inline void emit_test_idt(vasm::Assembler& a, u32 count = 64,
+                          u8 syscall_dpl_vector = 0xff) {
+  using namespace vasm;
+  using cpu::kR0;
+  using cpu::kR6;
+  using cpu::kSp;
+  for (u32 v = 0; v < count; ++v) {
+    a.label("stub" + std::to_string(v));
+    a.movi(kR6, u32{v});
+    a.jmp(l("trap_common"));
+  }
+  a.label("trap_common");
+  a.movi(kR0, u32{0x500});
+  a.st32(kR0, 0, kR6);
+  a.ld32(kR6, kSp, 0);
+  a.st32(kR0, 4, kR6);
+  a.ld32(kR6, kSp, 4);
+  a.st32(kR0, 8, kR6);
+  a.ld32(kR6, kSp, 8);
+  a.st32(kR0, 12, kR6);
+  a.ld32(kR6, kSp, 12);
+  a.st32(kR0, 16, kR6);
+  a.movi(kR6, u32{0x7e57});
+  a.st32(kR0, 20, kR6);
+  a.hlt();
+  a.align(8);
+  a.label("idt");
+  for (u32 v = 0; v < count; ++v) {
+    const u8 dpl = (v == syscall_dpl_vector) ? 3 : 0;
+    a.data_ref(l("stub" + std::to_string(v)));
+    a.data32(cpu::Gate{0, true, dpl, 0}.pack_flags());
+  }
+}
+
+struct TrapRecord {
+  u32 vector, err, pc, psw, sp, marker;
+};
+inline TrapRecord read_trap_record(const cpu::PhysMem& mem) {
+  return {mem.read32(0x500), mem.read32(0x504), mem.read32(0x508),
+          mem.read32(0x50c), mem.read32(0x510), mem.read32(0x514)};
+}
+
+}  // namespace vdbg::test
