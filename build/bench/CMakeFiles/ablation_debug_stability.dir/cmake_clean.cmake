@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_debug_stability.dir/ablation_debug_stability.cpp.o"
+  "CMakeFiles/ablation_debug_stability.dir/ablation_debug_stability.cpp.o.d"
+  "ablation_debug_stability"
+  "ablation_debug_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_debug_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

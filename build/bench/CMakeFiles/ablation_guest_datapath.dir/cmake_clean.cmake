@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guest_datapath.dir/ablation_guest_datapath.cpp.o"
+  "CMakeFiles/ablation_guest_datapath.dir/ablation_guest_datapath.cpp.o.d"
+  "ablation_guest_datapath"
+  "ablation_guest_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guest_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

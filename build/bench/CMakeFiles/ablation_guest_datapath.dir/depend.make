@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_guest_datapath.
+# This may be replaced when dependencies are built.

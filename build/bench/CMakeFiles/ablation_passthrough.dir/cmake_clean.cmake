@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_passthrough.dir/ablation_passthrough.cpp.o"
+  "CMakeFiles/ablation_passthrough.dir/ablation_passthrough.cpp.o.d"
+  "ablation_passthrough"
+  "ablation_passthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_passthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

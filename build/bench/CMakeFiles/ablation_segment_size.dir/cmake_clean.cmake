@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segment_size.dir/ablation_segment_size.cpp.o"
+  "CMakeFiles/ablation_segment_size.dir/ablation_segment_size.cpp.o.d"
+  "ablation_segment_size"
+  "ablation_segment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_overhead.dir/ablation_trace_overhead.cpp.o"
+  "CMakeFiles/ablation_trace_overhead.dir/ablation_trace_overhead.cpp.o.d"
+  "ablation_trace_overhead"
+  "ablation_trace_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

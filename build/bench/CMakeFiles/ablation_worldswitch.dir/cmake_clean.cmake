@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worldswitch.dir/ablation_worldswitch.cpp.o"
+  "CMakeFiles/ablation_worldswitch.dir/ablation_worldswitch.cpp.o.d"
+  "ablation_worldswitch"
+  "ablation_worldswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worldswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

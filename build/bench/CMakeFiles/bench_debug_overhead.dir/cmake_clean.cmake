@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_debug_overhead.dir/bench_debug_overhead.cpp.o"
+  "CMakeFiles/bench_debug_overhead.dir/bench_debug_overhead.cpp.o.d"
+  "bench_debug_overhead"
+  "bench_debug_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_debug_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

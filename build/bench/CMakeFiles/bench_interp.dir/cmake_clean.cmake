@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interp.dir/bench_interp.cpp.o"
+  "CMakeFiles/bench_interp.dir/bench_interp.cpp.o.d"
+  "bench_interp"
+  "bench_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmu_tlb.dir/bench_mmu_tlb.cpp.o"
+  "CMakeFiles/bench_mmu_tlb.dir/bench_mmu_tlb.cpp.o.d"
+  "bench_mmu_tlb"
+  "bench_mmu_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmu_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

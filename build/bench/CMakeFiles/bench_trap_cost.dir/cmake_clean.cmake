@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trap_cost.dir/bench_trap_cost.cpp.o"
+  "CMakeFiles/bench_trap_cost.dir/bench_trap_cost.cpp.o.d"
+  "bench_trap_cost"
+  "bench_trap_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

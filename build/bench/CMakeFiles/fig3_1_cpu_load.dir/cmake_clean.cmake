@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_cpu_load.dir/fig3_1_cpu_load.cpp.o"
+  "CMakeFiles/fig3_1_cpu_load.dir/fig3_1_cpu_load.cpp.o.d"
+  "fig3_1_cpu_load"
+  "fig3_1_cpu_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_cpu_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_customization.dir/table_customization.cpp.o"
+  "CMakeFiles/table_customization.dir/table_customization.cpp.o.d"
+  "table_customization"
+  "table_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_headline_ratios.dir/table_headline_ratios.cpp.o"
+  "CMakeFiles/table_headline_ratios.dir/table_headline_ratios.cpp.o.d"
+  "table_headline_ratios"
+  "table_headline_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_headline_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_resilience.dir/crash_resilience.cpp.o"
+  "CMakeFiles/crash_resilience.dir/crash_resilience.cpp.o.d"
+  "crash_resilience"
+  "crash_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_session.dir/debug_session.cpp.o"
+  "CMakeFiles/debug_session.dir/debug_session.cpp.o.d"
+  "debug_session"
+  "debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_cli.dir/debugger_cli.cpp.o"
+  "CMakeFiles/debugger_cli.dir/debugger_cli.cpp.o.d"
+  "debugger_cli"
+  "debugger_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

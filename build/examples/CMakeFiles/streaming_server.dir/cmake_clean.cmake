@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_server.dir/streaming_server.cpp.o"
+  "CMakeFiles/streaming_server.dir/streaming_server.cpp.o.d"
+  "streaming_server"
+  "streaming_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cpu")
+subdirs("asm")
+subdirs("net")
+subdirs("hw")
+subdirs("guest")
+subdirs("vmm")
+subdirs("fullvmm")
+subdirs("debug")
+subdirs("harness")

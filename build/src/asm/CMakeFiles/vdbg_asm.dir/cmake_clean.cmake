@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_asm.dir/assembler.cpp.o"
+  "CMakeFiles/vdbg_asm.dir/assembler.cpp.o.d"
+  "libvdbg_asm.a"
+  "libvdbg_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_common.dir/checksum.cpp.o"
+  "CMakeFiles/vdbg_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/vdbg_common.dir/event_queue.cpp.o"
+  "CMakeFiles/vdbg_common.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vdbg_common.dir/hexdump.cpp.o"
+  "CMakeFiles/vdbg_common.dir/hexdump.cpp.o.d"
+  "CMakeFiles/vdbg_common.dir/log.cpp.o"
+  "CMakeFiles/vdbg_common.dir/log.cpp.o.d"
+  "CMakeFiles/vdbg_common.dir/stats.cpp.o"
+  "CMakeFiles/vdbg_common.dir/stats.cpp.o.d"
+  "libvdbg_common.a"
+  "libvdbg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cpp" "src/cpu/CMakeFiles/vdbg_cpu.dir/cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/vdbg_cpu.dir/cpu.cpp.o.d"
+  "/root/repo/src/cpu/disasm.cpp" "src/cpu/CMakeFiles/vdbg_cpu.dir/disasm.cpp.o" "gcc" "src/cpu/CMakeFiles/vdbg_cpu.dir/disasm.cpp.o.d"
+  "/root/repo/src/cpu/isa.cpp" "src/cpu/CMakeFiles/vdbg_cpu.dir/isa.cpp.o" "gcc" "src/cpu/CMakeFiles/vdbg_cpu.dir/isa.cpp.o.d"
+  "/root/repo/src/cpu/mmu.cpp" "src/cpu/CMakeFiles/vdbg_cpu.dir/mmu.cpp.o" "gcc" "src/cpu/CMakeFiles/vdbg_cpu.dir/mmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/vdbg_cpu.dir/cpu.cpp.o.d"
+  "CMakeFiles/vdbg_cpu.dir/disasm.cpp.o"
+  "CMakeFiles/vdbg_cpu.dir/disasm.cpp.o.d"
+  "CMakeFiles/vdbg_cpu.dir/isa.cpp.o"
+  "CMakeFiles/vdbg_cpu.dir/isa.cpp.o.d"
+  "CMakeFiles/vdbg_cpu.dir/mmu.cpp.o"
+  "CMakeFiles/vdbg_cpu.dir/mmu.cpp.o.d"
+  "libvdbg_cpu.a"
+  "libvdbg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

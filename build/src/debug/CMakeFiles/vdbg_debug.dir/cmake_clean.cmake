@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_debug.dir/cli.cpp.o"
+  "CMakeFiles/vdbg_debug.dir/cli.cpp.o.d"
+  "CMakeFiles/vdbg_debug.dir/remote_debugger.cpp.o"
+  "CMakeFiles/vdbg_debug.dir/remote_debugger.cpp.o.d"
+  "libvdbg_debug.a"
+  "libvdbg_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

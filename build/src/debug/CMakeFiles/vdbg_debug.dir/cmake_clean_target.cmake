@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdbg_debug.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_fullvmm.dir/hosted_vmm.cpp.o"
+  "CMakeFiles/vdbg_fullvmm.dir/hosted_vmm.cpp.o.d"
+  "libvdbg_fullvmm.a"
+  "libvdbg_fullvmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_fullvmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/minitactix.cpp" "src/guest/CMakeFiles/vdbg_guest.dir/minitactix.cpp.o" "gcc" "src/guest/CMakeFiles/vdbg_guest.dir/minitactix.cpp.o.d"
+  "/root/repo/src/guest/nanocoop.cpp" "src/guest/CMakeFiles/vdbg_guest.dir/nanocoop.cpp.o" "gcc" "src/guest/CMakeFiles/vdbg_guest.dir/nanocoop.cpp.o.d"
+  "/root/repo/src/guest/netrecorder.cpp" "src/guest/CMakeFiles/vdbg_guest.dir/netrecorder.cpp.o" "gcc" "src/guest/CMakeFiles/vdbg_guest.dir/netrecorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/vdbg_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vdbg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vdbg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

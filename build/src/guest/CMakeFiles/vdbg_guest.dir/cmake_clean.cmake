@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_guest.dir/minitactix.cpp.o"
+  "CMakeFiles/vdbg_guest.dir/minitactix.cpp.o.d"
+  "CMakeFiles/vdbg_guest.dir/nanocoop.cpp.o"
+  "CMakeFiles/vdbg_guest.dir/nanocoop.cpp.o.d"
+  "CMakeFiles/vdbg_guest.dir/netrecorder.cpp.o"
+  "CMakeFiles/vdbg_guest.dir/netrecorder.cpp.o.d"
+  "libvdbg_guest.a"
+  "libvdbg_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

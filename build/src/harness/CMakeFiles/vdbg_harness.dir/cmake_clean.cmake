@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_harness.dir/experiment.cpp.o"
+  "CMakeFiles/vdbg_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/vdbg_harness.dir/platform.cpp.o"
+  "CMakeFiles/vdbg_harness.dir/platform.cpp.o.d"
+  "CMakeFiles/vdbg_harness.dir/report.cpp.o"
+  "CMakeFiles/vdbg_harness.dir/report.cpp.o.d"
+  "libvdbg_harness.a"
+  "libvdbg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

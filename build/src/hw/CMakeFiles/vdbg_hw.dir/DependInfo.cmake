@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/io_bus.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/io_bus.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/io_bus.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/nic.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/nic.cpp.o.d"
+  "/root/repo/src/hw/pic.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/pic.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/pic.cpp.o.d"
+  "/root/repo/src/hw/pit.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/pit.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/pit.cpp.o.d"
+  "/root/repo/src/hw/scsi_disk.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/scsi_disk.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/scsi_disk.cpp.o.d"
+  "/root/repo/src/hw/uart.cpp" "src/hw/CMakeFiles/vdbg_hw.dir/uart.cpp.o" "gcc" "src/hw/CMakeFiles/vdbg_hw.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vdbg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/vdbg_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_hw.dir/io_bus.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/io_bus.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/machine.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/nic.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/nic.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/pic.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/pic.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/pit.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/pit.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/scsi_disk.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/scsi_disk.cpp.o.d"
+  "CMakeFiles/vdbg_hw.dir/uart.cpp.o"
+  "CMakeFiles/vdbg_hw.dir/uart.cpp.o.d"
+  "libvdbg_hw.a"
+  "libvdbg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/packet_sink.cpp" "src/net/CMakeFiles/vdbg_net.dir/packet_sink.cpp.o" "gcc" "src/net/CMakeFiles/vdbg_net.dir/packet_sink.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/vdbg_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/vdbg_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_net.dir/packet_sink.cpp.o"
+  "CMakeFiles/vdbg_net.dir/packet_sink.cpp.o.d"
+  "CMakeFiles/vdbg_net.dir/udp.cpp.o"
+  "CMakeFiles/vdbg_net.dir/udp.cpp.o.d"
+  "libvdbg_net.a"
+  "libvdbg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/lvmm.cpp" "src/vmm/CMakeFiles/vdbg_vmm.dir/lvmm.cpp.o" "gcc" "src/vmm/CMakeFiles/vdbg_vmm.dir/lvmm.cpp.o.d"
+  "/root/repo/src/vmm/shadow_mmu.cpp" "src/vmm/CMakeFiles/vdbg_vmm.dir/shadow_mmu.cpp.o" "gcc" "src/vmm/CMakeFiles/vdbg_vmm.dir/shadow_mmu.cpp.o.d"
+  "/root/repo/src/vmm/stub.cpp" "src/vmm/CMakeFiles/vdbg_vmm.dir/stub.cpp.o" "gcc" "src/vmm/CMakeFiles/vdbg_vmm.dir/stub.cpp.o.d"
+  "/root/repo/src/vmm/trace.cpp" "src/vmm/CMakeFiles/vdbg_vmm.dir/trace.cpp.o" "gcc" "src/vmm/CMakeFiles/vdbg_vmm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/vdbg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/vdbg_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vdbg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbg_vmm.dir/lvmm.cpp.o"
+  "CMakeFiles/vdbg_vmm.dir/lvmm.cpp.o.d"
+  "CMakeFiles/vdbg_vmm.dir/shadow_mmu.cpp.o"
+  "CMakeFiles/vdbg_vmm.dir/shadow_mmu.cpp.o.d"
+  "CMakeFiles/vdbg_vmm.dir/stub.cpp.o"
+  "CMakeFiles/vdbg_vmm.dir/stub.cpp.o.d"
+  "CMakeFiles/vdbg_vmm.dir/trace.cpp.o"
+  "CMakeFiles/vdbg_vmm.dir/trace.cpp.o.d"
+  "libvdbg_vmm.a"
+  "libvdbg_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbg_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vdbg_vmm.
+# This may be replaced when dependencies are built.

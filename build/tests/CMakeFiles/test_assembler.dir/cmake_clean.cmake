@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler.dir/test_assembler.cpp.o"
+  "CMakeFiles/test_assembler.dir/test_assembler.cpp.o.d"
+  "test_assembler"
+  "test_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

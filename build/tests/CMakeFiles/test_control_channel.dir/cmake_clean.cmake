@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_channel.dir/test_control_channel.cpp.o"
+  "CMakeFiles/test_control_channel.dir/test_control_channel.cpp.o.d"
+  "test_control_channel"
+  "test_control_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

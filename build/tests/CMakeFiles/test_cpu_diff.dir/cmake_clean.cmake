@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_diff.dir/test_cpu_diff.cpp.o"
+  "CMakeFiles/test_cpu_diff.dir/test_cpu_diff.cpp.o.d"
+  "test_cpu_diff"
+  "test_cpu_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_edge.dir/test_cpu_edge.cpp.o"
+  "CMakeFiles/test_cpu_edge.dir/test_cpu_edge.cpp.o.d"
+  "test_cpu_edge"
+  "test_cpu_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/test_devices.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/test_devices.dir/test_devices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debug/CMakeFiles/vdbg_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/vdbg_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullvmm/CMakeFiles/vdbg_fullvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/vdbg_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vdbg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vdbg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/vdbg_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vdbg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

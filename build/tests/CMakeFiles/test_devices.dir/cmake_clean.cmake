@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devices.dir/test_devices.cpp.o"
+  "CMakeFiles/test_devices.dir/test_devices.cpp.o.d"
+  "test_devices"
+  "test_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

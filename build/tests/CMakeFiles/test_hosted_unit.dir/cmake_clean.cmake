@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hosted_unit.dir/test_hosted_unit.cpp.o"
+  "CMakeFiles/test_hosted_unit.dir/test_hosted_unit.cpp.o.d"
+  "test_hosted_unit"
+  "test_hosted_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hosted_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lvmm_e2e.dir/test_lvmm_e2e.cpp.o"
+  "CMakeFiles/test_lvmm_e2e.dir/test_lvmm_e2e.cpp.o.d"
+  "test_lvmm_e2e"
+  "test_lvmm_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lvmm_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmu.dir/test_mmu.cpp.o"
+  "CMakeFiles/test_mmu.dir/test_mmu.cpp.o.d"
+  "test_mmu"
+  "test_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

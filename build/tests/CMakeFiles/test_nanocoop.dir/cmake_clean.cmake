@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nanocoop.dir/test_nanocoop.cpp.o"
+  "CMakeFiles/test_nanocoop.dir/test_nanocoop.cpp.o.d"
+  "test_nanocoop"
+  "test_nanocoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nanocoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

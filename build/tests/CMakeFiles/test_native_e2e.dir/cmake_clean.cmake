@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_e2e.dir/test_native_e2e.cpp.o"
+  "CMakeFiles/test_native_e2e.dir/test_native_e2e.cpp.o.d"
+  "test_native_e2e"
+  "test_native_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netrecorder.dir/test_netrecorder.cpp.o"
+  "CMakeFiles/test_netrecorder.dir/test_netrecorder.cpp.o.d"
+  "test_netrecorder"
+  "test_netrecorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netrecorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rx_write.dir/test_rx_write.cpp.o"
+  "CMakeFiles/test_rx_write.dir/test_rx_write.cpp.o.d"
+  "test_rx_write"
+  "test_rx_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rx_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_mmu.dir/test_shadow_mmu.cpp.o"
+  "CMakeFiles/test_shadow_mmu.dir/test_shadow_mmu.cpp.o.d"
+  "test_shadow_mmu"
+  "test_shadow_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stub_protocol.dir/test_stub_protocol.cpp.o"
+  "CMakeFiles/test_stub_protocol.dir/test_stub_protocol.cpp.o.d"
+  "test_stub_protocol"
+  "test_stub_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stub_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

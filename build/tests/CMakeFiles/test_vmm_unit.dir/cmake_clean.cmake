@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm_unit.dir/test_vmm_unit.cpp.o"
+  "CMakeFiles/test_vmm_unit.dir/test_vmm_unit.cpp.o.d"
+  "test_vmm_unit"
+  "test_vmm_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

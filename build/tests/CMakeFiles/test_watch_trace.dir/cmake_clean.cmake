@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_watch_trace.dir/test_watch_trace.cpp.o"
+  "CMakeFiles/test_watch_trace.dir/test_watch_trace.cpp.o.d"
+  "test_watch_trace"
+  "test_watch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_watch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
