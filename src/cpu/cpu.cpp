@@ -8,8 +8,22 @@ Cpu::Cpu(PhysMem& mem, IoBus& io, IntrLine* intr, const CostModel& costs)
     : mem_(mem), io_(io), intr_(intr), costs_(costs), mmu_(mem, costs) {}
 
 void Cpu::io_allow_range(u16 first, u16 count, bool allow) {
-  for (u32 p = first; p < u32(first) + count && p < 65536; ++p) {
-    io_bitmap_[p] = allow;
+  // Word-parallel update: head/tail partial words get a sub-range mask, the
+  // middle is whole-word fills. O(count/64) instead of O(count).
+  const u32 end = std::min<u32>(u32(first) + count, 65536);
+  u32 p = first;
+  while (p < end) {
+    const u32 word = p >> 6;
+    const u32 lo = p & 63;
+    const u32 hi = std::min<u32>(end - (word << 6), 64);
+    const u64 upper = hi == 64 ? ~u64{0} : (u64{1} << hi) - 1;
+    const u64 mask = upper & ~((u64{1} << lo) - 1);
+    if (allow) {
+      io_bitmap_[word] |= mask;
+    } else {
+      io_bitmap_[word] &= ~mask;
+    }
+    p = (word << 6) + hi;
   }
 }
 
@@ -43,7 +57,11 @@ RunExit Cpu::run(Cycles budget) {
       if (halted_) return RunExit::kHalted;  // pending but masked: sleep on
     }
     if (halted_) return RunExit::kHalted;
-    step();
+    if (block_cache_enabled_) {
+      run_cached(target);
+    } else {
+      step();
+    }
   }
   return RunExit::kBudget;
 }
@@ -87,14 +105,18 @@ void Cpu::step() {
     raise(Fault::gp(1), pc0);
     return;
   }
-  auto tr = mmu_.translate(st_, pc0, Access::kExec);
+  auto tr = mmu_.translate(st_, pc0, Access::kExec, st_.cpl(), kInstrBytes);
   cycles_ += tr.cost;
   if (!tr.ok) {
     raise(tr.fault, pc0);
     return;
   }
+  step_at(tr.pa, pc0, tf_pending);
+}
+
+void Cpu::step_at(PAddr pa, u32 pc0, bool tf_pending) {
   u8 bytes[kInstrBytes];
-  mem_.read_block(tr.pa, bytes);
+  mem_.read_block(pa, bytes);
   cycles_ += costs_.mem;
   ++stats_.mem_accesses;
 
@@ -120,6 +142,278 @@ void Cpu::step() {
     // resume point at the next instruction.
     raise(Fault::db(), st_.pc);
   }
+}
+
+void Cpu::run_cached(Cycles target) {
+  // Single-stepping decodes fresh: a #DB boundary after every instruction
+  // makes block dispatch pointless, and the slow path is the reference.
+  if (st_.trap_flag()) {
+    step();
+    return;
+  }
+  // The stop limit is loop-invariant across chained blocks: only device/
+  // hook activity moves run_limit_, and every op with such side effects
+  // forces dispatch back to run() (not a pure branch).
+  const Cycles stop = target < run_limit_ ? target : run_limit_;
+  for (;;) {
+    const u32 pc0 = st_.pc;
+    if (pc0 & 0x7) {
+      raise(Fault::gp(1), pc0);
+      return;
+    }
+    // Block-entry fetch translation, with the unpaged and TLB-hit cases
+    // inlined. Accounting matches Mmu::translate exactly: unpaged charges
+    // nothing and touches no counters, a TLB hit charges nothing and bumps
+    // hits_ (fetch_recheck does both), everything else — miss, permission
+    // fault, bad physical range — falls back to the real translate.
+    PAddr pa;
+    if (!st_.paging_enabled()) {
+      if (!mem_.contains(pc0, kInstrBytes)) {
+        raise(Fault::gp(/*err=*/2), pc0);
+        return;
+      }
+      pa = pc0;
+    } else if (!mmu_.fetch_recheck(pc0, st_.cpl(), pa)) {
+      auto tr =
+          mmu_.translate(st_, pc0, Access::kExec, st_.cpl(), kInstrBytes);
+      cycles_ += tr.cost;
+      if (!tr.ok) {
+        raise(tr.fault, pc0);
+        return;
+      }
+      pa = tr.pa;
+    }
+    const u64 version = mem_.page_version(pa >> kPageBits);
+    const CachedBlock* blk = bcache_.lookup(pa, version, stats_.block_hits);
+    if (!blk) {
+      blk = bcache_.build(pa, mem_, stats_.block_builds,
+                          stats_.block_invalidations);
+      if (!blk) {
+        // Undecodable head (invalid opcode / truncated fetch): the slow
+        // tail raises the architecturally correct fault.
+        step_at(pa, pc0, /*tf_pending=*/false);
+        return;
+      }
+    }
+    // Chain into the next block only when the tail op provably left every
+    // run()-loop condition unchanged (see is_pure_branch) and budget
+    // remains; otherwise return so run() re-checks interrupts/halt/stop.
+    if (!exec_block(*blk, pa, stop)) return;
+    if (cycles_ >= stop) return;
+  }
+}
+
+// flatten: inline the whole execute()/mem-helper call tree into the block
+// dispatch loop — this is the interpreter's hottest code by far.
+__attribute__((flatten)) bool Cpu::exec_block(const CachedBlock& blk,
+                                              PAddr pa0, Cycles stop) {
+  // Charge and execute each cached instruction exactly as the slow path
+  // would. The per-instruction translate of the slow path is replaced by
+  // the block-entry translate (already charged by the caller) plus a TLB
+  // recheck between instructions that performs identical accounting for
+  // the hit case and falls back to the full translate otherwise. Interrupt,
+  // stop, halt and trap-flag state cannot change between two mid-block
+  // instructions (see is_block_terminator); budget and run-limit, which
+  // can, are checked at every boundary.
+  const u8 cpl = st_.cpl();
+  const bool paged = st_.paging_enabled();
+  // Mid-block instructions cannot call out to devices or hooks, so the
+  // code page's version word never relocates and can be polled directly.
+  const u64* const version_now = mem_.page_version_ptr(pa0 >> kPageBits);
+  const Cycles fetch_cost = costs_.mem + costs_.base;
+  u32 pc = st_.pc;
+  PAddr pa = pa0;
+  // Flag helper identical to CpuState::set_flags (bit-for-bit psw result).
+  const auto set_zncv = [this](bool z, bool n, bool c, bool v) {
+    st_.psw = (st_.psw & ~Psw::kFlagsMask) | (z ? Psw::kZ : 0u) |
+              (n ? Psw::kN : 0u) | (c ? Psw::kC : 0u) | (v ? Psw::kV : 0u);
+  };
+  for (u16 i = 0;;) {
+    cycles_ += fetch_cost;
+    ++stats_.mem_accesses;
+    const Instr& in = blk.instrs[i];
+    // Specialized handlers for the frequent simple ops: same architectural
+    // semantics as Cpu::execute (flag algebra from set_flags_addsub /
+    // set_flags_logic, shift masking, branch-taken charge), minus the
+    // generality — none of these can fault, perform memory/device access,
+    // or need the privilege check. Everything else (loads/stores, stack
+    // ops, mul/div, system ops) drops to the generic execute() below.
+    // tests/test_cpu_diff.cpp fuzzes both paths for bit-identical results.
+    bool handled = true;
+    {
+      const u32 a = st_.regs[in.rs1 & (kNumGprs - 1)];
+      const u32 b = st_.regs[in.rs2 & (kNumGprs - 1)];
+      u32& rd = st_.regs[in.rd & (kNumGprs - 1)];
+      u32 next_pc = pc + kInstrBytes;
+      switch (in.op) {
+        case Opcode::kNop:
+          break;
+        case Opcode::kMovI:
+          rd = in.imm;
+          break;
+        case Opcode::kMov:
+          rd = a;
+          break;
+        case Opcode::kAdd: {
+          const u32 r = a + b;
+          set_zncv(r == 0, r >> 31, r < a, (~(a ^ b) & (a ^ r)) >> 31);
+          rd = r;
+          break;
+        }
+        case Opcode::kSub: {
+          const u32 r = a - b;
+          set_zncv(r == 0, r >> 31, a < b, ((a ^ b) & (a ^ r)) >> 31);
+          rd = r;
+          break;
+        }
+        case Opcode::kAddI: {
+          const u32 r = a + in.imm;
+          set_zncv(r == 0, r >> 31, r < a, (~(a ^ in.imm) & (a ^ r)) >> 31);
+          rd = r;
+          break;
+        }
+        case Opcode::kSubI: {
+          const u32 r = a - in.imm;
+          set_zncv(r == 0, r >> 31, a < in.imm,
+                   ((a ^ in.imm) & (a ^ r)) >> 31);
+          rd = r;
+          break;
+        }
+        case Opcode::kAnd: rd = a & b; set_zncv(rd == 0, rd >> 31, 0, 0); break;
+        case Opcode::kOr: rd = a | b; set_zncv(rd == 0, rd >> 31, 0, 0); break;
+        case Opcode::kXor: rd = a ^ b; set_zncv(rd == 0, rd >> 31, 0, 0); break;
+        case Opcode::kShl:
+          rd = a << (b & 31);
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kShr:
+          rd = a >> (b & 31);
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kSar:
+          rd = static_cast<u32>(static_cast<i32>(a) >> (b & 31));
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kAndI:
+          rd = a & in.imm;
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kOrI:
+          rd = a | in.imm;
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kXorI:
+          rd = a ^ in.imm;
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kShlI:
+          rd = a << (in.imm & 31);
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kShrI:
+          rd = a >> (in.imm & 31);
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kSarI:
+          rd = static_cast<u32>(static_cast<i32>(a) >> (in.imm & 31));
+          set_zncv(rd == 0, rd >> 31, 0, 0);
+          break;
+        case Opcode::kCmp: {
+          const u32 r = a - b;
+          set_zncv(r == 0, r >> 31, a < b, ((a ^ b) & (a ^ r)) >> 31);
+          break;
+        }
+        case Opcode::kCmpI: {
+          const u32 r = a - in.imm;
+          set_zncv(r == 0, r >> 31, a < in.imm,
+                   ((a ^ in.imm) & (a ^ r)) >> 31);
+          break;
+        }
+        case Opcode::kJmp:
+          next_pc = in.imm;
+          cycles_ += costs_.branch_taken;
+          break;
+        case Opcode::kJmpR:
+          next_pc = a;
+          cycles_ += costs_.branch_taken;
+          break;
+        case Opcode::kJz:
+        case Opcode::kJnz:
+        case Opcode::kJb:
+        case Opcode::kJae:
+        case Opcode::kJbe:
+        case Opcode::kJa:
+        case Opcode::kJl:
+        case Opcode::kJge:
+        case Opcode::kJle:
+        case Opcode::kJg: {
+          const u32 psw = st_.psw;
+          const bool z = psw & Psw::kZ, n = psw & Psw::kN, c = psw & Psw::kC,
+                     v = psw & Psw::kV;
+          bool taken = false;
+          switch (in.op) {
+            case Opcode::kJz: taken = z; break;
+            case Opcode::kJnz: taken = !z; break;
+            case Opcode::kJb: taken = c; break;
+            case Opcode::kJae: taken = !c; break;
+            case Opcode::kJbe: taken = c || z; break;
+            case Opcode::kJa: taken = !c && !z; break;
+            case Opcode::kJl: taken = n != v; break;
+            case Opcode::kJge: taken = n == v; break;
+            case Opcode::kJle: taken = z || (n != v); break;
+            case Opcode::kJg: taken = !z && (n == v); break;
+            default: break;
+          }
+          if (taken) {
+            next_pc = in.imm;
+            cycles_ += costs_.branch_taken;
+          }
+          break;
+        }
+        default:
+          handled = false;
+          break;
+      }
+      if (handled) {
+        st_.pc = next_pc;
+        ++stats_.instructions;
+      }
+    }
+    if (!handled) {
+      const ExecResult er = execute(in);
+      ++stats_.instructions;
+      if (er.faulted) {
+        const u32 resume =
+            er.fault.kind == EventKind::kSoftInt ? pc + kInstrBytes : pc;
+        raise(er.fault, resume);
+        return false;
+      }
+    }
+    if (++i >= blk.count) {
+      // Block ended: at its terminator, or straight-line at the decode cap
+      // or page edge (then the tail op is a non-terminator, always
+      // chainable).
+      const Opcode tail = blk.instrs[blk.count - 1].op;
+      return !is_block_terminator(tail) || is_pure_branch(tail);
+    }
+    if (cycles_ >= stop) return false;
+    pc += kInstrBytes;
+    pa += kInstrBytes;
+    if (*version_now != blk.version) {
+      // Self-modified mid-block: resync below. The stale block itself is
+      // rebuilt (and counted) at the next lookup.
+      break;
+    }
+    if (paged) {
+      PAddr now_pa = 0;
+      if (!mmu_.fetch_recheck(pc, cpl, now_pa) || now_pa != pa) break;
+    }
+  }
+  // Revalidation failed between instructions: execute the next instruction
+  // through the slow path (which performs the full translate with the same
+  // charges the reference interpreter would) and let run() re-dispatch.
+  step();
+  return false;
 }
 
 void Cpu::raise(const Fault& f, u32 resume_pc) {
@@ -189,7 +483,7 @@ bool Cpu::mem_read(VAddr va, unsigned size, u32& value, Fault& fault, u8 cpl) {
     fault = Fault::gp(3);
     return false;
   }
-  auto tr = mmu_.translate(st_, va, Access::kRead, cpl);
+  auto tr = mmu_.translate(st_, va, Access::kRead, cpl, size);
   cycles_ += tr.cost + costs_.mem;
   ++stats_.mem_accesses;
   if (!tr.ok) {
@@ -209,7 +503,7 @@ bool Cpu::mem_write(VAddr va, unsigned size, u32 value, Fault& fault, u8 cpl) {
     fault = Fault::gp(3);
     return false;
   }
-  auto tr = mmu_.translate(st_, va, Access::kWrite, cpl);
+  auto tr = mmu_.translate(st_, va, Access::kWrite, cpl, size);
   cycles_ += tr.cost + costs_.mem;
   ++stats_.mem_accesses;
   if (!tr.ok) {
@@ -533,11 +827,11 @@ bool Cpu::read_virt(VAddr va, std::span<u8> out, u8 cpl) {
   std::size_t done = 0;
   while (done < out.size()) {
     const VAddr cur = va + static_cast<u32>(done);
-    const auto tr = mmu_.probe(st_, cur, Access::kRead, cpl);
-    if (!tr.ok) return false;
     const u32 page_rem = kPageSize - (cur & kPageMask);
     const u32 chunk = std::min<u32>(
         page_rem, static_cast<u32>(out.size() - done));
+    const auto tr = mmu_.probe(st_, cur, Access::kRead, cpl, chunk);
+    if (!tr.ok) return false;
     if (!mem_.contains(tr.pa, chunk)) return false;
     mem_.read_block(tr.pa, out.subspan(done, chunk));
     done += chunk;
@@ -549,11 +843,11 @@ bool Cpu::write_virt(VAddr va, std::span<const u8> in, u8 cpl) {
   std::size_t done = 0;
   while (done < in.size()) {
     const VAddr cur = va + static_cast<u32>(done);
-    const auto tr = mmu_.probe(st_, cur, Access::kWrite, cpl);
-    if (!tr.ok) return false;
     const u32 page_rem = kPageSize - (cur & kPageMask);
     const u32 chunk =
         std::min<u32>(page_rem, static_cast<u32>(in.size() - done));
+    const auto tr = mmu_.probe(st_, cur, Access::kWrite, cpl, chunk);
+    if (!tr.ok) return false;
     if (!mem_.contains(tr.pa, chunk)) return false;
     mem_.write_block(tr.pa, in.subspan(done, chunk));
     done += chunk;

@@ -1,12 +1,14 @@
-// The VX32 interpreter: fetch/decode/execute, trap and interrupt delivery,
-// the trap hook a VMM installs to intercept events, and the I/O permission
-// bitmap that implements device passthrough.
+// The VX32 interpreter: fetch/decode/execute with a predecoded basic-block
+// fast path (see block_cache.h and DESIGN.md "Interpreter fast path"), trap
+// and interrupt delivery, the trap hook a VMM installs to intercept events,
+// and the I/O permission bitmap that implements device passthrough.
 #pragma once
 
-#include <bitset>
+#include <array>
 #include <span>
 
 #include "common/types.h"
+#include "cpu/block_cache.h"
 #include "cpu/bus.h"
 #include "cpu/cost_model.h"
 #include "cpu/cpu_state.h"
@@ -40,7 +42,9 @@ enum class RunExit : u8 {
   kStopRequested,  // a TrapHook froze execution (debugger stop)
 };
 
-/// Counters exposed for tests and the benchmark harness.
+/// Counters exposed for tests and the benchmark harness. The architectural
+/// counters (everything except block_*) are bit-identical between the
+/// block-cache fast path and the slow interpreter path.
 struct CpuStats {
   u64 instructions = 0;
   u64 mem_accesses = 0;
@@ -48,6 +52,9 @@ struct CpuStats {
   u64 exceptions = 0;         // events delivered through the IDT
   u64 interrupts = 0;         // external interrupts taken (either path)
   u64 hook_events = 0;        // events diverted to the trap hook
+  u64 block_hits = 0;          // dispatched from a cached predecoded block
+  u64 block_builds = 0;        // blocks (re)decoded into the cache
+  u64 block_invalidations = 0; // blocks dropped (stale page or explicit)
 };
 
 class Cpu {
@@ -65,11 +72,18 @@ class Cpu {
   TrapHook* trap_hook() const { return hook_; }
 
   // --- I/O permission bitmap (TSS-equivalent). CPL 0 always passes. ---
-  void io_allow(u16 port, bool allow) { io_bitmap_[port] = allow; }
+  void io_allow(u16 port, bool allow) {
+    const u64 bit = u64{1} << (port & 63);
+    if (allow) {
+      io_bitmap_[port >> 6] |= bit;
+    } else {
+      io_bitmap_[port >> 6] &= ~bit;
+    }
+  }
   void io_allow_range(u16 first, u16 count, bool allow);
-  void io_deny_all() { io_bitmap_.reset(); }
+  void io_deny_all() { io_bitmap_.fill(0); }
   bool io_allowed(u8 cpl, u16 port) const {
-    return cpl == 0 || io_bitmap_[port];
+    return cpl == 0 || ((io_bitmap_[port >> 6] >> (port & 63)) & 1);
   }
 
   /// Runs until `budget` additional cycles have elapsed or a special
@@ -98,6 +112,23 @@ class Cpu {
   /// Monitor/debugger: stop run() at the next boundary.
   void request_stop() { stop_requested_ = true; }
 
+  // --- predecoded block cache (fetch fast path) ---
+  /// Runtime kill switch. Disabled, run() decodes every instruction from
+  /// memory (the pre-cache interpreter); enabled (default), straight-line
+  /// runs dispatch from predecoded blocks. Both paths produce bit-identical
+  /// architectural state, cycles and (non-block_*) stats.
+  void set_block_cache_enabled(bool on) { block_cache_enabled_ = on; }
+  bool block_cache_enabled() const { return block_cache_enabled_; }
+  /// Explicit invalidation hooks for monitors/debuggers that patch guest
+  /// code (PhysMem's page-version counters already catch every store; these
+  /// are the belt-and-braces interface named in the debug stub).
+  void invalidate_block_cache() {
+    bcache_.invalidate_all(stats_.block_invalidations);
+  }
+  void invalidate_block_cache_range(PAddr pa, u32 len) {
+    bcache_.invalidate_range(pa, len, stats_.block_invalidations);
+  }
+
   const CpuStats& stats() const { return stats_; }
 
   /// Architectural event delivery through the in-memory IDT (pushes the
@@ -116,6 +147,17 @@ class Cpu {
 
  private:
   void step();
+  /// Fetch-decode-execute tail shared by both paths, entered after pc has
+  /// been translated to `pa`.
+  void step_at(PAddr pa, u32 pc0, bool tf_pending);
+  /// Fast path: one translate at block entry, then dispatch the decoded
+  /// block with per-instruction budget/content/translation revalidation;
+  /// chains across pure-branch block tails without re-entering run().
+  void run_cached(Cycles target);
+  /// Executes a cached block starting at st_.pc / pa0. Returns true iff
+  /// dispatch may chain straight into the next block (tail op left every
+  /// run()-loop condition unchanged and no fault/resync occurred).
+  bool exec_block(const CachedBlock& blk, PAddr pa0, Cycles stop);
 
   /// Raises an event produced by guest execution: diverts to the hook when
   /// installed, else delivers architecturally.
@@ -143,8 +185,11 @@ class Cpu {
   const CostModel& costs_;
   CpuState st_{};
   Mmu mmu_;
+  BlockCache bcache_;
+  bool block_cache_enabled_ = true;
   TrapHook* hook_ = nullptr;
-  std::bitset<65536> io_bitmap_{};
+  /// One bit per port, 64 ports per word (0 = denied).
+  std::array<u64, 1024> io_bitmap_{};
 
   Cycles cycles_ = 0;
   Cycles run_limit_ = ~Cycles{0};

@@ -159,20 +159,4 @@ std::string_view mnemonic(Opcode op) {
   return "??";
 }
 
-bool is_privileged(Opcode op) {
-  switch (op) {
-    case Opcode::kIret:
-    case Opcode::kHlt:
-    case Opcode::kCli:
-    case Opcode::kSti:
-    case Opcode::kLidt:
-    case Opcode::kMovToCr:
-    case Opcode::kMovFromCr:
-    case Opcode::kInvlpg:
-      return true;
-    default:
-      return false;
-  }
-}
-
 }  // namespace vdbg::cpu

@@ -215,6 +215,94 @@ std::string_view mnemonic(Opcode op);
 /// Privileged instructions #GP when executed with CPL != 0. This set is what
 /// makes VX32 classically virtualizable by trap-and-emulate: a guest kernel
 /// de-privileged to ring 1 cannot silently observe or change machine state.
-bool is_privileged(Opcode op);
+// Inline: the interpreter consults this on every executed instruction.
+inline bool is_privileged(Opcode op) {
+  switch (op) {
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kLidt:
+    case Opcode::kMovToCr:
+    case Opcode::kMovFromCr:
+    case Opcode::kInvlpg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when `op` terminates a predecoded basic block: control transfers,
+/// privileged/system ops, port I/O, and the trapping opcodes. The dispatch
+/// fast path relies on the complement property: an instruction that is NOT a
+/// terminator always advances pc by exactly kInstrBytes on success and can
+/// never change the privilege level, the interrupt/trap flags, the paging
+/// configuration, or any device state (so nothing can assert an interrupt or
+/// halt/stop the CPU between two mid-block instructions).
+inline bool is_block_terminator(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJmpR:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJb:
+    case Opcode::kJae:
+    case Opcode::kJbe:
+    case Opcode::kJa:
+    case Opcode::kJl:
+    case Opcode::kJge:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kCall:
+    case Opcode::kCallR:
+    case Opcode::kRet:
+    case Opcode::kInt:
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kLidt:
+    case Opcode::kMovToCr:
+    case Opcode::kMovFromCr:
+    case Opcode::kInvlpg:
+    case Opcode::kIn:
+    case Opcode::kOut:
+    case Opcode::kBrk:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Terminators after which block dispatch may chain straight into the next
+/// block without returning to the run() loop: plain control transfers that
+/// only move pc (and, for call/ret, the stack). They cannot mask or unmask
+/// interrupts, halt, enter the monitor, touch a device, change CPL/paging
+/// or set the trap flag — so every condition the run() loop re-checks
+/// between instructions is provably unchanged across them. Everything the
+/// predicate excludes (INT/IRET/HLT/CLI/STI/CR writes/I-O/BRK/...) forces
+/// dispatch back through run().
+inline bool is_pure_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJmpR:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJb:
+    case Opcode::kJae:
+    case Opcode::kJbe:
+    case Opcode::kJa:
+    case Opcode::kJl:
+    case Opcode::kJge:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kCall:
+    case Opcode::kCallR:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace vdbg::cpu

@@ -70,11 +70,11 @@ bool Mmu::walk(const CpuState& st, VAddr va, Access acc, u8 cpl, bool set_bits,
 }
 
 TranslateResult Mmu::translate(const CpuState& st, VAddr va, Access acc,
-                               u8 cpl) {
+                               u8 cpl, u32 size) {
   TranslateResult r;
 
   if (!st.paging_enabled()) {
-    if (!mem_.contains(va, 1)) {
+    if (!mem_.contains(va, size)) {
       r.fault = Fault::gp(/*err=*/2);
       return r;
     }
@@ -98,7 +98,7 @@ TranslateResult Mmu::translate(const CpuState& st, VAddr va, Access acc,
       r.ok = true;
       r.tlb_hit = true;
       r.pa = (slot.pfn << kPageBits) | (va & kPageMask);
-      if (!mem_.contains(r.pa, 1)) {
+      if (!mem_.contains(r.pa, size)) {
         r.ok = false;
         r.fault = Fault::gp(/*err=*/2);
       }
@@ -120,18 +120,18 @@ TranslateResult Mmu::translate(const CpuState& st, VAddr va, Access acc,
   slot = entry;
   r.ok = true;
   r.pa = (entry.pfn << kPageBits) | (va & kPageMask);
-  if (!mem_.contains(r.pa, 1)) {
+  if (!mem_.contains(r.pa, size)) {
     r.ok = false;
     r.fault = Fault::gp(/*err=*/2);
   }
   return r;
 }
 
-TranslateResult Mmu::probe(const CpuState& st, VAddr va, Access acc,
-                           u8 cpl) const {
+TranslateResult Mmu::probe(const CpuState& st, VAddr va, Access acc, u8 cpl,
+                           u32 size) const {
   TranslateResult r;
   if (!st.paging_enabled()) {
-    if (!mem_.contains(va, 1)) {
+    if (!mem_.contains(va, size)) {
       r.fault = Fault::gp(2);
       return r;
     }
@@ -143,7 +143,7 @@ TranslateResult Mmu::probe(const CpuState& st, VAddr va, Access acc,
   if (!walk(st, va, acc, cpl, /*set_bits=*/false, entry, r.fault)) return r;
   r.ok = true;
   r.pa = (entry.pfn << kPageBits) | (va & kPageMask);
-  if (!mem_.contains(r.pa, 1)) {
+  if (!mem_.contains(r.pa, size)) {
     r.ok = false;
     r.fault = Fault::gp(2);
   }

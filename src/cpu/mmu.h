@@ -25,9 +25,9 @@
 
 namespace vdbg::cpu {
 
-inline constexpr u32 kPageBits = 12;
-inline constexpr u32 kPageSize = 1u << kPageBits;
-inline constexpr u32 kPageMask = kPageSize - 1;
+// kPageBits / kPageSize / kPageMask live in phys_mem.h (physical memory
+// versions itself at page granularity) and are re-exported here via that
+// include for all paging code.
 
 struct Pte {
   static constexpr u32 kP = 1u << 0;
@@ -60,22 +60,46 @@ class Mmu {
 
   /// Translates `va` for an access of type `acc` at privilege `cpl`, using
   /// the paging configuration in `st`. Never mutates CPU state; sets A/D
-  /// bits in the page tables as IA-32 does.
-  TranslateResult translate(const CpuState& st, VAddr va, Access acc, u8 cpl);
+  /// bits in the page tables as IA-32 does. `size` is the byte width of the
+  /// access: all `size` bytes must lie inside physical memory or the
+  /// translation faults (aligned accesses never cross a page, so a single
+  /// translation covers the whole access).
+  TranslateResult translate(const CpuState& st, VAddr va, Access acc, u8 cpl,
+                            u32 size = 1);
   TranslateResult translate(const CpuState& st, VAddr va, Access acc) {
     return translate(st, va, acc, st.cpl());
   }
 
   /// Read-only probe used by the VMM and the debugger: like translate() but
   /// never sets A/D bits and charges no cycles.
-  TranslateResult probe(const CpuState& st, VAddr va, Access acc,
-                        u8 cpl) const;
+  TranslateResult probe(const CpuState& st, VAddr va, Access acc, u8 cpl,
+                        u32 size = 1) const;
   TranslateResult probe(const CpuState& st, VAddr va, Access acc) const {
     return probe(st, va, acc, st.cpl());
   }
 
   void flush_tlb();
   void invlpg(VAddr va);
+
+  /// Inline fast-path revalidation of a sequential instruction fetch, used
+  /// by the block-cache dispatch loop between instructions of a block. On a
+  /// TLB hit with execute permission it fills `pa` and charges exactly what
+  /// translate() would for that hit (zero cycles, one hit count) and
+  /// returns true. Any other outcome — miss, permission violation, frame
+  /// out of range — returns false with no counter movement so the caller
+  /// can fall back to the full translate()/fault path, which then performs
+  /// the identical accounting the slow interpreter path would.
+  bool fetch_recheck(VAddr va, u8 cpl, PAddr& pa) {
+    const u32 vpn = va >> kPageBits;
+    const TlbEntry& slot = tlb_[tlb_index(vpn)];
+    if (!slot.valid || slot.vpn != vpn) return false;
+    if (cpl == kRing3 && !slot.u) return false;
+    const PAddr p = (slot.pfn << kPageBits) | (va & kPageMask);
+    if (!mem_.contains(p, kInstrBytes)) return false;
+    ++hits_;
+    pa = p;
+    return true;
+  }
 
   // --- statistics ---
   u64 tlb_hits() const { return hits_; }

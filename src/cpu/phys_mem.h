@@ -4,6 +4,12 @@
 // only when the access is flagged privileged-host (the monitor itself), and
 // device DMA into them is refused (the devices report an address error).
 // This is the physical backstop behind the paper's third protection level.
+//
+// Every write — CPU store, device DMA, monitor emulation, debugger poke —
+// bumps a per-page version counter. The interpreter's predecoded block cache
+// (cpu/block_cache.h) tags each block with the version of its code page at
+// decode time and treats any mismatch as an invalidation, so stale decoded
+// code can never execute no matter which agent wrote the page.
 #pragma once
 
 #include <cstring>
@@ -14,9 +20,17 @@
 
 namespace vdbg::cpu {
 
+// Page geometry of the simulated machine. Defined here (not mmu.h) because
+// physical memory versions itself at page granularity.
+inline constexpr u32 kPageBits = 12;
+inline constexpr u32 kPageSize = 1u << kPageBits;
+inline constexpr u32 kPageMask = kPageSize - 1;
+
 class PhysMem {
  public:
-  explicit PhysMem(u32 size_bytes) : bytes_(size_bytes, 0) {}
+  explicit PhysMem(u32 size_bytes)
+      : bytes_(size_bytes, 0),
+        versions_((size_bytes >> kPageBits) + 1, 0) {}
 
   u32 size() const { return static_cast<u32>(bytes_.size()); }
   bool contains(PAddr addr, u32 len) const {
@@ -33,12 +47,17 @@ class PhysMem {
     return u32(bytes_[a]) | (u32(bytes_[a + 1]) << 8) |
            (u32(bytes_[a + 2]) << 16) | (u32(bytes_[a + 3]) << 24);
   }
-  void write8(PAddr a, u8 v) { bytes_[a] = v; }
+  void write8(PAddr a, u8 v) {
+    ++versions_[a >> kPageBits];
+    bytes_[a] = v;
+  }
   void write16(PAddr a, u16 v) {
+    touch(a, 2);
     bytes_[a] = static_cast<u8>(v);
     bytes_[a + 1] = static_cast<u8>(v >> 8);
   }
   void write32(PAddr a, u32 v) {
+    touch(a, 4);
     bytes_[a] = static_cast<u8>(v);
     bytes_[a + 1] = static_cast<u8>(v >> 8);
     bytes_[a + 2] = static_cast<u8>(v >> 16);
@@ -51,12 +70,22 @@ class PhysMem {
   }
   /// Bulk copy into memory. Caller must check contains().
   void write_block(PAddr a, std::span<const u8> in) {
+    if (in.empty()) return;
+    touch(a, static_cast<u32>(in.size()));
     std::memcpy(bytes_.data() + a, in.data(), in.size());
   }
 
   std::span<const u8> span(PAddr a, u32 len) const {
     return {bytes_.data() + a, len};
   }
+
+  /// Write-version of physical page `page` (= pa >> kPageBits). Monotonic;
+  /// bumped by every store that touches the page.
+  u64 page_version(u32 page) const { return versions_[page]; }
+  /// Stable pointer to a page's version word (versions_ never reallocates
+  /// after construction). Lets the block dispatcher poll one page's version
+  /// in its inner loop without re-deriving the vector slot.
+  const u64* page_version_ptr(u32 page) const { return &versions_[page]; }
 
   // --- protected (monitor-owned) ranges ---
   void add_protected_range(PAddr begin, u32 len) {
@@ -74,11 +103,19 @@ class PhysMem {
   }
 
  private:
+  /// Bumps the version of every page touched by a write of `len` bytes.
+  void touch(PAddr a, u32 len) {
+    const u32 first = a >> kPageBits;
+    const u32 last = (a + len - 1) >> kPageBits;
+    for (u32 p = first; p <= last; ++p) ++versions_[p];
+  }
+
   struct Range {
     PAddr begin;
     u32 len;
   };
   std::vector<u8> bytes_;
+  std::vector<u64> versions_;
   std::vector<Range> protected_;
 };
 

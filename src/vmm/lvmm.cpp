@@ -147,6 +147,11 @@ bool Lvmm::guest_write(VAddr va, std::span<const u8> in) {
         std::min<u32>(cpu::kPageSize - (cur & cpu::kPageMask),
                       static_cast<u32>(in.size() - done));
     machine_.mem().write_block(pa, in.subspan(done, chunk));
+    // Debugger pokes may overwrite guest text (breakpoint opcode patching):
+    // drop any predecoded block covering the patched bytes. The page
+    // version bump from write_block() already guarantees staleness; this
+    // frees the slots eagerly.
+    machine_.cpu().invalidate_block_cache_range(pa, chunk);
     done += chunk;
   }
   return true;

@@ -1,10 +1,20 @@
-// Differential testing of the interpreter: random straight-line ALU/memory
-// programs are executed both by the VX32 interpreter and by a tiny
-// independent reference model of the ISA semantics; final register files
-// and memory effects must agree exactly.
+// Differential testing of the interpreter.
+//
+// Two layers:
+//  * RandomAluMemProgramsMatchReference — random straight-line ALU/memory
+//    programs executed both by the VX32 interpreter and by a tiny
+//    independent reference model of the ISA semantics; final register files
+//    and memory effects must agree exactly.
+//  * The CachedVsUncached fuzz — the block-cache fast path versus the
+//    kill-switched slow interpreter, run in lockstep over random programs
+//    with branches, calls, software interrupts, self-modifying stores and
+//    deterministically injected external interrupts. Every slice, the
+//    architectural state, cycle count and (non-block_*) stats of both CPUs
+//    must be bit-identical; that is the fast path's correctness contract.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstring>
 
 #include "common/rng.h"
 #include "testutil.h"
@@ -164,6 +174,351 @@ TEST(CpuDifferential, FlagSemanticsMatchTwoComplementIdentities) {
     EXPECT_EQ(h.reg(cpu::kR0), expect)
         << "trial " << trial << " a=" << a << " b=" << b;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cached vs uncached differential fuzz
+// ---------------------------------------------------------------------------
+
+/// Interrupt line the test asserts by hand (deterministically, between run
+/// slices) so both rigs see the same external-interrupt timing.
+class ScriptedIntr final : public cpu::IntrLine {
+ public:
+  bool intr_asserted() const override { return pending_; }
+  u8 acknowledge() override {
+    pending_ = false;
+    return vector_;
+  }
+  void assert_vector(u8 v) {
+    vector_ = v;
+    pending_ = true;
+  }
+  bool pending() const { return pending_; }
+
+ private:
+  bool pending_ = false;
+  u8 vector_ = 0;
+};
+
+/// One CPU with its own memory, scripted I/O and interrupt line.
+struct DiffRig {
+  DiffRig() : mem(1024 * 1024), cpu(mem, io, &intr) {}
+  cpu::PhysMem mem;
+  ScriptedIoBus io;
+  ScriptedIntr intr;
+  cpu::Cpu cpu;
+};
+
+constexpr u8 kExtVector = 48;  // external interrupts in the fuzz
+
+/// Emits a 64-gate IDT whose handlers keep the program running: fault
+/// vectors (< 32) skip the faulting instruction (saved pc += 8) and IRET;
+/// trap-style vectors (software INT, external) plain IRET. Label names:
+/// "skip_stub", "iret_stub", "idt".
+void emit_fuzz_idt(Assembler& a) {
+  using cpu::kR0;
+  using cpu::kSp;
+  a.label("skip_stub");
+  a.push(kR0);
+  // Frame after push: [r0, err, pc, psw, sp]; saved pc at sp+8.
+  a.ld32(kR0, kSp, 8);
+  a.addi(kR0, kR0, u32{8});
+  a.st32(kSp, 8, kR0);
+  a.pop(kR0);
+  a.iret();
+  a.label("iret_stub");
+  a.iret();
+  a.align(8);
+  a.label("idt");
+  for (u32 v = 0; v < 64; ++v) {
+    a.data_ref(l(v < 32 ? "skip_stub" : "iret_stub"));
+    a.data32(cpu::Gate{0, true, 0, 0}.pack_flags());
+  }
+}
+
+/// A random control-flow-heavy program over labels "L0".."L<n-1>" placed
+/// every 8 instructions. r6 = scratch base, r5 = program base (self-mod
+/// store target), r0-r4 general. Returns nothing; emits into `a`.
+void emit_fuzz_program(Assembler& a, Rng& rng, unsigned len) {
+  using namespace cpu;
+  const unsigned num_labels = len / 8 + 1;
+  auto rnd_label = [&] { return l("L" + std::to_string(rng.below(num_labels))); };
+  auto rnd_reg = [&] { return static_cast<Reg>(rng.below(5)); };  // r0-r4
+  unsigned next_label = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    if (i % 8 == 0 && next_label < num_labels) {
+      a.label("L" + std::to_string(next_label++));
+    }
+    const unsigned kind = static_cast<unsigned>(rng.below(100));
+    if (kind < 45) {
+      // Plain ALU op (register or immediate form); memory is handled below.
+      Instr in = random_instr(rng);
+      while (in.op == Opcode::kLd32 || in.op == Opcode::kSt32) {
+        in = random_instr(rng);
+      }
+      const auto bytes = in.encode();
+      for (u8 byte : bytes) a.data8(byte);
+    } else if (kind < 60) {
+      // Scratch-window memory access, word aligned.
+      const i32 disp = static_cast<i32>(rng.below(1024)) * 4;
+      if (rng.chance(0.5)) {
+        a.ld32(rnd_reg(), kR6, disp);
+      } else {
+        a.st32(kR6, disp, rnd_reg());
+      }
+    } else if (kind < 78) {
+      // Control flow to a random label (forward or backward).
+      switch (rng.below(6)) {
+        case 0: a.jmp(rnd_label()); break;
+        case 1: a.jz(rnd_label()); break;
+        case 2: a.jnz(rnd_label()); break;
+        case 3: a.jl(rnd_label()); break;
+        case 4: a.jae(rnd_label()); break;
+        default: a.cmpi(rnd_reg(), rng.next_u32()); break;
+      }
+    } else if (kind < 86) {
+      // Call/ret pairs are intentionally unbalanced; a RET into garbage
+      // faults and the skip handler moves on. Both rigs see it identically.
+      if (rng.chance(0.7)) {
+        a.call(rnd_label());
+      } else {
+        a.ret();
+      }
+    } else if (kind < 92) {
+      // Trapping instructions: software INT (trap-style resume), BRK
+      // (#BP skip), divide by a possibly-zero register (#DE skip).
+      switch (rng.below(3)) {
+        case 0: a.int_(static_cast<u8>(32 + rng.below(16))); break;
+        case 1: a.brk(); break;
+        default: a.divu(rnd_reg(), rnd_reg(), rnd_reg()); break;
+      }
+    } else if (kind < 96) {
+      // Self-modifying store into the program image: r5 holds the program
+      // base; clobber a random instruction word. The block cache must
+      // detect the new page version; the uncached CPU refetches anyway.
+      const i32 disp = static_cast<i32>(rng.below(len)) * 8 +
+                       (rng.chance(0.5) ? 4 : 0);
+      a.st32(kR5, disp, rnd_reg());
+    } else {
+      // Stack traffic.
+      if (rng.chance(0.5)) {
+        a.push(rnd_reg());
+      } else {
+        a.pop(rnd_reg());
+      }
+    }
+  }
+  while (next_label < num_labels) a.label("L" + std::to_string(next_label++));
+  a.hlt();
+}
+
+TEST(CpuDifferential, CachedVsUncachedLockstepFuzz) {
+  Rng rng(20260806);
+  u64 total_hits = 0, total_builds = 0, total_invals = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    // One program image, loaded into two rigs.
+    Assembler a(0x1000);
+    a.movi(cpu::kR0, l("idt"));
+    a.lidt(cpu::kR0, 64);
+    a.movi(cpu::kSp, u32{0x9000});
+    a.movi(cpu::kR6, u32{kScratch});
+    a.movi(cpu::kR5, l("L0"));
+    a.sti();
+    const unsigned len = static_cast<unsigned>(rng.between(24, 160));
+    emit_fuzz_program(a, rng, len);
+    emit_fuzz_idt(a);
+    auto prog = a.finalize();
+
+    DiffRig cached, uncached;
+    uncached.cpu.set_block_cache_enabled(false);
+    prog.load(cached.mem);
+    prog.load(uncached.mem);
+    cached.cpu.state().pc = 0x1000;
+    uncached.cpu.state().pc = 0x1000;
+
+    for (int slice = 0; slice < 60; ++slice) {
+      // Deterministic external interrupt injection between slices.
+      if (slice % 5 == 2) {
+        cached.intr.assert_vector(kExtVector);
+        uncached.intr.assert_vector(kExtVector);
+      }
+      const auto ra = cached.cpu.run(997);
+      const auto rb = uncached.cpu.run(997);
+      ASSERT_EQ(ra, rb) << "trial " << trial << " slice " << slice;
+
+      const auto& sa = cached.cpu.state();
+      const auto& sb = uncached.cpu.state();
+      ASSERT_EQ(cached.cpu.cycles(), uncached.cpu.cycles())
+          << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(sa.pc, sb.pc) << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(sa.psw, sb.psw) << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(sa.regs, sb.regs) << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(sa.cr, sb.cr) << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(sa.idt_base, sb.idt_base);
+      ASSERT_EQ(sa.idt_count, sb.idt_count);
+      ASSERT_EQ(cached.cpu.halted(), uncached.cpu.halted());
+      ASSERT_EQ(cached.intr.pending(), uncached.intr.pending());
+
+      // Architectural stats must match exactly; block_* are fast-path-only
+      // telemetry and excluded by contract.
+      const auto& ta = cached.cpu.stats();
+      const auto& tb = uncached.cpu.stats();
+      ASSERT_EQ(ta.instructions, tb.instructions)
+          << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(ta.mem_accesses, tb.mem_accesses)
+          << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(ta.io_accesses, tb.io_accesses);
+      ASSERT_EQ(ta.exceptions, tb.exceptions);
+      ASSERT_EQ(ta.interrupts, tb.interrupts)
+          << "trial " << trial << " slice " << slice;
+      ASSERT_EQ(ta.hook_events, tb.hook_events);
+      ASSERT_EQ(cached.cpu.mmu().tlb_hits(), uncached.cpu.mmu().tlb_hits());
+      ASSERT_EQ(cached.cpu.mmu().tlb_misses(),
+                uncached.cpu.mmu().tlb_misses());
+
+      // Periodic full-memory compare (self-modifying stores and stack
+      // traffic must land identically).
+      if (slice % 7 == 0) {
+        const auto ma = cached.mem.span(0, cached.mem.size());
+        const auto mb = uncached.mem.span(0, uncached.mem.size());
+        ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
+            << "trial " << trial << " slice " << slice;
+      }
+      if (cached.cpu.shutdown()) break;  // triple fault: both dead (checked)
+    }
+    const auto ma = cached.mem.span(0, cached.mem.size());
+    const auto mb = uncached.mem.span(0, uncached.mem.size());
+    ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
+        << "trial " << trial;
+    total_hits += cached.cpu.stats().block_hits;
+    total_builds += cached.cpu.stats().block_builds;
+    total_invals += cached.cpu.stats().block_invalidations;
+    EXPECT_EQ(0u, uncached.cpu.stats().block_hits);
+    EXPECT_EQ(0u, uncached.cpu.stats().block_builds);
+  }
+  // The fuzz must actually have exercised the fast path and both
+  // invalidation mechanisms, or the whole comparison is vacuous.
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_GT(total_builds, 0u);
+  EXPECT_GT(total_invals, 0u) << "no self-modifying store invalidated a "
+                                 "cached block across all trials";
+}
+
+TEST(CpuDifferential, SelfModifyingCodePatchesTakeEffectBothPaths) {
+  // Pass 1 executes a placeholder NOP that is part of a hot cached block,
+  // then patches it to `movi r2, 7` in place; pass 2 must execute the
+  // patched instruction. The cached CPU must detect the stale block (page
+  // version bump) and rebuild; both CPUs end bit-identical.
+  Instr patch;
+  patch.op = Opcode::kMovI;
+  patch.rd = 2;
+  patch.rs1 = 0;
+  patch.rs2 = 0;
+  patch.imm = 7;
+  const auto enc = patch.encode();
+  const u32 lo = u32(enc[0]) | (u32(enc[1]) << 8) | (u32(enc[2]) << 16) |
+                 (u32(enc[3]) << 24);
+  const u32 hi = u32(enc[4]) | (u32(enc[5]) << 8) | (u32(enc[6]) << 16) |
+                 (u32(enc[7]) << 24);
+
+  auto build = [&](CpuHarness& h) {
+    h.load([&](Assembler& a) {
+      a.movi(cpu::kR5, u32{0});          // pass counter
+      a.movi(cpu::kR3, l("placeholder"));
+      a.movi(cpu::kR1, u32{lo});
+      a.movi(cpu::kR4, u32{hi});
+      a.jmp(l("loop"));  // block boundary: the loop head starts its own block
+      a.label("loop");
+      a.label("placeholder");
+      a.nop();                           // becomes `movi r2, 7` after pass 1
+      a.cmpi(cpu::kR5, u32{1});
+      a.jz(l("done"));
+      a.st32(cpu::kR3, 0, cpu::kR1);     // patch the placeholder word
+      a.st32(cpu::kR3, 4, cpu::kR4);
+      a.addi(cpu::kR5, cpu::kR5, u32{1});
+      a.jmp(l("loop"));
+      a.label("done");
+      a.hlt();
+    });
+  };
+
+  CpuHarness cached, uncached;
+  build(cached);
+  build(uncached);
+  uncached.cpu.set_block_cache_enabled(false);
+  ASSERT_EQ(cached.cpu.run(10000), cpu::RunExit::kHalted);
+  ASSERT_EQ(uncached.cpu.run(10000), cpu::RunExit::kHalted);
+
+  EXPECT_EQ(7u, cached.cpu.state().regs[2]) << "patched instr did not run";
+  EXPECT_EQ(cached.cpu.state().regs, uncached.cpu.state().regs);
+  EXPECT_EQ(cached.cpu.state().pc, uncached.cpu.state().pc);
+  EXPECT_EQ(cached.cpu.cycles(), uncached.cpu.cycles());
+  EXPECT_EQ(cached.cpu.stats().instructions,
+            uncached.cpu.stats().instructions);
+  EXPECT_GE(cached.cpu.stats().block_invalidations, 1u)
+      << "stale block was not detected";
+}
+
+TEST(CpuDifferential, BreakpointPatchViaWriteVirtInvalidates) {
+  // Debugger-style breakpoint patching: run a hot loop until its block is
+  // cached, then rewrite the opcode of one loop instruction to kBrk through
+  // Cpu::write_virt (the debug stub's code path for inserting breakpoints).
+  // Both CPUs must take #BP at the same pc with identical state, and the
+  // cached CPU must invalidate the stale block rather than execute it.
+  auto build = [](CpuHarness& h) {
+    h.load([](Assembler& a) {
+      a.movi(cpu::kR0, l("idt"));
+      a.lidt(cpu::kR0, 64);
+      a.movi(cpu::kSp, u32{0x9000});
+      a.movi(cpu::kR0, u32{0});
+      a.label("loop");
+      a.addi(cpu::kR0, cpu::kR0, u32{1});
+      a.cmpi(cpu::kR0, u32{0x7fffffff});
+      a.jnz(l("loop"));
+      a.hlt();
+      emit_test_idt(a);
+    });
+  };
+  // The addi sits 4 instructions past the image base.
+  const u32 patch_va = 0x1000 + 4 * cpu::kInstrBytes;
+
+  CpuHarness cached, uncached;
+  build(cached);
+  build(uncached);
+  uncached.cpu.set_block_cache_enabled(false);
+
+  // Let the loop get hot (the cached rig builds and reuses its block).
+  ASSERT_EQ(cached.cpu.run(5000), cpu::RunExit::kBudget);
+  ASSERT_EQ(uncached.cpu.run(5000), cpu::RunExit::kBudget);
+  ASSERT_EQ(cached.cpu.cycles(), uncached.cpu.cycles());
+  ASSERT_EQ(cached.cpu.state().regs, uncached.cpu.state().regs);
+  ASSERT_GT(cached.cpu.stats().block_hits, 0u);
+
+  // Patch the loop body's opcode to BRK on both rigs.
+  const u8 brk_op = static_cast<u8>(Opcode::kBrk);
+  ASSERT_TRUE(cached.cpu.write_virt(patch_va, {&brk_op, 1}));
+  ASSERT_TRUE(uncached.cpu.write_virt(patch_va, {&brk_op, 1}));
+
+  // Both must now take #BP: the test IDT records the event and halts.
+  ASSERT_EQ(cached.cpu.run(5000), cpu::RunExit::kHalted);
+  ASSERT_EQ(uncached.cpu.run(5000), cpu::RunExit::kHalted);
+
+  const auto ra = read_trap_record(cached.mem);
+  const auto rb = read_trap_record(uncached.mem);
+  EXPECT_EQ(3u, ra.vector);  // #BP
+  EXPECT_EQ(patch_va, ra.pc);
+  EXPECT_EQ(ra.vector, rb.vector);
+  EXPECT_EQ(ra.pc, rb.pc);
+  EXPECT_EQ(ra.psw, rb.psw);
+  EXPECT_EQ(ra.sp, rb.sp);
+  EXPECT_EQ(cached.cpu.cycles(), uncached.cpu.cycles());
+  EXPECT_EQ(cached.cpu.state().regs, uncached.cpu.state().regs);
+  EXPECT_GE(cached.cpu.stats().block_invalidations, 1u);
+
+  // The explicit belt-and-braces API also drops blocks.
+  const u64 before = cached.cpu.stats().block_invalidations;
+  cached.cpu.invalidate_block_cache();
+  EXPECT_GT(cached.cpu.stats().block_invalidations, before);
 }
 
 }  // namespace

@@ -269,5 +269,32 @@ TEST(CpuEdge, DivRemConsistency) {
   }
 }
 
+TEST(CpuEdge, FetchInLastPartialWordFaultsWithoutOverrun) {
+  // An instruction fetch whose 8-byte word extends past the end of physical
+  // memory must fault cleanly instead of reading out of bounds: the MMU is
+  // told the access size, so a pc at size-4 fails where a 1-byte data read
+  // at the same address succeeds.
+  cpu::PhysMem mem(0x1004);
+  cpu::Mmu mmu(mem, cpu::CostModel::pentium3());
+  cpu::CpuState st;  // paging disabled
+  const auto fetch =
+      mmu.translate(st, 0x1000, cpu::Access::kExec, 0, cpu::kInstrBytes);
+  EXPECT_FALSE(fetch.ok);
+  EXPECT_EQ(cpu::kVecGp, fetch.fault.vector);
+  const auto byte_read = mmu.translate(st, 0x1000, cpu::Access::kRead, 0, 1);
+  EXPECT_TRUE(byte_read.ok);
+
+  // End to end, on both dispatch paths: no IDT is installed, so the #GP
+  // escalates to shutdown — the run must end there, not in an OOB read.
+  for (const bool cache_on : {true, false}) {
+    cpu::PhysMem m(0x1004);
+    ScriptedIoBus io;
+    cpu::Cpu c(m, io, nullptr);
+    c.set_block_cache_enabled(cache_on);
+    c.state().pc = 0x1000;
+    EXPECT_EQ(RunExit::kShutdown, c.run(1000)) << "cache_on=" << cache_on;
+  }
+}
+
 }  // namespace
 }  // namespace vdbg::test
