@@ -5,10 +5,13 @@
 // this is the per-exit tax the paper's design amortises with passthrough.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/units.h"
 #include "guest/layout.h"
 #include "guest/minitactix.h"
 #include "harness/platform.h"
+#include "vmm/lvmm.h"
 
 namespace {
 
@@ -54,19 +57,37 @@ void BM_SyscallPathHosted(benchmark::State& state) {
 }
 BENCHMARK(BM_SyscallPathHosted)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-/// Average monitor cycles charged per VM exit across a streaming run.
+/// Average monitor cycles charged per VM exit across a streaming run, with
+/// the guest-memory translation cache on (arg 1) or off (arg 0). The
+/// per-kind breakdown and vTLB hit rate come from the new VmExitStats /
+/// GuestMemory counters.
 void BM_PerExitCharge(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
   double v = 0;
   for (auto _ : state) {
     Platform p(PlatformKind::kLvmm);
     p.prepare(guest::RunConfig::for_rate_mbps(40.0));
+    p.monitor()->guest_mem().set_translation_cache_enabled(cached);
     p.machine().run_for(seconds_to_cycles(0.1));
     const auto& ex = p.monitor()->exit_stats();
     v = ex.total ? double(ex.charged_cycles) / double(ex.total) : 0.0;
+    for (unsigned k = 0; k < vmm::kNumExitKinds; ++k) {
+      const auto& ks = ex.by_kind[k];
+      if (ks.count == 0) continue;
+      state.counters["mean_" + std::string(vmm::exit_kind_name(
+                                   static_cast<vmm::ExitKind>(k)))] = ks.mean();
+    }
+    const auto& gm = p.monitor()->guest_mem().stats();
+    state.counters["vtlb_hit_rate"] =
+        gm.lookups ? double(gm.hits) / double(gm.lookups) : 0.0;
   }
   state.counters["sim_cycles_per_exit"] = v;
 }
-BENCHMARK(BM_PerExitCharge)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerExitCharge)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

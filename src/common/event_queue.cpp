@@ -5,12 +5,28 @@
 namespace vdbg {
 
 EventId EventQueue::schedule_at(Cycles deadline, Callback cb,
-                                std::string name) {
+                                std::string_view name) {
   const EventId id = next_id_++;
-  heap_.push(Entry{deadline, next_seq_++, id, std::move(cb), std::move(name)});
+  // The name is only materialised under tracing; the common path stores an
+  // empty string (no allocation, small-string or default-constructed).
+  heap_.push(Entry{deadline, next_seq_++, id, std::move(cb),
+                   name_tracing_ ? std::string(name) : std::string()});
   ++live_count_;
   if (deadline_observer_) deadline_observer_(deadline);
   return id;
+}
+
+std::vector<std::string> EventQueue::pending_names() const {
+  std::vector<std::string> out;
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Entry& e = copy.top();
+    if (!cancelled_.count(e.id)) {
+      out.push_back(e.name.empty() ? "?" : e.name);
+    }
+    copy.pop();
+  }
+  return out;
 }
 
 bool EventQueue::cancel(EventId id) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -34,14 +35,24 @@ class EventQueue {
   }
 
   /// Schedules `cb` to fire at absolute cycle `deadline`. Events scheduled
-  /// for the same deadline fire in scheduling order.
-  EventId schedule_at(Cycles deadline, Callback cb, std::string name = {});
+  /// for the same deadline fire in scheduling order. `name` is a debug
+  /// label: it is only materialised when name tracing is on, so the hot
+  /// scheduling path never heap-allocates for it.
+  EventId schedule_at(Cycles deadline, Callback cb, std::string_view name = {});
 
   /// Schedules relative to `now`.
   EventId schedule_in(Cycles now, Cycles delay, Callback cb,
-                      std::string name = {}) {
-    return schedule_at(now + delay, std::move(cb), std::move(name));
+                      std::string_view name = {}) {
+    return schedule_at(now + delay, std::move(cb), name);
   }
+
+  /// Enables storing event names for introspection (pending_names). Off by
+  /// default: names passed to schedule_* are dropped without allocating.
+  void set_name_tracing(bool on) { name_tracing_ = on; }
+  bool name_tracing() const { return name_tracing_; }
+  /// Labels of live pending events, deadline order. Entries scheduled while
+  /// name tracing was off (or namelessly) appear as "?". Debug/test aid.
+  std::vector<std::string> pending_names() const;
 
   /// Cancels a pending event. Returns false if it already fired or was
   /// already cancelled.
@@ -79,6 +90,7 @@ class EventQueue {
   std::size_t live_count_ = 0;
   u64 next_seq_ = 0;
   EventId next_id_ = 1;
+  bool name_tracing_ = false;
 };
 
 }  // namespace vdbg

@@ -67,7 +67,7 @@ void DebuggerCli::cmd_help() {
           "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
           "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
           "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
-          "  status | help | quit\n";
+          "  status | exits | help | quit\n";
 }
 
 void DebuggerCli::cmd_regs() {
@@ -254,6 +254,19 @@ bool DebuggerCli::execute(const std::string& line) {
       for (const auto& l : dbg_.fetch_trace(n)) out_ << "  " << l << "\n";
     } else {
       out_ << "error: trace on|off|show [n]\n";
+    }
+  } else if (cmd == "exits") {
+    const auto stats = dbg_.exit_stats();
+    if (!stats) {
+      out_ << "error: no exit stats\n";
+    } else {
+      out_ << "  kind      count       cycles   mean\n";
+      for (const auto& s : *stats) {
+        if (s.count == 0) continue;
+        out_ << "  " << std::left << std::setw(8) << s.kind << std::right
+             << std::setw(9) << s.count << std::setw(13) << s.cycles
+             << std::setw(7) << (s.cycles / s.count) << "\n";
+      }
     }
   } else if (cmd == "status") {
     out_ << "last stop: "

@@ -155,11 +155,20 @@ std::optional<std::vector<u8>> RemoteDebugger::read_memory(u32 addr,
 }
 
 bool RemoteDebugger::write_memory(u32 addr, std::span<const u8> data) {
-  const auto r = transact("M" + hex_u32(addr) + "," +
-                              hex_u32(static_cast<u32>(data.size())) + ":" +
-                              to_hex(data),
-                          kDefaultBudget);
-  return r && *r == "OK";
+  // Chunked like read_memory: the stub caps each M transaction well below
+  // its PacketSize, so large downloads go out as multiple transactions.
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const u32 chunk =
+        std::min<u32>(static_cast<u32>(data.size() - done), 0x800);
+    const auto r = transact("M" + hex_u32(addr) + "," + hex_u32(chunk) + ":" +
+                                to_hex(data.subspan(done, chunk)),
+                            kDefaultBudget);
+    if (!r || *r != "OK") return false;
+    addr += chunk;
+    done += chunk;
+  }
+  return true;
 }
 
 bool RemoteDebugger::set_breakpoint(u32 addr) {
@@ -263,6 +272,35 @@ bool RemoteDebugger::target_crashed() {
 bool RemoteDebugger::monitor_intact() {
   const auto r = query("Vdbg.MonitorIntact");
   return r && *r == "1";
+}
+
+std::optional<std::vector<RemoteExitStat>> RemoteDebugger::exit_stats() {
+  const auto r = query("Vdbg.ExitStats");
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  std::vector<RemoteExitStat> out;
+  std::size_t start = 0;
+  while (start <= r->size()) {
+    const auto sep = r->find(';', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    const auto c1 = item.find(':');
+    const auto c2 = item.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return std::nullopt;
+    }
+    RemoteExitStat s;
+    s.kind = item.substr(0, c1);
+    try {
+      s.count = std::stoull(item.substr(c1 + 1, c2 - c1 - 1));
+      s.cycles = std::stoull(item.substr(c2 + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(s));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
 }
 
 void RemoteDebugger::add_symbols(const vasm::Program& image) {

@@ -28,6 +28,14 @@ struct TargetRegs {
   u32 psw = 0;
 };
 
+/// One parsed qVdbg.ExitStats entry: monitor cycles charged to one VM-exit
+/// kind ("priv", "io", "pf", "softint", "irq", "bp", "step", "other").
+struct RemoteExitStat {
+  std::string kind;
+  u64 count = 0;
+  u64 cycles = 0;
+};
+
 class RemoteDebugger {
  public:
   /// Wires the debugger to the machine's UART. The monitor's stub must be
@@ -77,6 +85,9 @@ class RemoteDebugger {
   std::vector<std::string> fetch_trace(unsigned n = 8);
   bool target_crashed();
   bool monitor_intact();
+  /// Per-exit-kind monitor counters (qVdbg.ExitStats); nullopt when the
+  /// stub does not answer or the reply is malformed.
+  std::optional<std::vector<RemoteExitStat>> exit_stats();
 
   // --- symbols ---
   void add_symbols(const vasm::Program& image);

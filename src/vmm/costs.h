@@ -38,6 +38,13 @@ struct LvmmCosts {
   Cycles stub_per_command = 4000;
   /// VM-exit tracer: per recorded event (a few stores into the ring).
   Cycles trace_per_event = 40;
+  /// Full guest page-table walk by the monitor (vIDT gate reads, injection
+  /// frame pushes, stub memory commands): two table loads plus bounds and
+  /// permission checks in the trap handler.
+  Cycles guest_walk = 700;
+  /// Same access served from the monitor's translation cache (vTLB hit):
+  /// one tag compare and an add.
+  Cycles guest_walk_hit = 60;
 
   static const LvmmCosts& defaults() {
     static const LvmmCosts c{};

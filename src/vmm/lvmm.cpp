@@ -1,11 +1,10 @@
+// Monitor core: lifecycle, physical-PIC ownership, and the VM-exit dispatch
+// pipeline. Per-exit-kind handlers live in exit_priv.cpp, exit_io.cpp,
+// exit_pf.cpp and exit_inject.cpp.
 #include "vmm/lvmm.h"
-
-#include <algorithm>
-#include <memory>
 
 #include "hw/diag_port.h"
 #include "hw/nic.h"
-#include "hw/pit.h"
 #include "hw/scsi_disk.h"
 #include "hw/uart.h"
 
@@ -14,7 +13,6 @@ namespace vdbg::vmm {
 using cpu::Fault;
 using cpu::Instr;
 using cpu::Opcode;
-using cpu::Psw;
 
 namespace {
 constexpr u32 kCanaryWord = 0x4c564d4d;  // "LVMM"
@@ -28,10 +26,24 @@ Lvmm::Lvmm(hw::Machine& machine, const Config& cfg)
   scfg.monitor_base = cfg_.monitor_base + cpu::kPageSize;
   scfg.monitor_len = cfg_.monitor_len - cpu::kPageSize;
   scfg.guest_mem_limit = cfg_.guest_mem_limit;
-  shadow_ = new ShadowMmu(machine_.mem(), scfg);
+  shadow_ = std::make_unique<ShadowMmu>(machine_.mem(), scfg);
+  gmem_ = std::make_unique<GuestMemory>(machine_.mem(), *shadow_, vcpu_,
+                                        cfg_.guest_mem_limit);
+  // The vTLB stays coherent by listening at the ShadowMmu's invalidation
+  // points (flush / INVLPG / emulated guest PT stores).
+  shadow_->set_translation_listener(gmem_.get());
+  gmem_->set_walk_costs(cfg_.costs.guest_walk, cfg_.costs.guest_walk_hit);
+  gmem_->set_charge_hook([this](Cycles c) { charge(c); });
+  // Debugger pokes may overwrite guest text (breakpoint opcode patching):
+  // drop any predecoded block covering the patched bytes. The page version
+  // bump from write_block() already guarantees staleness; this frees the
+  // slots eagerly.
+  gmem_->set_write_observer([this](PAddr pa, u32 len) {
+    machine_.cpu().invalidate_block_cache_range(pa, len);
+  });
 }
 
-Lvmm::~Lvmm() { delete shadow_; }
+Lvmm::~Lvmm() = default;
 
 void Lvmm::charge(Cycles c) {
   machine_.cpu().add_cycles(c);
@@ -77,6 +89,7 @@ void Lvmm::install() {
   s.set_cpl(cpu::kRing1);
   s.set_if(true);
   vcpu_ = VcpuState{};
+  gmem_->flush_cache();
   machine_.cpu().set_trap_hook(this);
 }
 
@@ -102,72 +115,6 @@ bool Lvmm::monitor_memory_intact() const {
     }
   }
   return true;
-}
-
-// --------------------------------------------------------------------------
-// Guest memory access through the guest's own translation.
-// --------------------------------------------------------------------------
-
-bool Lvmm::guest_va_to_pa(VAddr va, bool write, PAddr& pa) const {
-  if (!vcpu_.paging_enabled()) {
-    if (va >= cfg_.guest_mem_limit) return false;
-    pa = va;
-    return true;
-  }
-  const auto w = shadow_->walk_guest(vcpu_.vcr[cpu::kCr3], va, write,
-                                     /*user=*/false);
-  if (!w.ok) return false;
-  if (w.pa >= cfg_.guest_mem_limit) return false;
-  pa = w.pa;
-  return true;
-}
-
-bool Lvmm::guest_read(VAddr va, std::span<u8> out) const {
-  std::size_t done = 0;
-  while (done < out.size()) {
-    PAddr pa = 0;
-    const VAddr cur = va + static_cast<u32>(done);
-    if (!guest_va_to_pa(cur, false, pa)) return false;
-    const u32 chunk = std::min<u32>(
-        cpu::kPageSize - (cur & cpu::kPageMask),
-        static_cast<u32>(out.size() - done));
-    machine_.mem().read_block(pa, out.subspan(done, chunk));
-    done += chunk;
-  }
-  return true;
-}
-
-bool Lvmm::guest_write(VAddr va, std::span<const u8> in) {
-  std::size_t done = 0;
-  while (done < in.size()) {
-    PAddr pa = 0;
-    const VAddr cur = va + static_cast<u32>(done);
-    if (!guest_va_to_pa(cur, true, pa)) return false;
-    const u32 chunk =
-        std::min<u32>(cpu::kPageSize - (cur & cpu::kPageMask),
-                      static_cast<u32>(in.size() - done));
-    machine_.mem().write_block(pa, in.subspan(done, chunk));
-    // Debugger pokes may overwrite guest text (breakpoint opcode patching):
-    // drop any predecoded block covering the patched bytes. The page
-    // version bump from write_block() already guarantees staleness; this
-    // frees the slots eagerly.
-    machine_.cpu().invalidate_block_cache_range(pa, chunk);
-    done += chunk;
-  }
-  return true;
-}
-
-bool Lvmm::guest_read32(VAddr va, u32& value) const {
-  u8 b[4];
-  if (!guest_read(va, b)) return false;
-  value = u32(b[0]) | (u32(b[1]) << 8) | (u32(b[2]) << 16) | (u32(b[3]) << 24);
-  return true;
-}
-
-bool Lvmm::guest_write32(VAddr va, u32 value) {
-  const u8 b[4] = {static_cast<u8>(value), static_cast<u8>(value >> 8),
-                   static_cast<u8>(value >> 16), static_cast<u8>(value >> 24)};
-  return guest_write(va, b);
 }
 
 bool Lvmm::fetch_guest_instr(Instr& out) {
@@ -216,71 +163,115 @@ void Lvmm::physical_set_mask(unsigned irq, bool masked) {
 }
 
 // --------------------------------------------------------------------------
-// VM-exit dispatch.
+// VM-exit dispatch pipeline: classify once, dispatch, record per-kind cost.
 // --------------------------------------------------------------------------
 
 void Lvmm::on_event(cpu::Cpu& cpu, const Fault& f) {
+  (void)cpu;
+  const Cycles t0 = stats_.charged_cycles;
   charge(cfg_.costs.exit_base);
   ++stats_.total;
 
+  ExitContext ctx{f};
+  classify_exit(ctx);
+  dispatch_exit(ctx);
+  stats_.record_exit(ctx.kind, stats_.charged_cycles - t0);
+}
+
+/// Maps the raising fault to an ExitKind, decoding the faulting instruction
+/// at most once (for #GP exits, which are the only kind whose handling
+/// depends on the instruction). A #GP whose instruction cannot be fetched
+/// classifies as kOther with have_instr=false; dispatch crashes the guest.
+void Lvmm::classify_exit(ExitContext& ctx) {
+  const Fault& f = ctx.fault;
   if (f.kind == cpu::EventKind::kSoftInt) {
-    ++stats_.soft_ints;
-    trace(TraceKind::kSoftInt, f.vector, 0, 0);
-    inject(f.vector, 0, st().pc + cpu::kInstrBytes, /*is_soft_int=*/true);
+    ctx.kind = ExitKind::kSoftInt;
     return;
   }
-
   switch (f.vector) {
     case cpu::kVecGp: {
-      Instr in;
-      if (!fetch_guest_instr(in)) {
-        guest_crash();
+      ctx.have_instr = fetch_guest_instr(ctx.instr);
+      if (!ctx.have_instr) {
+        ctx.kind = ExitKind::kOther;
         return;
       }
       const bool guest_kernel = st().cpl() == cpu::kRing1;
-      if (guest_kernel && cpu::is_privileged(in.op)) {
-        emulate_privileged(in);
+      if (guest_kernel && cpu::is_privileged(ctx.instr.op)) {
+        ctx.kind = ExitKind::kPrivileged;
         return;
       }
       if (guest_kernel && (f.errcode & 0x10000u) &&
-          (in.op == Opcode::kIn || in.op == Opcode::kOut)) {
-        emulate_io(in, static_cast<u16>(f.errcode & 0xffff));
+          (ctx.instr.op == Opcode::kIn || ctx.instr.op == Opcode::kOut)) {
+        ctx.kind = ExitKind::kIo;
         return;
       }
-      reflect(f, st().pc);
+      ctx.kind = ExitKind::kOther;  // genuine guest #GP: reflect
       return;
     }
     case cpu::kVecPf:
-      handle_page_fault(f);
+      ctx.kind = ExitKind::kPageFault;
       return;
     case cpu::kVecBreakpoint:
-      if (debug_ && debug_->owns_breakpoint(st().pc)) {
-        freeze_guest(DebugDelegate::StopReason::kBreakpoint);
-        return;
-      }
-      reflect(f, st().pc);
+      ctx.kind = debug_ && debug_->owns_breakpoint(st().pc)
+                     ? ExitKind::kBreakpoint
+                     : ExitKind::kOther;
       return;
     case cpu::kVecDebug:
-      if (debug_ && debug_->wants_step()) {
-        st().set_tf(false);
-        freeze_guest(DebugDelegate::StopReason::kStep);
-        return;
-      }
-      reflect(f, st().pc);
+      ctx.kind = debug_ && debug_->wants_step() ? ExitKind::kStep
+                                                : ExitKind::kOther;
       return;
     default:
+      ctx.kind = ExitKind::kOther;
+      return;
+  }
+}
+
+void Lvmm::dispatch_exit(ExitContext& ctx) {
+  const Fault& f = ctx.fault;
+  switch (ctx.kind) {
+    case ExitKind::kSoftInt:
+      ++stats_.soft_ints;
+      trace(TraceKind::kSoftInt, f.vector, 0, 0);
+      inject(f.vector, 0, st().pc + cpu::kInstrBytes, /*is_soft_int=*/true);
+      return;
+    case ExitKind::kPrivileged:
+      emulate_privileged(ctx.instr);
+      return;
+    case ExitKind::kIo:
+      emulate_io(ctx.instr, static_cast<u16>(f.errcode & 0xffff));
+      return;
+    case ExitKind::kPageFault:
+      handle_page_fault(ctx);
+      return;
+    case ExitKind::kBreakpoint:
+      freeze_guest(DebugDelegate::StopReason::kBreakpoint);
+      return;
+    case ExitKind::kStep:
+      st().set_tf(false);
+      freeze_guest(DebugDelegate::StopReason::kStep);
+      return;
+    case ExitKind::kInterrupt:  // external interrupts never route here
+    case ExitKind::kOther:
+      if (f.vector == cpu::kVecGp && !ctx.have_instr) {
+        guest_crash();  // unfetchable faulting instruction
+        return;
+      }
       reflect(f, st().pc);
       return;
   }
-  (void)cpu;
 }
 
 void Lvmm::on_external_interrupt(cpu::Cpu& cpu, u8 vector) {
   (void)cpu;
+  const Cycles t0 = stats_.charged_cycles;
   charge(cfg_.costs.exit_base + cfg_.costs.intr_arrival);
   ++stats_.total;
   ++stats_.interrupts;
+  forward_external_interrupt(vector);
+  stats_.record_exit(ExitKind::kInterrupt, stats_.charged_cycles - t0);
+}
 
+void Lvmm::forward_external_interrupt(u8 vector) {
   int irq = -1;
   if (vector >= 0x20 && vector < 0x28) {
     irq = vector - 0x20;
@@ -306,448 +297,6 @@ void Lvmm::on_external_interrupt(cpu::Cpu& cpu, u8 vector) {
   vpic_.pulse_irq(unsigned(irq));
   on_device_interrupt_forwarded(unsigned(irq));
   try_inject();
-}
-
-// --------------------------------------------------------------------------
-// Privileged-instruction emulation.
-// --------------------------------------------------------------------------
-
-void Lvmm::emulate_privileged(const Instr& in) {
-  charge(cfg_.costs.instr_emulate);
-  ++stats_.privileged_instr;
-  trace(TraceKind::kPrivileged, static_cast<u8>(in.op), 0, 0);
-  auto& s = st();
-  auto reg = [&](u8 r) -> u32& { return s.regs[r & (cpu::kNumGprs - 1)]; };
-
-  switch (in.op) {
-    case Opcode::kCli:
-      vcpu_.vif = false;
-      s.pc += cpu::kInstrBytes;
-      return;
-    case Opcode::kSti:
-      vcpu_.vif = true;
-      s.pc += cpu::kInstrBytes;
-      try_inject();
-      return;
-    case Opcode::kHlt:
-      s.pc += cpu::kInstrBytes;
-      if (vcpu_.vif && vpic_.intr_asserted()) {
-        try_inject();
-        return;
-      }
-      vcpu_.halted = true;
-      machine_.cpu().set_halted(true);
-      return;
-    case Opcode::kIret:
-      emulate_guest_iret();
-      return;
-    case Opcode::kLidt:
-      vcpu_.vidt_base = reg(in.rs1);
-      vcpu_.vidt_count = in.imm;
-      s.pc += cpu::kInstrBytes;
-      return;
-    case Opcode::kMovToCr: {
-      const u8 crn = in.rd;
-      if (crn >= cpu::kNumCrs) {
-        reflect(Fault::ud(), s.pc);
-        return;
-      }
-      vcpu_.vcr[crn] = reg(in.rs1);
-      if (crn == cpu::kCr3 || crn == cpu::kCr0) {
-        shadow_->flush();
-        s.cr[cpu::kCr3] = vcpu_.paging_enabled() ? shadow_->shadow_pd()
-                                                 : shadow_->identity_pd();
-        machine_.cpu().mmu().flush_tlb();
-      }
-      s.pc += cpu::kInstrBytes;
-      return;
-    }
-    case Opcode::kMovFromCr: {
-      const u8 crn = in.rs1;
-      if (crn >= cpu::kNumCrs) {
-        reflect(Fault::ud(), s.pc);
-        return;
-      }
-      reg(in.rd) = vcpu_.vcr[crn];
-      s.pc += cpu::kInstrBytes;
-      return;
-    }
-    case Opcode::kInvlpg:
-      shadow_->invlpg(reg(in.rs1));
-      machine_.cpu().mmu().invlpg(reg(in.rs1));
-      s.pc += cpu::kInstrBytes;
-      return;
-    default:
-      reflect(Fault::gp(0), s.pc);
-      return;
-  }
-}
-
-// --------------------------------------------------------------------------
-// Trapped-port emulation (PIC / PIT / UART for the lightweight monitor).
-// --------------------------------------------------------------------------
-
-void Lvmm::emulate_io(const Instr& in, u16 port) {
-  charge(cfg_.costs.instr_emulate + cfg_.costs.device_emulate);
-  ++stats_.io_emulated;
-  auto& s = st();
-  auto reg = [&](u8 r) -> u32& { return s.regs[r & (cpu::kNumGprs - 1)]; };
-  if (in.op == Opcode::kIn) {
-    trace(TraceKind::kIoRead, 0, port, 0);
-    reg(in.rd) = io_emulated_read(port);
-  } else {
-    trace(TraceKind::kIoWrite, 0, port, reg(in.rs1));
-    io_emulated_write(port, reg(in.rs1));
-  }
-  s.pc += cpu::kInstrBytes;
-  try_inject();
-}
-
-void Lvmm::vpic_write(bool slave, u16 offset, u32 value) {
-  // Couple guest EOI on the vPIC to physically unmasking the line the
-  // monitor parked when it forwarded the interrupt.
-  int eoi_irq = -1;
-  if (offset == 0) {
-    const u8 v = static_cast<u8>(value);
-    if ((v & 0xe0) == 0x20) {  // non-specific EOI: highest in-service wins
-      const u8 isr = vpic_.isr(slave);
-      for (int i = 0; i < 8; ++i) {
-        if (isr & (1u << i)) {
-          eoi_irq = (slave ? 8 : 0) + i;
-          break;
-        }
-      }
-    } else if ((v & 0xe0) == 0x60) {  // specific EOI
-      eoi_irq = (slave ? 8 : 0) + (v & 7);
-    }
-  }
-  auto& chip = slave ? vpic_.slave_ports() : vpic_.master_ports();
-  chip.io_write(offset, value);
-  if (eoi_irq >= 0 && eoi_irq != int(hw::kPicCascadeIrq)) {
-    auto it = masked_pending_.find(unsigned(eoi_irq));
-    if (it != masked_pending_.end()) {
-      masked_pending_.erase(it);
-      physical_set_mask(unsigned(eoi_irq), false);
-    }
-  }
-}
-
-u32 Lvmm::io_emulated_read(u16 port) {
-  switch (port) {
-    case 0x20:
-    case 0x21:
-      return vpic_.master_ports().io_read(port - 0x20);
-    case 0xa0:
-    case 0xa1:
-      return vpic_.slave_ports().io_read(port - 0xa0);
-    default:
-      break;
-  }
-  if (port >= hw::kPitBase && port < hw::kPitBase + 4) {
-    // Timer emulator: forwards to the physical PIT.
-    return machine_.router().io_read(port);
-  }
-  if (port >= hw::kUartBase && port < hw::kUartBase + 8) {
-    return 0;  // the monitor owns the UART; the guest sees a dead device
-  }
-  if (!cfg_.device_passthrough && is_device_class_port(port)) {
-    return machine_.router().io_read(port);  // trap-all ablation: relay
-  }
-  ++stats_.unknown_ports;
-  return 0xffffffffu;
-}
-
-bool Lvmm::is_device_class_port(u16 port) const {
-  if (port >= hw::kNicBase && port < hw::kNicBase + 0x40) return true;
-  const u16 scsi_end = static_cast<u16>(
-      hw::kScsiBase0 + machine_.num_disks() * hw::kScsiPortStride);
-  if (port >= hw::kScsiBase0 && port < scsi_end) return true;
-  if (port >= hw::kDiagBase && port < hw::kDiagBase + hw::kDiagPortCount) {
-    return true;
-  }
-  return false;
-}
-
-void Lvmm::io_emulated_write(u16 port, u32 value) {
-  switch (port) {
-    case 0x20:
-    case 0x21:
-      vpic_write(false, port - 0x20, value);
-      return;
-    case 0xa0:
-    case 0xa1:
-      vpic_write(true, port - 0xa0, value);
-      return;
-    default:
-      break;
-  }
-  if (port >= hw::kPitBase && port < hw::kPitBase + 4) {
-    machine_.router().io_write(port, value);
-    return;
-  }
-  if (port >= hw::kUartBase && port < hw::kUartBase + 8) {
-    return;  // dropped
-  }
-  if (!cfg_.device_passthrough && is_device_class_port(port)) {
-    machine_.router().io_write(port, value);  // trap-all ablation: relay
-    return;
-  }
-  ++stats_.unknown_ports;
-}
-
-// --------------------------------------------------------------------------
-// Shadow paging faults.
-// --------------------------------------------------------------------------
-
-void Lvmm::handle_page_fault(const Fault& f) {
-  if (!vcpu_.paging_enabled()) {
-    // Identity phase: the guest touched memory it does not own (e.g. the
-    // monitor region). Reflect as a protection #PF.
-    reflect(Fault::pf(f.cr2, f.errcode), st().pc);
-    return;
-  }
-  const auto out =
-      shadow_->handle_fault(vcpu_.vcr[cpu::kCr3], f.cr2, f.errcode);
-  switch (out.kind) {
-    case ShadowMmu::FaultOutcome::kSynced:
-      charge(cfg_.costs.shadow_sync);
-      ++stats_.shadow_syncs;
-      trace(TraceKind::kShadowSync, 0, 0, f.cr2);
-      machine_.cpu().mmu().invlpg(f.cr2);
-      return;  // hidden fault: restart the instruction
-    case ShadowMmu::FaultOutcome::kPtWrite:
-      handle_pt_write(out.target_pa);
-      return;
-    case ShadowMmu::FaultOutcome::kWatchWrite:
-      handle_watch_write(f);
-      return;
-    case ShadowMmu::FaultOutcome::kReflect:
-      reflect(Fault::pf(f.cr2, out.guest_errcode), st().pc);
-      return;
-  }
-}
-
-void Lvmm::handle_watch_write(const cpu::Fault& f) {
-  // Decode the store, emulate it (post-write watch semantics, as GDB
-  // reports), then either notify the debugger (range hit) or resume
-  // silently (same page, unwatched bytes).
-  Instr in;
-  if (!fetch_guest_instr(in)) {
-    guest_crash();
-    return;
-  }
-  unsigned size = 0;
-  switch (in.op) {
-    case Opcode::kSt8: size = 1; break;
-    case Opcode::kSt16: size = 2; break;
-    case Opcode::kSt32: size = 4; break;
-    default:
-      guest_crash();
-      return;
-  }
-  auto& s = st();
-  const u32 value = s.regs[in.rs2 & (cpu::kNumGprs - 1)];
-  const VAddr ea = s.regs[in.rs1 & (cpu::kNumGprs - 1)] + in.imm;
-  PAddr pa = 0;
-  if (!guest_va_to_pa(ea, /*write=*/true, pa)) {
-    reflect(Fault::pf(ea, f.errcode), s.pc);
-    return;
-  }
-  shadow_->pt_write(pa, size, value);  // also invalidates if a PT frame
-  machine_.cpu().mmu().flush_tlb();
-  s.pc += cpu::kInstrBytes;
-  charge(cfg_.costs.pt_write_emulate);
-
-  for (const auto& w : watches_) {
-    if (ea < w.va + w.len && w.va < ea + size) {
-      watch_hit_ = WatchHit{std::max(ea, w.va), value, size, s.pc};
-      if (debug_) {
-        freeze_guest(DebugDelegate::StopReason::kWatchpoint);
-      }
-      return;
-    }
-  }
-  // Unwatched bytes of a watched page: silent single-store emulation.
-}
-
-void Lvmm::sync_watch_pages() {
-  std::set<u32> vpns;
-  for (const auto& w : watches_) {
-    for (u32 vpn = w.va >> cpu::kPageBits;
-         vpn <= (w.va + w.len - 1) >> cpu::kPageBits; ++vpn) {
-      vpns.insert(vpn);
-    }
-  }
-  // Remove stale pages, add new ones.
-  for (u32 vpn = 0; vpn < (cfg_.guest_mem_limit >> cpu::kPageBits); ++vpn) {
-    const bool want = vpns.count(vpn) != 0;
-    const bool have = shadow_->is_watched_vpn(vpn);
-    if (want && !have) shadow_->add_watch_page(vpn);
-    if (!want && have) shadow_->remove_watch_page(vpn);
-  }
-  machine_.cpu().mmu().flush_tlb();
-}
-
-bool Lvmm::add_watchpoint(VAddr va, u32 len) {
-  if (!vcpu_.paging_enabled() || len == 0) return false;
-  watches_.push_back({va, len});
-  sync_watch_pages();
-  return true;
-}
-
-bool Lvmm::remove_watchpoint(VAddr va, u32 len) {
-  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
-    if (it->va == va && it->len == len) {
-      watches_.erase(it);
-      sync_watch_pages();
-      return true;
-    }
-  }
-  return false;
-}
-
-void Lvmm::handle_pt_write(PAddr target_pa) {
-  Instr in;
-  if (!fetch_guest_instr(in)) {
-    guest_crash();
-    return;
-  }
-  unsigned size = 0;
-  switch (in.op) {
-    case Opcode::kSt8: size = 1; break;
-    case Opcode::kSt16: size = 2; break;
-    case Opcode::kSt32: size = 4; break;
-    default:
-      // A non-store faulting "write" on a PT frame should not happen.
-      guest_crash();
-      return;
-  }
-  auto& s = st();
-  const u32 value = s.regs[in.rs2 & (cpu::kNumGprs - 1)];
-  shadow_->pt_write(target_pa, size, value);
-  machine_.cpu().mmu().flush_tlb();  // derived translations changed
-  s.pc += cpu::kInstrBytes;
-  charge(cfg_.costs.pt_write_emulate);
-  ++stats_.pt_writes;
-  trace(TraceKind::kPtWrite, 0, 0, target_pa);
-}
-
-// --------------------------------------------------------------------------
-// Event injection through the guest's virtual IDT.
-// --------------------------------------------------------------------------
-
-void Lvmm::reflect(const Fault& f, u32 resume_pc) {
-  charge(cfg_.costs.reflect_extra);
-  ++stats_.reflected_faults;
-  trace(TraceKind::kReflect, f.vector, 0, f.errcode);
-  if (f.vector == cpu::kVecPf) vcpu_.vcr[cpu::kCr2] = f.cr2;
-  inject(f.vector, f.errcode, resume_pc, /*is_soft_int=*/false);
-}
-
-void Lvmm::inject(u8 vector, u32 errcode, u32 resume_pc, bool is_soft_int,
-                  int depth) {
-  charge(cfg_.costs.inject);
-  if (depth > 1) {  // triple fault (virtual): guest is gone, monitor is not
-    guest_crash();
-    return;
-  }
-  auto double_fault = [&]() {
-    inject(cpu::kVecDoubleFault, 0, resume_pc, false, depth + 1);
-  };
-
-  if (vector >= vcpu_.vidt_count) {
-    double_fault();
-    return;
-  }
-  u32 w0 = 0, w1 = 0;
-  if (!guest_read32(vcpu_.vidt_base + u32(vector) * cpu::Gate::kBytes, w0) ||
-      !guest_read32(vcpu_.vidt_base + u32(vector) * cpu::Gate::kBytes + 4,
-                    w1)) {
-    double_fault();
-    return;
-  }
-  const cpu::Gate g = cpu::Gate::unpack(w0, w1);
-  if (!g.present || (g.handler & (cpu::kInstrBytes - 1))) {
-    double_fault();
-    return;
-  }
-  if (is_soft_int && g.dpl < vcpu_.vcpl) {
-    // INT n not allowed from this virtual privilege.
-    inject(cpu::kVecGp, vector, resume_pc, false, depth + 1);
-    return;
-  }
-  const u8 target = g.target_ring;  // virtual target ring (0 or 1)
-  if (target > vcpu_.vcpl) {
-    double_fault();
-    return;
-  }
-
-  auto& s = st();
-  u32 sp = target == vcpu_.vcpl
-               ? s.sp()
-               : (target == 0 ? vcpu_.vcr[cpu::kCrMonitorSp]
-                              : vcpu_.vcr[cpu::kCrKernelSp]);
-  // Virtual PSW the guest expects to see in the frame.
-  const u32 vpsw = u32(vcpu_.vcpl) | (vcpu_.vif ? Psw::kIf : 0u) |
-                   (s.psw & Psw::kFlagsMask);
-  const u32 frame[4] = {errcode, resume_pc, vpsw, s.sp()};
-  bool ok = true;
-  sp -= 16;
-  ok = ok && guest_write32(sp + 0, frame[0]);
-  ok = ok && guest_write32(sp + 4, frame[1]);
-  ok = ok && guest_write32(sp + 8, frame[2]);
-  ok = ok && guest_write32(sp + 12, frame[3]);
-  if (!ok) {
-    double_fault();
-    return;
-  }
-
-  s.regs[cpu::kSp] = sp;
-  s.pc = g.handler;
-  vcpu_.vcpl = target;
-  vcpu_.vif = false;
-  vcpu_.halted = false;
-  s.set_cpl(VcpuState::physical_ring(target));
-  // TF is cleared on entry as the architecture does — unless the debugger
-  // armed a single step, which must survive an interleaved injection (the
-  // step then lands on the first handler instruction, GDB-style).
-  s.set_tf(debug_ && debug_->wants_step());
-  s.set_if(true);  // physical IF is the monitor's
-  machine_.cpu().set_halted(false);
-  ++stats_.injections;
-  trace(TraceKind::kInjection, vector, 0, 0);
-}
-
-void Lvmm::emulate_guest_iret() {
-  charge(cfg_.costs.iret_emulate);
-  auto& s = st();
-  const u32 sp = s.sp();
-  u32 err = 0, rpc = 0, rpsw = 0, rsp = 0;
-  if (!guest_read32(sp, err) || !guest_read32(sp + 4, rpc) ||
-      !guest_read32(sp + 8, rpsw) || !guest_read32(sp + 12, rsp)) {
-    reflect(Fault::gp(5), s.pc);
-    return;
-  }
-  const u32 new_vcpl = rpsw & Psw::kCplMask;
-  if (new_vcpl == 2 || (rpc & (cpu::kInstrBytes - 1))) {
-    reflect(Fault::gp(5), s.pc);
-    return;
-  }
-  s.pc = rpc;
-  s.regs[cpu::kSp] = rsp;
-  vcpu_.vcpl = static_cast<u8>(new_vcpl);
-  vcpu_.vif = rpsw & Psw::kIf;
-  s.psw = (rpsw & Psw::kFlagsMask) | VcpuState::physical_ring(vcpu_.vcpl) |
-          Psw::kIf;
-  try_inject();
-}
-
-void Lvmm::try_inject() {
-  if (frozen_ || vcpu_.crashed) return;
-  if (!vcpu_.vif) return;
-  if (!vpic_.intr_asserted()) return;
-  const u8 vector = vpic_.acknowledge();
-  inject(vector, 0, st().pc, /*is_soft_int=*/false);
 }
 
 // --------------------------------------------------------------------------

@@ -12,10 +12,23 @@
 // the I/O permission bitmap: the guest drives them directly, which is the
 // paper's performance argument.
 //
+// VM exits flow through a structured dispatch pipeline (DESIGN.md, "Monitor
+// hot path"): on_event classifies the exit once — decoding the faulting
+// instruction at most once per exit — then dispatches to a per-kind handler
+// and records the exit's cycle cost in VmExitStats. The handlers live in
+// per-kind source files: exit_priv.cpp (privileged instructions),
+// exit_io.cpp (trapped ports), exit_pf.cpp (shadow paging + watchpoints),
+// exit_inject.cpp (vIDT injection, reflection, IRET).
+//
+// Guest memory is accessed through the GuestMemory layer (guest_mem.h),
+// which caches guest-VA translations in a vTLB invalidated via the
+// ShadowMmu's TranslationListener hooks.
+//
 // Monitor work is charged simulated cycles from LvmmCosts; all counters are
 // exposed for the benchmark harness.
 #pragma once
 
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -23,6 +36,7 @@
 #include "hw/machine.h"
 #include "hw/pic.h"
 #include "vmm/costs.h"
+#include "vmm/guest_mem.h"
 #include "vmm/shadow_mmu.h"
 #include "vmm/trace.h"
 #include "vmm/vcpu.h"
@@ -83,12 +97,22 @@ class Lvmm : public cpu::TrapHook {
   hw::Machine& machine() { return machine_; }
   const Config& config() const { return cfg_; }
 
-  // --- guest memory (through the guest's own translation) ---
-  bool guest_va_to_pa(VAddr va, bool write, PAddr& pa) const;
-  bool guest_read(VAddr va, std::span<u8> out) const;
-  bool guest_write(VAddr va, std::span<const u8> in);
-  bool guest_read32(VAddr va, u32& value) const;
-  bool guest_write32(VAddr va, u32 value);
+  // --- guest memory (through the guest's own translation, vTLB-cached) ---
+  GuestMemory& guest_mem() { return *gmem_; }
+  const GuestMemory& guest_mem() const { return *gmem_; }
+  bool guest_va_to_pa(VAddr va, bool write, PAddr& pa) const {
+    return gmem_->translate(va, write, pa);
+  }
+  bool guest_read(VAddr va, std::span<u8> out) const {
+    return gmem_->read(va, out);
+  }
+  bool guest_write(VAddr va, std::span<const u8> in) {
+    return gmem_->write(va, in);
+  }
+  bool guest_read32(VAddr va, u32& value) const {
+    return gmem_->read32(va, value);
+  }
+  bool guest_write32(VAddr va, u32 value) { return gmem_->write32(va, value); }
 
   // --- debugger support ---
   void set_debug_delegate(DebugDelegate* d) { debug_ = d; }
@@ -142,12 +166,36 @@ class Lvmm : public cpu::TrapHook {
   VmExitStats stats_;
 
  private:
+  /// One VM exit flowing through the dispatch pipeline: the raising fault,
+  /// its classified kind, and the faulting instruction — decoded at most
+  /// once per exit and shared by every handler that needs it.
+  struct ExitContext {
+    const cpu::Fault& fault;
+    ExitKind kind = ExitKind::kOther;
+    cpu::Instr instr{};
+    bool have_instr = false;
+  };
+  /// A faulting store decoded for emulation (PT writes, watchpoints).
+  struct StoreInfo {
+    unsigned size = 0;
+    u32 value = 0;
+    VAddr ea = 0;
+  };
+
+  // Dispatch pipeline (lvmm.cpp).
+  void classify_exit(ExitContext& ctx);
+  void dispatch_exit(ExitContext& ctx);
+  void forward_external_interrupt(u8 vector);
+
+  // Per-kind handlers (exit_priv.cpp / exit_io.cpp / exit_pf.cpp /
+  // exit_inject.cpp).
   void emulate_privileged(const cpu::Instr& in);
   void emulate_io(const cpu::Instr& in, u16 port);
   void emulate_guest_iret();
-  void handle_page_fault(const cpu::Fault& f);
-  void handle_pt_write(PAddr target_pa);
-  void handle_watch_write(const cpu::Fault& f);
+  void handle_page_fault(ExitContext& ctx);
+  void handle_pt_write(PAddr target_pa, const StoreInfo& store);
+  void handle_watch_write(const cpu::Fault& f, const StoreInfo& store);
+  bool decode_faulting_store(ExitContext& ctx, StoreInfo& out);
   void sync_watch_pages();
 
   /// Injects an event through the guest's virtual IDT. `resume_pc` is the
@@ -169,7 +217,8 @@ class Lvmm : public cpu::TrapHook {
   bool fetch_guest_instr(cpu::Instr& out);
   void trace(TraceKind kind, u8 vector, u16 detail, u32 extra);
 
-  ShadowMmu* shadow_ = nullptr;  // owned; constructed in ctor
+  std::unique_ptr<ShadowMmu> shadow_;
+  std::unique_ptr<GuestMemory> gmem_;
   hw::Pic vpic_;
   std::set<unsigned> masked_pending_;
   DebugDelegate* debug_ = nullptr;

@@ -65,6 +65,7 @@ void ShadowMmu::flush() {
   pool_used_ = 0;
   pt_frames_.clear();
   for (u32 e = 0; e < 1024; ++e) mem_.write32(shadow_pd_ + e * 4, 0);
+  if (listener_) listener_->on_tlb_flush();
 }
 
 void ShadowMmu::clear_shadow_pte(VAddr va) {
@@ -74,7 +75,10 @@ void ShadowMmu::clear_shadow_pte(VAddr va) {
   mem_.write32(pt + ((va >> kPageBits) & 0x3ff) * 4, 0);
 }
 
-void ShadowMmu::invlpg(VAddr va) { clear_shadow_pte(va); }
+void ShadowMmu::invlpg(VAddr va) {
+  clear_shadow_pte(va);
+  if (listener_) listener_->on_tlb_invlpg(va);
+}
 
 ShadowMmu::GuestWalk ShadowMmu::walk_guest(u32 vcr3, VAddr va, bool write,
                                            bool user) const {
@@ -216,6 +220,7 @@ void ShadowMmu::pt_write(PAddr pa, unsigned size, u32 value) {
     case 2: mem_.write16(pa, static_cast<u16>(value)); break;
     default: mem_.write32(pa, value); break;
   }
+  if (listener_) listener_->on_guest_pt_store(pa, size);
   if (it == pt_frames_.end()) return;
   ++pt_invals_;
   // Invalidate shadow entries derived from the touched table word(s).

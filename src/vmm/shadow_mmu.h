@@ -28,6 +28,19 @@
 
 namespace vdbg::vmm {
 
+/// Observer of guest-translation invalidation points. The monitor's
+/// GuestMemory layer registers itself here so its software translation
+/// cache is dropped exactly when the architectural TLB would be: full flush
+/// (CR3/CR0 load, shadow pool exhaustion), INVLPG, and emulated guest
+/// stores into page-table frames.
+class TranslationListener {
+ public:
+  virtual ~TranslationListener() = default;
+  virtual void on_tlb_flush() = 0;
+  virtual void on_tlb_invlpg(VAddr va) = 0;
+  virtual void on_guest_pt_store(PAddr pa, unsigned len) = 0;
+};
+
 class ShadowMmu {
  public:
   struct Config {
@@ -37,6 +50,8 @@ class ShadowMmu {
   };
 
   ShadowMmu(cpu::PhysMem& mem, const Config& cfg);
+
+  void set_translation_listener(TranslationListener* l) { listener_ = l; }
 
   /// Physical page-directory to run the guest on while its paging is off.
   PAddr identity_pd() const { return identity_pd_; }
@@ -110,6 +125,7 @@ class ShadowMmu {
 
   cpu::PhysMem& mem_;
   Config cfg_;
+  TranslationListener* listener_ = nullptr;
 
   PAddr identity_pd_ = 0;
   PAddr shadow_pd_ = 0;

@@ -1,3 +1,6 @@
+// Debug-stub wire layer: RSP framing, the receive state machine, the
+// DebugDelegate callbacks and run control. Command implementations (the
+// bodies behind execute()'s dispatch) live in stub_cmds.cpp.
 #include "vmm/stub.h"
 
 #include <cstdio>
@@ -13,34 +16,6 @@ u8 checksum(const std::string& s) {
   for (char c : s) sum += static_cast<u8>(c);
   return static_cast<u8>(sum & 0xff);
 }
-
-std::optional<u32> parse_hex_u32(std::string_view s) {
-  if (s.empty() || s.size() > 8) return std::nullopt;
-  u32 v = 0;
-  for (char c : s) {
-    auto d = hex_digit(c);
-    if (!d) return std::nullopt;
-    v = (v << 4) | *d;
-  }
-  return v;
-}
-
-/// Little-endian hex encoding of a 32-bit value (GDB register order).
-std::string reg_hex(u32 v) {
-  const u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
-                   static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
-  return to_hex(b);
-}
-
-std::optional<u32> reg_unhex(std::string_view s) {
-  auto bytes = from_hex(s);
-  if (!bytes || bytes->size() != 4) return std::nullopt;
-  return u32((*bytes)[0]) | (u32((*bytes)[1]) << 8) |
-         (u32((*bytes)[2]) << 16) | (u32((*bytes)[3]) << 24);
-}
-
-// Register file exposed over the wire: r0..r6, sp, pc, psw.
-constexpr unsigned kWireRegs = 10;
 
 }  // namespace
 
@@ -192,7 +167,7 @@ void DebugStub::pump_tx() {
 void DebugStub::report_stop(const std::string& reply) { send_packet(reply); }
 
 // --------------------------------------------------------------------------
-// Commands
+// Command dispatch and run control
 // --------------------------------------------------------------------------
 
 void DebugStub::execute(const std::string& p) {
@@ -214,40 +189,12 @@ void DebugStub::execute(const std::string& p) {
     case 'G':
       send_packet(cmd_write_registers(args));
       return;
-    case 'p': {
-      const auto n = parse_hex_u32(args);
-      if (!n || *n >= kWireRegs) {
-        send_packet("E01");
-        return;
-      }
-      const auto& s = mon_.machine().cpu().state();
-      const u32 v = *n < 8 ? s.regs[*n] : (*n == 8 ? s.pc : s.psw);
-      send_packet(reg_hex(v));
+    case 'p':
+      send_packet(cmd_read_one_register(args));
       return;
-    }
-    case 'P': {
-      const auto eq = args.find('=');
-      if (eq == std::string::npos) {
-        send_packet("E01");
-        return;
-      }
-      const auto n = parse_hex_u32(args.substr(0, eq));
-      const auto v = reg_unhex(args.substr(eq + 1));
-      if (!n || !v || *n >= kWireRegs) {
-        send_packet("E01");
-        return;
-      }
-      auto& s = mon_.machine().cpu().state();
-      if (*n < 8) {
-        s.regs[*n] = *v;
-      } else if (*n == 8) {
-        s.pc = *v;
-      } else {
-        s.psw = *v;
-      }
-      send_packet("OK");
+    case 'P':
+      send_packet(cmd_write_one_register(args));
       return;
-    }
     case 'm':
       send_packet(cmd_read_memory(args));
       return;
@@ -277,141 +224,6 @@ void DebugStub::execute(const std::string& p) {
       send_packet("");  // unsupported
       return;
   }
-}
-
-std::string DebugStub::cmd_read_registers() {
-  const auto& s = mon_.machine().cpu().state();
-  std::string out;
-  for (unsigned i = 0; i < 8; ++i) out += reg_hex(s.regs[i]);
-  out += reg_hex(s.pc);
-  out += reg_hex(s.psw);
-  return out;
-}
-
-std::string DebugStub::cmd_write_registers(const std::string& hex) {
-  if (hex.size() != kWireRegs * 8) return "E01";
-  auto& s = mon_.machine().cpu().state();
-  for (unsigned i = 0; i < kWireRegs; ++i) {
-    const auto v = reg_unhex(std::string_view(hex).substr(i * 8, 8));
-    if (!v) return "E01";
-    if (i < 8) {
-      s.regs[i] = *v;
-    } else if (i == 8) {
-      s.pc = *v;
-    } else {
-      s.psw = *v;
-    }
-  }
-  return "OK";
-}
-
-std::string DebugStub::cmd_read_memory(const std::string& args) {
-  const auto comma = args.find(',');
-  if (comma == std::string::npos) return "E01";
-  const auto addr = parse_hex_u32(args.substr(0, comma));
-  const auto len = parse_hex_u32(args.substr(comma + 1));
-  if (!addr || !len || *len > 0x1000) return "E01";
-  std::vector<u8> buf(*len);
-  if (!mon_.guest_read(*addr, buf)) return "E03";
-  // Report patched breakpoint sites with their original bytes.
-  for (const auto& [bp_addr, orig] : breakpoints_) {
-    if (bp_addr >= *addr && bp_addr < *addr + *len) {
-      buf[bp_addr - *addr] = orig;
-    }
-  }
-  return to_hex(buf);
-}
-
-std::string DebugStub::cmd_write_memory(const std::string& args) {
-  const auto comma = args.find(',');
-  const auto colon = args.find(':');
-  if (comma == std::string::npos || colon == std::string::npos) return "E01";
-  const auto addr = parse_hex_u32(args.substr(0, comma));
-  const auto len = parse_hex_u32(args.substr(comma + 1, colon - comma - 1));
-  const auto bytes = from_hex(std::string_view(args).substr(colon + 1));
-  if (!addr || !len || !bytes || bytes->size() != *len) return "E01";
-  if (!mon_.guest_write(*addr, *bytes)) return "E03";
-  return "OK";
-}
-
-bool DebugStub::insert_breakpoint(VAddr addr) {
-  u8 orig = 0;
-  if (!mon_.guest_read(addr, {&orig, 1})) return false;
-  const u8 brk = static_cast<u8>(cpu::Opcode::kBrk);
-  if (!mon_.guest_write(addr, {&brk, 1})) return false;
-  breakpoints_[addr] = orig;
-  return true;
-}
-
-bool DebugStub::remove_breakpoint(VAddr addr) {
-  auto it = breakpoints_.find(addr);
-  if (it == breakpoints_.end()) return false;
-  const u8 orig = it->second;
-  if (!mon_.guest_write(addr, {&orig, 1})) return false;
-  breakpoints_.erase(it);
-  return true;
-}
-
-std::string DebugStub::cmd_breakpoint(const std::string& args, bool insert) {
-  // Format: <type>,<addr>,<kind>. Type 0 = software breakpoint, type 2 =
-  // write watchpoint (kind = watched length).
-  if (args.size() < 2 || args[1] != ',') return "";
-  const char type = args[0];
-  const auto comma = args.find(',', 2);
-  const auto addr =
-      parse_hex_u32(args.substr(2, comma == std::string::npos
-                                       ? std::string::npos
-                                       : comma - 2));
-  if (!addr) return "E01";
-
-  if (type == '2') {
-    u32 len = 4;
-    if (comma != std::string::npos) {
-      const auto parsed = parse_hex_u32(args.substr(comma + 1));
-      if (!parsed || *parsed == 0) return "E01";
-      len = *parsed;
-    }
-    if (insert) return mon_.add_watchpoint(*addr, len) ? "OK" : "E03";
-    return mon_.remove_watchpoint(*addr, len) ? "OK" : "E03";
-  }
-  if (type != '0') return "";  // other kinds unsupported
-
-  if (*addr & (cpu::kInstrBytes - 1)) return "E02";  // must be aligned
-  if (insert) {
-    if (breakpoints_.count(*addr)) return "OK";
-    return insert_breakpoint(*addr) ? "OK" : "E03";
-  }
-  if (!breakpoints_.count(*addr)) return "OK";
-  return remove_breakpoint(*addr) ? "OK" : "E03";
-}
-
-std::string DebugStub::cmd_query(const std::string& q) {
-  if (q.rfind("Supported", 0) == 0) return "PacketSize=1000";
-  if (q == "Attached") return "1";
-  if (q == "Vdbg.Crashed") return mon_.vcpu().crashed ? "1" : "0";
-  if (q == "Vdbg.MonitorIntact") {
-    return mon_.monitor_memory_intact() ? "1" : "0";
-  }
-  if (q == "Vdbg.Exits") {
-    return std::to_string(mon_.exit_stats().total);
-  }
-  if (q == "Vdbg.TraceOn" || q == "Vdbg.TraceOff") {
-    if (!mon_.tracer()) return "E01";
-    mon_.tracer()->set_enabled(q == "Vdbg.TraceOn");
-    return "OK";
-  }
-  if (q.rfind("Vdbg.Trace,", 0) == 0) {
-    if (!mon_.tracer()) return "E01";
-    const auto n = parse_hex_u32(q.substr(11));
-    if (!n || *n > 16) return "E01";
-    std::string out;
-    for (const auto& e : mon_.tracer()->tail(*n)) {
-      if (!out.empty()) out.push_back(';');
-      out += vmm::ExitTracer::format(e);
-    }
-    return out;
-  }
-  return "";
 }
 
 void DebugStub::do_continue() {

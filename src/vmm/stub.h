@@ -13,6 +13,7 @@
 // plus custom queries:
 //   qVdbg.Crashed        -> "1"/"0"
 //   qVdbg.Exits          -> decimal VM-exit count
+//   qVdbg.ExitStats      -> "<kind>:<count>:<cycles>;..." per exit kind
 //   qVdbg.MonitorIntact  -> "1"/"0" (canary check)
 #pragma once
 
@@ -59,6 +60,8 @@ class DebugStub final : public DebugDelegate {
   void execute(const std::string& packet);
   std::string cmd_read_registers();
   std::string cmd_write_registers(const std::string& hex);
+  std::string cmd_read_one_register(const std::string& args);
+  std::string cmd_write_one_register(const std::string& args);
   std::string cmd_read_memory(const std::string& args);
   std::string cmd_write_memory(const std::string& args);
   std::string cmd_breakpoint(const std::string& args, bool insert);

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <string_view>
 
 #include "common/types.h"
 #include "cpu/isa.h"
@@ -29,6 +31,51 @@ struct VcpuState {
   }
 };
 
+/// Classification of a VM exit by the reason the monitor was entered. One
+/// record per kind is kept in VmExitStats; the dispatch pipeline in
+/// Lvmm::on_event classifies each exit exactly once.
+enum class ExitKind : u8 {
+  kPrivileged = 0,  // emulated privileged instruction (CLI/STI/HLT/...)
+  kIo,              // trapped IN/OUT emulated against a virtual device
+  kPageFault,       // #PF: shadow sync, PT-write emulation or reflection
+  kSoftInt,         // guest INT n (syscall) injected through the vIDT
+  kInterrupt,       // physical device interrupt arrival
+  kBreakpoint,      // debugger-owned #BP (guest frozen)
+  kStep,            // debugger single-step #DB (guest frozen)
+  kOther,           // reflected faults, fetch failures, unknown vectors
+};
+inline constexpr unsigned kNumExitKinds = 8;
+
+constexpr std::string_view exit_kind_name(ExitKind k) {
+  constexpr std::string_view names[kNumExitKinds] = {
+      "priv", "io", "pf", "softint", "irq", "bp", "step", "other"};
+  return names[static_cast<unsigned>(k)];
+}
+
+/// Count, total monitor cycles and a log2 latency histogram for one exit
+/// kind. The histogram bucket of a cost c is bit_width(c): bucket b counts
+/// exits that cost [2^(b-1), 2^b) cycles, with the last bucket open-ended.
+struct ExitKindStats {
+  static constexpr unsigned kHistBuckets = 24;
+
+  u64 count = 0;
+  Cycles cycles = 0;      // monitor cycles charged while handling these exits
+  Cycles max_cycles = 0;
+  std::array<u32, kHistBuckets> hist{};
+
+  static unsigned bucket_of(Cycles c) {
+    const unsigned b = static_cast<unsigned>(std::bit_width(c));
+    return b < kHistBuckets ? b : kHistBuckets - 1;
+  }
+  void record(Cycles c) {
+    ++count;
+    cycles += c;
+    if (c > max_cycles) max_cycles = c;
+    ++hist[bucket_of(c)];
+  }
+  double mean() const { return count ? double(cycles) / double(count) : 0.0; }
+};
+
 /// Per-reason VM-exit counters, for tests, benches and the ablation study.
 struct VmExitStats {
   u64 total = 0;
@@ -42,6 +89,17 @@ struct VmExitStats {
   u64 soft_ints = 0;         // guest INT n reflections (syscalls)
   u64 unknown_ports = 0;
   Cycles charged_cycles = 0;  // total monitor cycles billed to the CPU
+
+  /// Per-exit-kind cycle-cost records (counts, totals, histograms).
+  std::array<ExitKindStats, kNumExitKinds> by_kind{};
+
+  ExitKindStats& kind(ExitKind k) {
+    return by_kind[static_cast<unsigned>(k)];
+  }
+  const ExitKindStats& kind(ExitKind k) const {
+    return by_kind[static_cast<unsigned>(k)];
+  }
+  void record_exit(ExitKind k, Cycles cost) { kind(k).record(cost); }
 };
 
 }  // namespace vdbg::vmm

@@ -51,6 +51,27 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, NamesStoredOnlyUnderTracing) {
+  EventQueue q;
+  // Tracing off (default): names are dropped at the scheduling boundary.
+  q.schedule_at(10, [](Cycles) {}, "dropped-label");
+  auto names = q.pending_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "?");
+
+  q.set_name_tracing(true);
+  q.schedule_at(5, [](Cycles) {}, "uart-rx");
+  const EventId cancelled = q.schedule_at(7, [](Cycles) {}, "gone");
+  q.cancel(cancelled);
+  names = q.pending_names();
+  ASSERT_EQ(names.size(), 2u);  // cancelled entry excluded
+  EXPECT_EQ(names[0], "uart-rx");
+  EXPECT_EQ(names[1], "?");  // the pre-tracing entry stays unnamed
+
+  q.run_until(100);
+  EXPECT_TRUE(q.pending_names().empty());
+}
+
 TEST(EventQueue, NextDeadlineSkipsCancelled) {
   EventQueue q;
   const EventId a = q.schedule_at(5, [](Cycles) {});

@@ -190,6 +190,63 @@ TEST(DebugSession, GuestCrashIsReportedAndPostMortemWorks) {
   EXPECT_EQ((*mb)[0], 'i');  // "Mini" magic, little-endian
 }
 
+TEST(DebugSession, LargeMemoryTransfersAreChunkedAcrossPackets) {
+  // 16 KiB is far beyond both the stub's 0x1000-byte per-command cap and
+  // the debugger's 0x800-byte chunk size: the round trip only works if
+  // both read_memory and write_memory split into multiple transactions.
+  DebugRig rig;
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+  ASSERT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+
+  const u32 scratch = 0x00700000;  // free guest RAM
+  std::vector<u8> pattern(16 * 1024);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<u8>((i * 31 + (i >> 8)) & 0xff);
+  }
+  ASSERT_TRUE(rig.dbg->write_memory(scratch, pattern));
+  const auto back = rig.dbg->read_memory(scratch, pattern.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pattern);
+
+  // Spot-check a chunk boundary actually landed in guest RAM.
+  u8 raw = 0;
+  rig.platform->monitor()->guest_read(scratch + 0x800, {&raw, 1});
+  EXPECT_EQ(raw, pattern[0x800]);
+}
+
+TEST(DebugSession, ExitStatsQueryReportsPerKindCounters) {
+  DebugRig rig(RunConfig::for_rate_mbps(40.0));
+  ASSERT_TRUE(rig.dbg->connect());
+  rig.platform->machine().run_for(seconds_to_cycles(0.05));
+  ASSERT_EQ(rig.dbg->interrupt(), StopKind::kBreak);
+
+  const auto stats = rig.dbg->exit_stats();
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->size(), vmm::kNumExitKinds);
+  u64 irq_count = 0, softint_count = 0;
+  for (const auto& s : *stats) {
+    if (s.kind == "irq") irq_count = s.count;
+    if (s.kind == "softint") softint_count = s.count;
+    if (s.count > 0) {
+      EXPECT_GT(s.cycles, 0u) << s.kind;
+    }
+  }
+  // A streaming guest takes timer/NIC interrupts and issues syscalls.
+  EXPECT_GT(irq_count, 0u);
+  EXPECT_GT(softint_count, 0u);
+
+  // The wire stats agree with the monitor's own counters.
+  const auto& es = rig.platform->monitor()->exit_stats();
+  for (const auto& s : *stats) {
+    for (unsigned k = 0; k < vmm::kNumExitKinds; ++k) {
+      if (s.kind == vmm::exit_kind_name(static_cast<vmm::ExitKind>(k))) {
+        EXPECT_EQ(s.count, es.by_kind[k].count) << s.kind;
+      }
+    }
+  }
+}
+
 TEST(DebugSession, StreamSurvivesRepeatedBreakInsWithIntegrity) {
   RunConfig rc = RunConfig::for_rate_mbps(40.0);
   rc.stop_after_segments = 200;

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -141,6 +143,43 @@ TEST(StubProtocol, CustomQueriesReportMonitorState) {
   EXPECT_EQ(rig.last_reply(), "1");
   rig.send_packet("qVdbg.Exits");
   EXPECT_FALSE(rig.last_reply().empty());
+}
+
+TEST(StubProtocol, ExitStatsQueryFormatsPerKindTriples) {
+  WireRig rig;
+  rig.platform->machine().run_for(seconds_to_cycles(0.02));
+  rig.send_packet("qVdbg.ExitStats");
+  const std::string reply = rig.last_reply();
+  ASSERT_FALSE(reply.empty());
+
+  // Exactly one "name:count:cycles" triple per exit kind, ';'-separated,
+  // in enum order.
+  std::vector<std::string> triples;
+  std::size_t start = 0;
+  while (start <= reply.size()) {
+    const auto semi = reply.find(';', start);
+    triples.push_back(reply.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  ASSERT_EQ(triples.size(), vmm::kNumExitKinds);
+  u64 total = 0;
+  for (unsigned k = 0; k < vmm::kNumExitKinds; ++k) {
+    const std::string& t = triples[k];
+    const auto c1 = t.find(':');
+    const auto c2 = t.find(':', c1 + 1);
+    ASSERT_NE(c1, std::string::npos) << t;
+    ASSERT_NE(c2, std::string::npos) << t;
+    EXPECT_EQ(t.substr(0, c1),
+              vmm::exit_kind_name(static_cast<vmm::ExitKind>(k)));
+    total += std::stoull(t.substr(c1 + 1, c2 - c1 - 1));
+  }
+  // The guest booted and ran: some exits must have been recorded. The
+  // reply is a snapshot — the guest keeps exiting while the answer drains
+  // over the UART — so it can only lag the live counter.
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, rig.platform->monitor()->exit_stats().total);
 }
 
 TEST(StubProtocol, BreakInFreezesAndStatusQueryReflectsIt) {
