@@ -9,13 +9,20 @@
 //
 // Exercises both paths with the same fault (guest IDT destroyed, next
 // interrupt escalates to a triple fault) and reports the outcomes.
+//
+// Also sweeps the time-travel checkpoint interval: every checkpoint charges
+// the monitor (costs.checkpoint_base + checkpoint_per_page x resident
+// pages), so shorter intervals buy finer reverse-debugging granularity at
+// the price of guest throughput. The sweep reports the trade-off curve.
 #include <cstdio>
+#include <optional>
 
 #include "common/units.h"
 #include "debug/remote_debugger.h"
 #include "guest/layout.h"
 #include "harness/platform.h"
 #include "vmm/stub.h"
+#include "vmm/time_travel.h"
 
 using namespace vdbg;
 using namespace vdbg::harness;
@@ -26,6 +33,58 @@ void destroy_idt(Platform& p) {
   const auto idt = p.image().kernel.symbol("idt").value();
   for (u32 i = 0; i < guest::kIdtEntries * 8; i += 4) {
     p.machine().mem().write32(idt + i, 0);
+  }
+}
+
+struct CheckpointRun {
+  u64 instructions = 0;
+  u64 checkpoints = 0;
+  double mean_kb = 0.0;
+};
+
+CheckpointRun run_checkpointed(u64 interval) {
+  Platform p(PlatformKind::kLvmm);
+  p.prepare(guest::RunConfig::for_rate_mbps(40.0));
+  std::optional<vmm::TimeTravel> tt;
+  if (interval != 0) {
+    vmm::TimeTravel::Config cfg;
+    cfg.interval = interval;
+    cfg.ring = 4;
+    tt.emplace(*p.monitor(), cfg);
+    tt->enable();
+  }
+  p.machine().run_for(seconds_to_cycles(0.1));
+  CheckpointRun r;
+  r.instructions = p.machine().cpu().stats().instructions;
+  if (tt) {
+    r.checkpoints = tt->stats().checkpoints;
+    u64 bytes = 0;
+    for (const auto& c : tt->checkpoints()) bytes += c.bytes.size();
+    if (!tt->checkpoints().empty()) {
+      r.mean_kb = double(bytes) / double(tt->checkpoints().size()) / 1024.0;
+    }
+  }
+  return r;
+}
+
+void checkpoint_overhead_sweep() {
+  std::printf("\n=== Checkpoint overhead vs interval (0.1 s simulated) ===\n");
+  std::printf("%-12s %-12s %-14s %-14s %-10s\n", "interval", "checkpoints",
+              "mean snap KiB", "guest instrs", "retained");
+  const CheckpointRun base = run_checkpointed(0);
+  std::printf("%-12s %-12llu %-14s %-14llu %-10s\n", "off",
+              (unsigned long long)base.checkpoints, "-",
+              (unsigned long long)base.instructions, "100.0%");
+  for (u64 interval : {u64{10'000}, u64{50'000}, u64{200'000}}) {
+    const CheckpointRun r = run_checkpointed(interval);
+    const double retained =
+        base.instructions
+            ? 100.0 * double(r.instructions) / double(base.instructions)
+            : 0.0;
+    std::printf("%-12llu %-12llu %-14.1f %-14llu %.1f%%\n",
+                (unsigned long long)interval,
+                (unsigned long long)r.checkpoints, r.mean_kb,
+                (unsigned long long)r.instructions, retained);
   }
 }
 
@@ -75,5 +134,7 @@ int main() {
 
   std::printf("\nlvmm environment survives what kills an in-OS stub: %s\n",
               (native_died && lvmm_ok) ? "yes" : "NO");
+
+  checkpoint_overhead_sweep();
   return (native_died && lvmm_ok) ? 0 : 1;
 }

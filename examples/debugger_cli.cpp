@@ -17,6 +17,7 @@
 #include "guest/minitactix.h"
 #include "harness/platform.h"
 #include "vmm/stub.h"
+#include "vmm/time_travel.h"
 #include "vmm/trace.h"
 
 using namespace vdbg;
@@ -29,6 +30,12 @@ int main(int argc, char** argv) {
   stub.attach();
   vmm::ExitTracer tracer;
   platform.monitor()->set_tracer(&tracer);
+
+  // Periodic checkpoints make the reverse-continue / reverse-step commands
+  // available (the stub anchors extra checkpoints at every resume).
+  vmm::TimeTravel tt(*platform.monitor());
+  stub.set_time_travel(&tt);
+  tt.enable();
 
   debug::RemoteDebugger dbg(platform.machine());
   dbg.add_symbols(platform.image().kernel);
@@ -56,6 +63,11 @@ int main(int argc, char** argv) {
         "x 0x1000 48\n"
         "watch 0x1004\n"
         "c\n"
+        "c\n"
+        "reverse-step\n"
+        "regs\n"
+        "s\n"
+        "reverse-continue\n"
         "unwatch 0x1004\n"
         "c 1\n"
         "trace on\n"

@@ -38,6 +38,28 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
+std::optional<EventQueue::EventInfo> EventQueue::info(EventId id) const {
+  if (id == 0 || id >= next_id_ || cancelled_.count(id)) return std::nullopt;
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Entry& e = copy.top();
+    if (e.id == id) return EventInfo{e.deadline, e.seq};
+    copy.pop();
+  }
+  return std::nullopt;
+}
+
+EventId EventQueue::schedule_restored(Cycles deadline, u64 seq, Callback cb,
+                                      std::string_view name) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{deadline, seq, id, std::move(cb),
+                   name_tracing_ ? std::string(name) : std::string()});
+  ++live_count_;
+  if (next_seq_ <= seq) next_seq_ = seq + 1;
+  if (deadline_observer_) deadline_observer_(deadline);
+  return id;
+}
+
 std::optional<Cycles> EventQueue::next_deadline() const {
   // Cancelled entries may sit on top of the heap; peel them conceptually.
   // The heap is immutable here, so copy-scan the top region only when the

@@ -58,6 +58,31 @@ class EventQueue {
   /// already cancelled.
   bool cancel(EventId id);
 
+  /// Deadline and sequence number of a live pending event. Devices use this
+  /// when serializing an in-flight operation so it can be re-armed at the
+  /// same point in the timeline on restore. Empty for fired/cancelled ids.
+  struct EventInfo {
+    Cycles deadline;
+    u64 seq;
+  };
+  std::optional<EventInfo> info(EventId id) const;
+
+  /// Re-arms a restored event at its original deadline *and* original
+  /// sequence number, so events restored in any order keep their original
+  /// same-deadline firing order. Returns a fresh id (ids are not preserved
+  /// across restore). Internal counters are advanced past `seq` so future
+  /// schedule_at() calls cannot collide with restored events.
+  EventId schedule_restored(Cycles deadline, u64 seq, Callback cb,
+                            std::string_view name = {});
+
+  /// Sequence-counter snapshot support. The counter must be restored along
+  /// with the devices' events: a replay that only advanced it past the live
+  /// events (schedule_restored) would hand *future* events different
+  /// sequence numbers than the original timeline — diverging the serialized
+  /// state, and the same-deadline firing order with it.
+  u64 next_seq() const { return next_seq_; }
+  void set_next_seq(u64 seq) { next_seq_ = seq; }
+
   /// Deadline of the earliest pending event, if any.
   std::optional<Cycles> next_deadline() const;
 

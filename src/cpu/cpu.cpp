@@ -36,6 +36,10 @@ RunExit Cpu::run(Cycles budget) {
       stop_requested_ = false;
       return RunExit::kStopRequested;
     }
+    // Checked before the interrupt poll: a run stopped at instruction N must
+    // leave the pending-interrupt state untouched so a later resume (or a
+    // replay stopped at the same N) proceeds identically.
+    if (stats_.instructions >= instr_stop_) return RunExit::kInstrLimit;
     if (intr_ && intr_->intr_asserted()) {
       if (hook_) {
         const u8 vector = intr_->acknowledge();
@@ -200,6 +204,7 @@ void Cpu::run_cached(Cycles target) {
     // remains; otherwise return so run() re-checks interrupts/halt/stop.
     if (!exec_block(*blk, pa, stop)) return;
     if (cycles_ >= stop) return;
+    if (stats_.instructions >= instr_stop_) return;
   }
 }
 
@@ -397,6 +402,7 @@ __attribute__((flatten)) bool Cpu::exec_block(const CachedBlock& blk,
       return !is_block_terminator(tail) || is_pure_branch(tail);
     }
     if (cycles_ >= stop) return false;
+    if (stats_.instructions >= instr_stop_) return false;
     pc += kInstrBytes;
     pa += kInstrBytes;
     if (*version_now != blk.version) {
@@ -837,6 +843,52 @@ bool Cpu::read_virt(VAddr va, std::span<u8> out, u8 cpl) {
     done += chunk;
   }
   return true;
+}
+
+void Cpu::save(SnapshotWriter& w) const {
+  for (u32 r : st_.regs) w.put_u32(r);
+  w.put_u32(st_.pc);
+  w.put_u32(st_.psw);
+  for (u32 c : st_.cr) w.put_u32(c);
+  w.put_u32(st_.idt_base);
+  w.put_u32(st_.idt_count);
+  w.put_u64(cycles_);
+  w.put_bool(halted_);
+  w.put_bool(shutdown_);
+  for (u64 word : io_bitmap_) w.put_u64(word);
+  w.put_u64(stats_.instructions);
+  w.put_u64(stats_.mem_accesses);
+  w.put_u64(stats_.io_accesses);
+  w.put_u64(stats_.exceptions);
+  w.put_u64(stats_.interrupts);
+  w.put_u64(stats_.hook_events);
+}
+
+void Cpu::restore(SnapshotReader& r) {
+  for (u32& reg : st_.regs) reg = r.get_u32();
+  st_.pc = r.get_u32();
+  st_.psw = r.get_u32();
+  for (u32& c : st_.cr) c = r.get_u32();
+  st_.idt_base = r.get_u32();
+  st_.idt_count = r.get_u32();
+  cycles_ = r.get_u64();
+  halted_ = r.get_bool();
+  shutdown_ = r.get_bool();
+  for (u64& word : io_bitmap_) word = r.get_u64();
+  stats_.instructions = r.get_u64();
+  stats_.mem_accesses = r.get_u64();
+  stats_.io_accesses = r.get_u64();
+  stats_.exceptions = r.get_u64();
+  stats_.interrupts = r.get_u64();
+  stats_.hook_events = r.get_u64();
+  // Host-side run controls are not guest state: clear them so the restored
+  // machine runs exactly like a freshly stopped one.
+  stop_requested_ = false;
+  run_limit_ = ~Cycles{0};
+  // The block cache is derived from (possibly rolled-back) memory contents
+  // and page versions; drop it and let it rebuild. Both cache states retire
+  // bit-identical architectural state, so this keeps replay exact.
+  invalidate_block_cache();
 }
 
 bool Cpu::write_virt(VAddr va, std::span<const u8> in, u8 cpl) {

@@ -7,6 +7,7 @@
 #include <array>
 #include <span>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "cpu/block_cache.h"
 #include "cpu/bus.h"
@@ -40,6 +41,7 @@ enum class RunExit : u8 {
   kHalted,         // CPU executed HLT (or stays halted with IF=0)
   kShutdown,       // triple fault: the machine is dead (native mode only)
   kStopRequested,  // a TrapHook froze execution (debugger stop)
+  kInstrLimit,     // retired-instruction stop reached (see set_instr_stop)
 };
 
 /// Counters exposed for tests and the benchmark harness. The architectural
@@ -112,6 +114,15 @@ class Cpu {
   /// Monitor/debugger: stop run() at the next boundary.
   void request_stop() { stop_requested_ = true; }
 
+  /// Exact retired-instruction stop: run() returns kInstrLimit as soon as
+  /// stats().instructions reaches `count`, before acknowledging any pending
+  /// interrupt at that boundary (so a replay resumed from the stop point
+  /// sees the identical machine state). ~0 disables. The limit persists
+  /// across run() calls until changed; it is host replay machinery, not
+  /// guest state, and is never snapshotted.
+  void set_instr_stop(u64 count) { instr_stop_ = count; }
+  u64 instr_stop() const { return instr_stop_; }
+
   // --- predecoded block cache (fetch fast path) ---
   /// Runtime kill switch. Disabled, run() decodes every instruction from
   /// memory (the pre-cache interpreter); enabled (default), straight-line
@@ -144,6 +155,15 @@ class Cpu {
   /// writes may be partial up to the failing page).
   bool read_virt(VAddr va, std::span<u8> out, u8 cpl = kRing0);
   bool write_virt(VAddr va, std::span<const u8> in, u8 cpl = kRing0);
+
+  // --- snapshot support ---
+  /// Serialises architectural state, simulated time, the I/O bitmap and the
+  /// architectural counters. The block-cache counters (block_*) are derived
+  /// residue — the cache is rebuilt on demand after restore — and are
+  /// deliberately excluded so snapshots of a replayed run compare
+  /// byte-identical to snapshots of an uninterrupted one.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   void step();
@@ -193,6 +213,7 @@ class Cpu {
 
   Cycles cycles_ = 0;
   Cycles run_limit_ = ~Cycles{0};
+  u64 instr_stop_ = ~u64{0};
   bool halted_ = false;
   bool shutdown_ = false;
   bool stop_requested_ = false;

@@ -159,4 +159,32 @@ void Mmu::invlpg(VAddr va) {
   if (slot.valid && slot.vpn == (va >> kPageBits)) slot.valid = false;
 }
 
+void Mmu::save(SnapshotWriter& w) const {
+  for (const TlbEntry& e : tlb_) {
+    w.put_bool(e.valid);
+    w.put_u32(e.vpn);
+    w.put_u32(e.pfn);
+    w.put_bool(e.w);
+    w.put_bool(e.u);
+    w.put_bool(e.dirty);
+    w.put_u32(e.pte_addr);
+  }
+  w.put_u64(hits_);
+  w.put_u64(misses_);
+}
+
+void Mmu::restore(SnapshotReader& r) {
+  for (TlbEntry& e : tlb_) {
+    e.valid = r.get_bool();
+    e.vpn = r.get_u32();
+    e.pfn = r.get_u32();
+    e.w = r.get_bool();
+    e.u = r.get_bool();
+    e.dirty = r.get_bool();
+    e.pte_addr = r.get_u32();
+  }
+  hits_ = r.get_u64();
+  misses_ = r.get_u64();
+}
+
 }  // namespace vdbg::cpu

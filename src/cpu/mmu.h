@@ -17,6 +17,7 @@
 
 #include <array>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "cpu/cost_model.h"
 #include "cpu/cpu_state.h"
@@ -104,6 +105,12 @@ class Mmu {
   // --- statistics ---
   u64 tlb_hits() const { return hits_; }
   u64 tlb_misses() const { return misses_; }
+
+  /// Snapshot support. The TLB is serialized exactly (not rebuilt): a hit
+  /// and a walk charge different cycle costs, so flushing on restore would
+  /// make a replay diverge from the uninterrupted run it must reproduce.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   struct TlbEntry {

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace vdbg::cpu {
@@ -102,7 +103,62 @@ class PhysMem {
     return false;
   }
 
+  /// Pages with at least one nonzero byte — what a sparse snapshot copies.
+  u32 nonzero_pages() const {
+    const u32 pages = size() >> kPageBits;
+    u32 n = 0;
+    for (u32 p = 0; p < pages; ++p) {
+      if (!page_is_zero(p)) ++n;
+    }
+    return n;
+  }
+
+  // --- snapshot support ---
+  /// Sparse save: only pages with at least one nonzero byte are stored, plus
+  /// the full per-page version table. Versions roll back together with the
+  /// contents so a replay re-increments them exactly as the original run
+  /// did (snapshot byte-identity); the CPU invalidates its whole block
+  /// cache on restore, so blocks decoded before the rollback can never
+  /// match a rolled-back version.
+  void save(SnapshotWriter& w) const {
+    w.put_u32(size());
+    const u32 pages = size() >> kPageBits;
+    u32 nonzero = 0;
+    for (u32 p = 0; p < pages; ++p) {
+      if (!page_is_zero(p)) ++nonzero;
+    }
+    w.put_u32(nonzero);
+    for (u32 p = 0; p < pages; ++p) {
+      if (page_is_zero(p)) continue;
+      w.put_u32(p);
+      w.put_bytes(bytes_.data() + (std::size_t{p} << kPageBits), kPageSize);
+    }
+    for (u64 v : versions_) w.put_u64(v);
+  }
+  /// Returns false (and restores nothing) on a size mismatch; the snapshot
+  /// was taken from a differently configured machine.
+  bool restore(SnapshotReader& r) {
+    if (r.get_u32() != size()) return false;
+    std::memset(bytes_.data(), 0, bytes_.size());
+    const u32 nonzero = r.get_u32();
+    for (u32 i = 0; i < nonzero; ++i) {
+      const u32 p = r.get_u32();
+      if (std::size_t{p} << kPageBits >= bytes_.size()) return false;
+      r.get_bytes(bytes_.data() + (std::size_t{p} << kPageBits), kPageSize);
+    }
+    for (u64& v : versions_) v = r.get_u64();
+    return true;
+  }
+
  private:
+  bool page_is_zero(u32 page) const {
+    const u8* p = bytes_.data() + (std::size_t{page} << kPageBits);
+    for (u32 i = 0; i < kPageSize; ++i) {
+      if (p[i] != 0) return false;
+    }
+    return true;
+  }
+
   /// Bumps the version of every page touched by a write of `len` bytes.
   void touch(PAddr a, u32 len) {
     const u32 first = a >> kPageBits;

@@ -64,6 +64,7 @@ std::optional<u32> DebuggerCli::parse_addr(const std::string& token) const {
 void DebuggerCli::cmd_help() {
   out_ << "commands:\n"
           "  run <ms> | int | c [ms] | s [n]\n"
+          "  reverse-continue|rc | reverse-step|rs [n] | checkpoint\n"
           "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
           "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
           "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
@@ -129,6 +130,9 @@ void DebuggerCli::show_stop(RemoteDebugger::StopKind kind) {
     case K::kTimeout:
       out_ << "running (no stop event)\n";
       return;
+    case K::kError:
+      out_ << "error: command refused (no history?)\n";
+      return;
   }
 }
 
@@ -166,6 +170,24 @@ bool DebuggerCli::execute(const std::string& line) {
     RemoteDebugger::StopKind k = RemoteDebugger::StopKind::kTimeout;
     for (unsigned i = 0; i < n; ++i) k = dbg_.step();
     show_stop(k);
+  } else if (cmd == "reverse-continue" || cmd == "rc") {
+    show_stop(dbg_.reverse_continue());
+  } else if (cmd == "reverse-step" || cmd == "rs") {
+    const unsigned n =
+        tok.size() >= 2 ? parse_dec(tok[1]).value_or(1) : 1;
+    RemoteDebugger::StopKind k = RemoteDebugger::StopKind::kTimeout;
+    for (unsigned i = 0; i < n; ++i) {
+      k = dbg_.reverse_step();
+      if (k == RemoteDebugger::StopKind::kError) break;
+    }
+    show_stop(k);
+  } else if (cmd == "checkpoint") {
+    if (dbg_.take_checkpoint()) {
+      const auto count = dbg_.checkpoint_count();
+      out_ << "checkpoint taken (" << (count ? *count : 0) << " in ring)\n";
+    } else {
+      out_ << "error: no time-travel controller\n";
+    }
   } else if (cmd == "break" || cmd == "b") {
     const auto a = arg_addr(1);
     if (!a) {

@@ -260,6 +260,57 @@ RemoteDebugger::StopKind RemoteDebugger::interrupt(Cycles budget) {
   return classify(r, machine_exited_);
 }
 
+RemoteDebugger::StopKind RemoteDebugger::reverse_continue(Cycles budget) {
+  machine_exited_ = false;
+  const auto r = transact("bc", budget);
+  if (r) last_stop_ = *r;
+  if (r && !r->empty() && (*r)[0] == 'E') return StopKind::kError;
+  return classify(r, machine_exited_);
+}
+
+RemoteDebugger::StopKind RemoteDebugger::reverse_step(Cycles budget) {
+  machine_exited_ = false;
+  const auto r = transact("bs", budget);
+  if (r) last_stop_ = *r;
+  if (r && !r->empty() && (*r)[0] == 'E') return StopKind::kError;
+  return classify(r, machine_exited_);
+}
+
+std::optional<u64> RemoteDebugger::icount() {
+  const auto r = query("Vdbg.Icount");
+  if (!r || r->empty() || (*r)[0] == 'E') return std::nullopt;
+  try {
+    return std::stoull(*r);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool RemoteDebugger::take_checkpoint() {
+  const auto r = query("Vdbg.Checkpoint");
+  return r && *r == "OK";
+}
+
+std::optional<u64> RemoteDebugger::checkpoint_count() {
+  const auto r = query("Vdbg.Checkpoints");
+  if (!r || r->empty() || (*r)[0] == 'E') return std::nullopt;
+  try {
+    return std::stoull(*r);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool RemoteDebugger::snapshot_save() {
+  const auto r = query("Vdbg.Snapshot.Save");
+  return r && *r == "OK";
+}
+
+bool RemoteDebugger::snapshot_load() {
+  const auto r = query("Vdbg.Snapshot.Load");
+  return r && *r == "OK";
+}
+
 std::optional<std::string> RemoteDebugger::query(const std::string& q) {
   return transact("q" + q, kDefaultBudget);
 }

@@ -63,6 +63,7 @@ class RemoteDebugger {
     kCrash,     // S0b: guest crashed (monitor survived)
     kGuestExit, // machine stopped because the guest exited
     kTimeout,
+    kError,     // stub replied Exx (e.g. reverse with no history)
   };
   /// Resumes the guest and runs the simulation until the stub reports a
   /// stop or `budget` cycles elapse.
@@ -71,6 +72,20 @@ class RemoteDebugger {
   StopKind step(Cycles budget = 50'000'000);
   /// Asynchronous break-in (^C): freezes the guest wherever it is.
   StopKind interrupt(Cycles budget = 50'000'000);
+
+  // --- reverse execution (stub needs an attached TimeTravel controller) ---
+  /// Runs backwards to the previous breakpoint/watchpoint hit (stub `bc`).
+  StopKind reverse_continue(Cycles budget = 50'000'000);
+  /// Lands exactly one retired guest instruction earlier (stub `bs`).
+  StopKind reverse_step(Cycles budget = 50'000'000);
+  /// Retired guest instructions at the current stop (qVdbg.Icount).
+  std::optional<u64> icount();
+  /// Takes a checkpoint now / counts ring entries / saves or restores the
+  /// stub's host-side full-state snapshot slot.
+  bool take_checkpoint();
+  std::optional<u64> checkpoint_count();
+  bool snapshot_save();
+  bool snapshot_load();
 
   /// Raw payload of the most recent stop packet ("S05", "T05watch:...").
   const std::string& last_stop() const { return last_stop_; }

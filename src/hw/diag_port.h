@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "hw/device.h"
 
 namespace vdbg::hw {
@@ -60,6 +61,22 @@ class DiagPort final : public IoDevice {
   void set_host_value(u32 v) { host_value_ = v; }
   void set_exit_fn(std::function<void(u32)> fn) { exit_fn_ = std::move(fn); }
   void set_tsc_fn(std::function<u32()> fn) { tsc_fn_ = std::move(fn); }
+
+  /// Snapshot support: logs and the host value. The exit/TSC hooks are
+  /// host wiring and are left alone.
+  void save(SnapshotWriter& w) const {
+    w.put_string(text_);
+    w.put_u64(values_.size());
+    for (u32 v : values_) w.put_u32(v);
+    w.put_u32(host_value_);
+  }
+  void restore(SnapshotReader& r) {
+    text_ = r.get_string();
+    values_.clear();
+    const u64 n = r.get_u64();
+    for (u64 i = 0; i < n && r.ok(); ++i) values_.push_back(r.get_u32());
+    host_value_ = r.get_u32();
+  }
 
  private:
   std::string text_;

@@ -63,6 +63,22 @@ Machine::StopReason Machine::run_for(Cycles budget) {
     if (guest_exit_) return StopReason::kGuestExit;
     if (cpu_->shutdown()) return StopReason::kShutdown;
 
+    // Periodic checkpoint hook: fires between CPU slices, at the first
+    // boundary at-or-after each absolute multiple of the interval. Fired
+    // before the instruction-target check so a replay that stops on the
+    // same boundary still performs (and charges) the checkpoint exactly as
+    // the original run did.
+    if (instr_hook_ && cpu_->stats().instructions >= instr_hook_next_) {
+      const u64 icount = cpu_->stats().instructions;
+      instr_hook_next_ = (icount / instr_hook_every_ + 1) * instr_hook_every_;
+      instr_hook_(icount);
+      continue;  // hook may charge cycles / freeze; re-evaluate everything
+    }
+    if (cpu_->stats().instructions >= instr_target_) {
+      return StopReason::kInstrLimit;
+    }
+    cpu_->set_instr_stop(std::min(instr_hook_next_, instr_target_));
+
     if (frozen_) {
       if (frozen_service_) frozen_service_();
       if (external_stop_ || guest_exit_ || !frozen_) continue;
@@ -101,7 +117,127 @@ Machine::StopReason Machine::run_for(Cycles budget) {
   eq_.run_until(now());
   if (guest_exit_) return StopReason::kGuestExit;
   if (cpu_->shutdown()) return StopReason::kShutdown;
+  if (cpu_->stats().instructions >= instr_target_) {
+    return StopReason::kInstrLimit;
+  }
   return StopReason::kBudget;
+}
+
+Machine::StopReason Machine::run_to_instruction(u64 target, Cycles budget) {
+  instr_target_ = target;
+  StopReason r = StopReason::kBudget;
+  const Cycles end = now() + budget;
+  for (;;) {
+    if (cpu_->stats().instructions >= target) {
+      r = StopReason::kInstrLimit;
+      break;
+    }
+    if (now() >= end) break;
+    r = run_for(std::min<Cycles>(end - now(), 1'000'000));
+    if (r != StopReason::kBudget) break;
+  }
+  instr_target_ = ~u64{0};
+  cpu_->set_instr_stop(~u64{0});
+  return r;
+}
+
+void Machine::set_instr_hook(u64 every, InstrHook hook) {
+  instr_hook_every_ = every;
+  if (every == 0) {
+    instr_hook_ = nullptr;
+    instr_hook_next_ = ~u64{0};
+    cpu_->set_instr_stop(~u64{0});
+    return;
+  }
+  instr_hook_ = std::move(hook);
+  const u64 icount = cpu_->stats().instructions;
+  instr_hook_next_ = (icount / every + 1) * every;
+}
+
+void Machine::save(SnapshotWriter& w) const {
+  w.begin_section(SnapTag::kMachine);
+  w.put_u32(cfg_.mem_bytes);
+  w.put_u32(cfg_.num_disks);
+  w.put_bool(frozen_);
+  w.put_bool(guest_exit_.has_value());
+  w.put_u32(guest_exit_.value_or(0));
+  w.put_u64(idle_cycles_);
+  w.put_u64(eq_.next_seq());
+  w.end_section();
+
+  w.begin_section(SnapTag::kCpu);
+  cpu_->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kMmu);
+  cpu_->mmu().save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kPhysMem);
+  mem_.save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kPic);
+  pic_.save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kPit);
+  pit_->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kUart);
+  uart_->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kNic);
+  nic_->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kScsi);
+  for (const auto& d : disks_) d->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kDiag);
+  diag_.save(w);
+  w.end_section();
+}
+
+bool Machine::restore(SnapshotReader& r) {
+  if (!r.ok()) return false;
+  if (!r.open_section(SnapTag::kMachine)) return false;
+  if (r.get_u32() != cfg_.mem_bytes) return false;
+  if (r.get_u32() != cfg_.num_disks) return false;
+  frozen_ = r.get_bool();
+  const bool has_exit = r.get_bool();
+  const u32 exit_code = r.get_u32();
+  guest_exit_ = has_exit ? std::optional<u32>(exit_code) : std::nullopt;
+  idle_cycles_ = r.get_u64();
+  const u64 saved_next_seq = r.get_u64();
+
+  if (!r.open_section(SnapTag::kCpu)) return false;
+  cpu_->restore(r);
+  if (!r.open_section(SnapTag::kMmu)) return false;
+  cpu_->mmu().restore(r);
+  if (!r.open_section(SnapTag::kPhysMem)) return false;
+  if (!mem_.restore(r)) return false;
+  if (!r.open_section(SnapTag::kPic)) return false;
+  pic_.restore(r);
+  if (!r.open_section(SnapTag::kPit)) return false;
+  pit_->restore(r);
+  if (!r.open_section(SnapTag::kUart)) return false;
+  uart_->restore(r);
+  if (!r.open_section(SnapTag::kNic)) return false;
+  nic_->restore(r);
+  if (!r.open_section(SnapTag::kScsi)) return false;
+  for (const auto& d : disks_) d->restore(r);
+  if (!r.open_section(SnapTag::kDiag)) return false;
+  diag_.restore(r);
+
+  // Roll the sequence counter back only after every device has re-armed its
+  // events (schedule_restored bumps it past each restored seq); the saved
+  // value is by construction past all of them.
+  eq_.set_next_seq(saved_next_seq);
+
+  external_stop_ = false;
+  // Re-anchor the checkpoint hook to the restored instruction count so the
+  // replay fires at exactly the boundaries the original run used.
+  if (instr_hook_every_ != 0) {
+    const u64 icount = cpu_->stats().instructions;
+    instr_hook_next_ = (icount / instr_hook_every_ + 1) * instr_hook_every_;
+  }
+  return r.ok();
 }
 
 Machine::StopReason Machine::run_until_stopped(Cycles max) {

@@ -14,6 +14,7 @@
 
 #include "asm/program.h"
 #include "common/event_queue.h"
+#include "common/snapshot.h"
 #include "cpu/cpu.h"
 #include "hw/diag_port.h"
 #include "hw/io_bus.h"
@@ -64,6 +65,7 @@ class Machine final : public Clock {
     kGuestExit,     // guest wrote the diag exit port
     kIdleDeadlock,  // halted/frozen with no pending events: nothing can ever happen
     kExternalStop,  // external_stop() was called (host-side tooling)
+    kInstrLimit,    // run_to_instruction() reached its target boundary
   };
 
   /// Advances simulated time by up to `budget` cycles, interleaving CPU
@@ -73,6 +75,32 @@ class Machine final : public Clock {
   /// Convenience: run until guest exit / shutdown / deadlock, in slices,
   /// up to `max` cycles total.
   StopReason run_until_stopped(Cycles max);
+
+  /// Replay primitive: runs until exactly `target` guest instructions have
+  /// retired (kInstrLimit), or until another stop fires first. The stop is
+  /// exact and side-effect free: no pending interrupt is acknowledged at
+  /// the stopping boundary. Returns kInstrLimit immediately (no time
+  /// advance) when the target has already been reached.
+  StopReason run_to_instruction(u64 target, Cycles budget);
+
+  /// Periodic instruction-count hook (the time-travel checkpointer). Fires
+  /// between CPU slices at the first opportunity at-or-after every multiple
+  /// of `every` retired instructions. Anchored at absolute multiples, so a
+  /// restored run re-fires at exactly the boundaries the original run used.
+  /// `every` == 0 uninstalls.
+  using InstrHook = std::function<void(u64 icount)>;
+  void set_instr_hook(u64 every, InstrHook hook);
+  u64 instr_hook_interval() const { return instr_hook_every_; }
+
+  // --- snapshot support ---
+  /// Serialises the whole machine: CPU+MMU, physical memory, and every
+  /// device, each in its own tagged section. Monitor/VMM state on top is
+  /// saved separately by its owner (see vmm::Lvmm::save).
+  void save(SnapshotWriter& w) const;
+  /// Restores from a validated snapshot. Returns false (machine unchanged
+  /// or partially restored — treat as fatal) when the stream is rejected or
+  /// was taken from a differently configured machine.
+  bool restore(SnapshotReader& r);
 
   /// Host tooling: make the current/next run_for return kExternalStop.
   void external_stop() { external_stop_ = true; }
@@ -117,6 +145,11 @@ class Machine final : public Clock {
   bool external_stop_ = false;
   std::optional<u32> guest_exit_;
   Cycles idle_cycles_ = 0;
+
+  u64 instr_target_ = ~u64{0};       // run_to_instruction() stop
+  u64 instr_hook_every_ = 0;         // 0 = no hook installed
+  u64 instr_hook_next_ = ~u64{0};    // next absolute firing boundary
+  InstrHook instr_hook_;
 };
 
 }  // namespace vdbg::hw

@@ -116,12 +116,12 @@ void Nic::transmit_next(Cycles from) {
   const Cycles delay =
       bad ? 1
           : transfer_cycles(wire_bytes, cfg_.line_bits_per_sec / 8.0);
-  eq_.schedule_in(
-      from, delay,
-      [this, f = std::move(frame), da, flags, bad](Cycles now) mutable {
-        frame_done(now, std::move(f), da, flags, bad);
-      },
-      "nic.tx");
+  tx_frame_ = std::move(frame);
+  tx_desc_ = da;
+  tx_flags_ = flags;
+  tx_bad_ = bad;
+  tx_event_ = eq_.schedule_in(
+      from, delay, [this](Cycles now) { frame_done(now); }, "nic.tx");
 }
 
 void Nic::update_irq() {
@@ -163,23 +163,88 @@ bool Nic::host_rx_frame(std::span<const u8> frame, Cycles now) {
   return true;
 }
 
-void Nic::frame_done(Cycles now, std::vector<u8> frame, PAddr desc_addr_v,
-                     u32 flags, bool error) {
-  if (!mem_.overlaps_protected(desc_addr_v + 12, 4)) {
-    mem_.write32(desc_addr_v + 12, error ? 2u : 1u);
+void Nic::frame_done(Cycles now) {
+  const std::vector<u8> frame = std::move(tx_frame_);
+  tx_frame_.clear();
+  tx_event_ = 0;
+  if (!mem_.overlaps_protected(tx_desc_ + 12, 4)) {
+    mem_.write32(tx_desc_ + 12, tx_bad_ ? 2u : 1u);
   }
   ++head_;
-  if (error) {
+  if (tx_bad_) {
     ++errors_;
     isr_ |= 2;
   } else {
     ++frames_;
     bytes_ += frame.size();
-    if (wire_) wire_(frame, now);
-    if (flags & NicDescFlags::kIrqOnComplete) isr_ |= 1;
+    if (wire_ && !wire_muted_) wire_(frame, now);
+    if (tx_flags_ & NicDescFlags::kIrqOnComplete) isr_ |= 1;
   }
   update_irq();
   transmit_next(now);
+}
+
+void Nic::save(SnapshotWriter& w) const {
+  w.put_u32(ring_base_);
+  w.put_u32(ring_size_);
+  w.put_u32(head_);
+  w.put_u32(tail_);
+  w.put_u32(isr_);
+  w.put_u32(imr_);
+  w.put_bool(engine_active_);
+  w.put_u32(rx_base_);
+  w.put_u32(rx_size_);
+  w.put_u32(rx_head_);
+  w.put_u32(rx_tail_);
+  w.put_u64(frames_);
+  w.put_u64(bytes_);
+  w.put_u64(errors_);
+  w.put_u64(rx_frames_);
+  w.put_u64(rx_dropped_);
+  const auto ev = tx_event_ != 0 ? eq_.info(tx_event_) : std::nullopt;
+  w.put_bool(ev.has_value());
+  if (ev) {
+    w.put_u64(ev->deadline);
+    w.put_u64(ev->seq);
+    w.put_blob(tx_frame_.data(), tx_frame_.size());
+    w.put_u32(tx_desc_);
+    w.put_u32(tx_flags_);
+    w.put_bool(tx_bad_);
+  }
+}
+
+void Nic::restore(SnapshotReader& r) {
+  if (tx_event_ != 0) {
+    eq_.cancel(tx_event_);
+    tx_event_ = 0;
+  }
+  tx_frame_.clear();
+  ring_base_ = r.get_u32();
+  ring_size_ = r.get_u32();
+  head_ = r.get_u32();
+  tail_ = r.get_u32();
+  isr_ = r.get_u32();
+  imr_ = r.get_u32();
+  engine_active_ = r.get_bool();
+  rx_base_ = r.get_u32();
+  rx_size_ = r.get_u32();
+  rx_head_ = r.get_u32();
+  rx_tail_ = r.get_u32();
+  frames_ = r.get_u64();
+  bytes_ = r.get_u64();
+  errors_ = r.get_u64();
+  rx_frames_ = r.get_u64();
+  rx_dropped_ = r.get_u64();
+  if (r.get_bool()) {
+    const Cycles deadline = r.get_u64();
+    const u64 seq = r.get_u64();
+    tx_frame_ = r.get_blob();
+    tx_desc_ = r.get_u32();
+    tx_flags_ = r.get_u32();
+    tx_bad_ = r.get_bool();
+    tx_event_ = eq_.schedule_restored(
+        deadline, seq, [this](Cycles now) { frame_done(now); }, "nic.tx");
+  }
 }
 
 }  // namespace vdbg::hw

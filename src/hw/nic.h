@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/snapshot.h"
 #include "cpu/phys_mem.h"
 #include "hw/device.h"
 
@@ -87,11 +88,25 @@ class Nic final : public IoDevice {
   u64 rx_dropped() const { return rx_dropped_; }
   bool engine_active() const { return engine_active_; }
 
+  /// Replay mute: while set, completed frames are not handed to the wire
+  /// sink (the host already saw them on the first pass). Timing, DMA and
+  /// interrupts are unchanged.
+  void set_wire_muted(bool muted) { wire_muted_ = muted; }
+  bool wire_muted() const { return wire_muted_; }
+
+  /// Snapshot support: registers, counters and the in-flight frame (the
+  /// frame bytes themselves are saved because guest memory may have been
+  /// rewritten after the DMA read).
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   void kick();
   void transmit_next(Cycles from);
-  void frame_done(Cycles now, std::vector<u8> frame, PAddr desc_addr,
-                  u32 flags, bool error);
+  /// Completes the in-flight frame held in tx_frame_/tx_desc_/tx_flags_/
+  /// tx_bad_ (kept in members, not lambda captures, so snapshots can
+  /// serialise an in-flight transmit).
+  void frame_done(Cycles now);
   PAddr desc_addr(u32 index) const;
 
   EventQueue& eq_;
@@ -115,6 +130,14 @@ class Nic final : public IoDevice {
   u32 rx_size_ = 0;
   u32 rx_head_ = 0;  // device produces
   u32 rx_tail_ = 0;  // guest consumes/recycles
+
+  // In-flight transmit (valid while tx_event_ != 0).
+  std::vector<u8> tx_frame_;
+  PAddr tx_desc_ = 0;
+  u32 tx_flags_ = 0;
+  bool tx_bad_ = false;
+  EventId tx_event_ = 0;
+  bool wire_muted_ = false;
 
   u64 frames_ = 0;
   u64 bytes_ = 0;

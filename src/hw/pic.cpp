@@ -11,6 +11,32 @@ Pic::Pic() {
   slave_io_.slave = true;
 }
 
+void Pic::save(SnapshotWriter& w) const {
+  for (const Chip* c : {&master_, &slave_}) {
+    w.put_u8(c->imr);
+    w.put_u8(c->isr);
+    w.put_u8(c->level);
+    w.put_u8(c->edge);
+    w.put_u8(c->offset);
+    w.put_u32(static_cast<u32>(c->icw_step));
+    w.put_bool(c->icw4_needed);
+    w.put_bool(c->read_isr);
+  }
+}
+
+void Pic::restore(SnapshotReader& r) {
+  for (Chip* c : {&master_, &slave_}) {
+    c->imr = r.get_u8();
+    c->isr = r.get_u8();
+    c->level = r.get_u8();
+    c->edge = r.get_u8();
+    c->offset = r.get_u8();
+    c->icw_step = static_cast<int>(r.get_u32());
+    c->icw4_needed = r.get_bool();
+    c->read_isr = r.get_bool();
+  }
+}
+
 void Pic::set_irq_level(unsigned irq, bool asserted) {
   Chip& c = chip(irq >= 8);
   const u8 bit = static_cast<u8>(1u << (irq & 7));

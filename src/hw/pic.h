@@ -11,6 +11,7 @@
 
 #include <array>
 
+#include "common/snapshot.h"
 #include "cpu/bus.h"
 #include "hw/device.h"
 
@@ -47,6 +48,10 @@ class Pic final : public cpu::IntrLine, public IrqSink {
 
   /// Spurious vector delivered when INTA finds nothing (master IRQ7).
   u8 spurious_vector() const { return master_.offset + 7; }
+
+  /// Snapshot support: both chips are plain registers, no timeline state.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   struct Chip {

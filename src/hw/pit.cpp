@@ -52,6 +52,35 @@ void Pit::io_write(u16 offset, u32 value) {
   }
 }
 
+void Pit::save(SnapshotWriter& w) const {
+  w.put_u32(divisor_);
+  w.put_u64(ticks_);
+  w.put_u64(last_fire_);
+  w.put_u8(static_cast<u8>(phase_));
+  w.put_u32(pending_lo_);
+  const auto ev = event_ != 0 ? eq_.info(event_) : std::nullopt;
+  w.put_bool(ev.has_value());
+  if (ev) {
+    w.put_u64(ev->deadline);
+    w.put_u64(ev->seq);
+  }
+}
+
+void Pit::restore(SnapshotReader& r) {
+  stop();
+  divisor_ = r.get_u32();
+  ticks_ = r.get_u64();
+  last_fire_ = r.get_u64();
+  phase_ = static_cast<Phase>(r.get_u8());
+  pending_lo_ = r.get_u32();
+  if (r.get_bool()) {
+    const Cycles deadline = r.get_u64();
+    const u64 seq = r.get_u64();
+    event_ = eq_.schedule_restored(
+        deadline, seq, [this](Cycles now) { fire(now); }, "pit.tick");
+  }
+}
+
 void Pit::stop() {
   if (event_ != 0) {
     eq_.cancel(event_);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/event_queue.h"
+#include "common/snapshot.h"
 #include "hw/device.h"
 
 namespace vdbg::hw {
@@ -32,6 +33,12 @@ class Pit final : public IoDevice {
   u64 ticks_fired() const { return ticks_; }
   /// Cycle timestamp of the most recent tick (for latency measurements).
   Cycles last_fire_cycles() const { return last_fire_; }
+
+  /// Snapshot support: registers plus the pending tick's deadline/sequence
+  /// so the restored timer fires at the exact same cycle with the same
+  /// same-deadline ordering.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   void arm(Cycles from);

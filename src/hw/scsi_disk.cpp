@@ -125,35 +125,94 @@ void ScsiDisk::submit(bool is_write) {
   }
 
   busy_ = true;
+  cur_lba_ = lba;
+  cur_sectors_ = sectors;
+  cur_buf_ = dest;
+  cur_req_ = req;
+  cur_is_write_ = is_write;
   const Cycles delay =
       cfg_.command_overhead +
       transfer_cycles(bytes, cfg_.sustained_bytes_per_sec);
-  eq_.schedule_in(
-      clock_.now(), delay,
-      [this, lba, sectors, dest, req, is_write](Cycles now) {
-        complete(now, lba, sectors, dest, req, is_write);
-      },
+  event_ = eq_.schedule_in(
+      clock_.now(), delay, [this](Cycles now) { complete(now); },
       "scsi.complete");
 }
 
-void ScsiDisk::complete(Cycles, u32 lba, u32 sectors, u32 buf_addr,
-                        PAddr req_addr, bool is_write) {
-  const u32 bytes = sectors * kSectorBytes;
-  if (is_write) {
+void ScsiDisk::complete(Cycles) {
+  event_ = 0;
+  const u32 bytes = cur_sectors_ * kSectorBytes;
+  if (cur_is_write_) {
     // Memory -> disk: capture each sector into the overlay.
-    for (u32 i = 0; i < sectors; ++i) {
-      auto& sector = written_[lba + i];
-      mem_.read_block(buf_addr + i * kSectorBytes, sector);
+    for (u32 i = 0; i < cur_sectors_; ++i) {
+      auto& sector = written_[cur_lba_ + i];
+      mem_.read_block(cur_buf_ + i * kSectorBytes, sector);
     }
   } else {
     std::vector<u8> buf(bytes);
-    read_medium(lba, buf);
-    mem_.write_block(buf_addr, buf);
+    read_medium(cur_lba_, buf);
+    mem_.write_block(cur_buf_, buf);
   }
   busy_ = false;
   ++completed_;
   bytes_ += bytes;
-  finish_with(kOk, req_addr);
+  finish_with(kOk, cur_req_);
+}
+
+void ScsiDisk::save(SnapshotWriter& w) const {
+  w.put_u32(req_addr_);
+  w.put_bool(busy_);
+  w.put_bool(intr_pending_);
+  w.put_u32(last_status_);
+  w.put_u64(completed_);
+  w.put_u64(bytes_);
+  w.put_u64(written_.size());
+  for (const auto& [sector, data] : written_) {
+    w.put_u32(sector);
+    w.put_bytes(data.data(), data.size());
+  }
+  const auto ev = event_ != 0 ? eq_.info(event_) : std::nullopt;
+  w.put_bool(ev.has_value());
+  if (ev) {
+    w.put_u64(ev->deadline);
+    w.put_u64(ev->seq);
+    w.put_u32(cur_lba_);
+    w.put_u32(cur_sectors_);
+    w.put_u32(cur_buf_);
+    w.put_u32(cur_req_);
+    w.put_bool(cur_is_write_);
+  }
+}
+
+void ScsiDisk::restore(SnapshotReader& r) {
+  if (event_ != 0) {
+    eq_.cancel(event_);
+    event_ = 0;
+  }
+  req_addr_ = r.get_u32();
+  busy_ = r.get_bool();
+  intr_pending_ = r.get_bool();
+  last_status_ = r.get_u32();
+  completed_ = r.get_u64();
+  bytes_ = r.get_u64();
+  written_.clear();
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n && r.ok(); ++i) {
+    const u32 sector = r.get_u32();
+    auto& data = written_[sector];
+    r.get_bytes(data.data(), data.size());
+  }
+  if (r.get_bool()) {
+    const Cycles deadline = r.get_u64();
+    const u64 seq = r.get_u64();
+    cur_lba_ = r.get_u32();
+    cur_sectors_ = r.get_u32();
+    cur_buf_ = r.get_u32();
+    cur_req_ = r.get_u32();
+    cur_is_write_ = r.get_bool();
+    event_ = eq_.schedule_restored(
+        deadline, seq, [this](Cycles now) { complete(now); },
+        "scsi.complete");
+  }
 }
 
 }  // namespace vdbg::hw

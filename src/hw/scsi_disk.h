@@ -32,6 +32,7 @@
 #include <span>
 
 #include "common/event_queue.h"
+#include "common/snapshot.h"
 #include "cpu/phys_mem.h"
 #include "hw/device.h"
 
@@ -84,10 +85,16 @@ class ScsiDisk final : public IoDevice {
   unsigned id() const { return id_; }
   const Config& config() const { return cfg_; }
 
+  /// Snapshot support: registers, the written-sector overlay and the
+  /// in-flight request's parameters plus its completion deadline/sequence.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   void submit(bool is_write);
-  void complete(Cycles now, u32 lba, u32 sectors, u32 buf, PAddr req_addr,
-                bool is_write);
+  /// Completes the in-flight request held in cur_* (members, not lambda
+  /// captures, so snapshots can serialise an active transfer).
+  void complete(Cycles now);
   void finish_with(u32 status, PAddr req_addr);
 
   unsigned id_;
@@ -104,6 +111,13 @@ class ScsiDisk final : public IoDevice {
   u32 last_status_ = kOk;
   u64 completed_ = 0;
   u64 bytes_ = 0;
+  // In-flight request (valid while busy_).
+  u32 cur_lba_ = 0;
+  u32 cur_sectors_ = 0;
+  u32 cur_buf_ = 0;
+  PAddr cur_req_ = 0;
+  bool cur_is_write_ = false;
+  EventId event_ = 0;
   /// Sparse overlay of written sectors over the synthetic pattern.
   std::map<u32, std::array<u8, kSectorBytes>> written_;
 };

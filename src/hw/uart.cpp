@@ -85,18 +85,66 @@ void Uart::start_tx(Cycles from) {
   tx_busy_ = true;
   tx_shift_ = tx_.front();
   tx_.pop_front();
-  eq_.schedule_in(
+  tx_event_ = eq_.schedule_in(
       from, cfg_.byte_time, [this](Cycles now) { tx_done(now); }, "uart.tx");
 }
 
 void Uart::tx_done(Cycles now) {
   tx_busy_ = false;
-  if (tx_sink_) tx_sink_(tx_shift_);
+  tx_event_ = 0;
+  if (tx_sink_ && !tx_muted_) tx_sink_(tx_shift_);
   if (!tx_.empty()) {
     start_tx(now);
   } else {
     thre_intr_ = true;
     update_irq();
+  }
+}
+
+void Uart::save(SnapshotWriter& w) const {
+  auto put_fifo = [&w](const std::deque<u8>& q) {
+    w.put_u64(q.size());
+    for (u8 b : q) w.put_u8(b);
+  };
+  put_fifo(rx_);
+  put_fifo(tx_);
+  w.put_bool(tx_busy_);
+  w.put_u8(tx_shift_);
+  w.put_bool(thre_intr_);
+  w.put_u8(ier_);
+  w.put_u8(lcr_);
+  w.put_u8(mcr_);
+  const auto ev = tx_event_ != 0 ? eq_.info(tx_event_) : std::nullopt;
+  w.put_bool(ev.has_value());
+  if (ev) {
+    w.put_u64(ev->deadline);
+    w.put_u64(ev->seq);
+  }
+}
+
+void Uart::restore(SnapshotReader& r) {
+  if (tx_event_ != 0) {
+    eq_.cancel(tx_event_);
+    tx_event_ = 0;
+  }
+  auto get_fifo = [&r](std::deque<u8>& q) {
+    q.clear();
+    const u64 n = r.get_u64();
+    for (u64 i = 0; i < n && r.ok(); ++i) q.push_back(r.get_u8());
+  };
+  get_fifo(rx_);
+  get_fifo(tx_);
+  tx_busy_ = r.get_bool();
+  tx_shift_ = r.get_u8();
+  thre_intr_ = r.get_bool();
+  ier_ = r.get_u8();
+  lcr_ = r.get_u8();
+  mcr_ = r.get_u8();
+  if (r.get_bool()) {
+    const Cycles deadline = r.get_u64();
+    const u64 seq = r.get_u64();
+    tx_event_ = eq_.schedule_restored(
+        deadline, seq, [this](Cycles now) { tx_done(now); }, "uart.tx");
   }
 }
 

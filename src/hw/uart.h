@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "common/event_queue.h"
+#include "common/snapshot.h"
 #include "hw/device.h"
 
 namespace vdbg::hw {
@@ -46,6 +47,19 @@ class Uart final : public IoDevice {
   bool rx_pending() const { return !rx_.empty(); }
   std::size_t tx_in_flight() const { return tx_.size() + (tx_busy_ ? 1 : 0); }
 
+  /// Replay mute: while set, transmitted bytes are serialised (same timing,
+  /// same interrupts) but not delivered to the host sink. Used by the
+  /// time-travel controller so re-executed output is not sent to the
+  /// debugger twice.
+  void set_tx_muted(bool muted) { tx_muted_ = muted; }
+  bool tx_muted() const { return tx_muted_; }
+
+  /// Snapshot support: FIFOs, registers and the in-flight transmit byte's
+  /// deadline/sequence. The host-side sink and mute flag are wiring, not
+  /// guest state, and are left alone.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   void update_irq();
   void start_tx(Cycles from);
@@ -64,6 +78,8 @@ class Uart final : public IoDevice {
   u8 ier_ = 0;
   u8 lcr_ = 0;
   u8 mcr_ = 0;
+  EventId tx_event_ = 0;
+  bool tx_muted_ = false;
   std::function<void(u8)> tx_sink_;
 };
 

@@ -45,6 +45,17 @@ struct LvmmCosts {
   /// Same access served from the monitor's translation cache (vTLB hit):
   /// one tag compare and an add.
   Cycles guest_walk_hit = 60;
+  /// Time-travel checkpoint: fixed monitor work per snapshot (stop the
+  /// world, walk device state, write the header).
+  Cycles checkpoint_base = 20000;
+  /// Time-travel checkpoint: per resident (nonzero) guest page copied into
+  /// the snapshot. The count is a pure function of guest state at the
+  /// boundary, so a replay reaching the same boundary re-charges exactly
+  /// the same amount. Charging every *configured* page instead would stall
+  /// a 64 MiB guest ~200k cycles per checkpoint — long enough to push the
+  /// first PIT tick into the guest's early-boot window before its vIDT
+  /// exists, crashing it.
+  Cycles checkpoint_per_page = 12;
 
   static const LvmmCosts& defaults() {
     static const LvmmCosts c{};

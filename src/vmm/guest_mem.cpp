@@ -158,4 +158,38 @@ bool GuestMemory::write32(VAddr va, u32 value) {
   return write(va, b);
 }
 
+void GuestMemory::save(SnapshotWriter& w) const {
+  for (const Entry& e : entries_) {
+    w.put_bool(e.valid);
+    w.put_bool(e.writable);
+    w.put_u32(e.vpn);
+    w.put_u32(e.pfn);
+    w.put_u32(e.pde_addr);
+    w.put_u32(e.pte_addr);
+  }
+  w.put_u64(stats_.lookups);
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.walks);
+  w.put_u64(stats_.fills);
+  w.put_u64(stats_.invalidations);
+  w.put_u64(stats_.flushes);
+}
+
+void GuestMemory::restore(SnapshotReader& r) {
+  for (Entry& e : entries_) {
+    e.valid = r.get_bool();
+    e.writable = r.get_bool();
+    e.vpn = r.get_u32();
+    e.pfn = r.get_u32();
+    e.pde_addr = r.get_u32();
+    e.pte_addr = r.get_u32();
+  }
+  stats_.lookups = r.get_u64();
+  stats_.hits = r.get_u64();
+  stats_.walks = r.get_u64();
+  stats_.fills = r.get_u64();
+  stats_.invalidations = r.get_u64();
+  stats_.flushes = r.get_u64();
+}
+
 }  // namespace vdbg::vmm

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "cpu/phys_mem.h"
 #include "vmm/shadow_mmu.h"
 #include "vmm/vcpu.h"
@@ -92,6 +93,13 @@ class GuestMemory final : public TranslationListener {
 
   void flush_cache();
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot support. The vTLB is serialized exactly (like the hardware
+  /// TLB): a hit and a walk charge different costs, so rebuilding on
+  /// restore would make a replay's cycle stream diverge. The kill switch
+  /// and hooks are host wiring and are left alone.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
   // --- TranslationListener (wired to the owner's ShadowMmu) ---
   void on_tlb_flush() override { flush_cache(); }

@@ -319,10 +319,164 @@ void Lvmm::resume_guest() {
 
 void Lvmm::arm_single_step() { st().set_tf(true); }
 
+std::vector<std::pair<VAddr, u32>> Lvmm::watchpoint_list() const {
+  std::vector<std::pair<VAddr, u32>> out;
+  out.reserve(watches_.size());
+  for (const auto& w : watches_) out.emplace_back(w.va, w.len);
+  return out;
+}
+
+bool Lvmm::guest_peek_raw(VAddr va, u8& out) const {
+  PAddr pa = 0;
+  if (!vcpu_.paging_enabled()) {
+    if (va >= cfg_.guest_mem_limit) return false;
+    pa = va;
+  } else {
+    const auto w =
+        shadow_->walk_guest(vcpu_.vcr[cpu::kCr3], va, /*write=*/false,
+                            /*user=*/false);
+    if (!w.ok || w.pa >= cfg_.guest_mem_limit) return false;
+    pa = w.pa;
+  }
+  out = machine_.mem().read8(pa);
+  return true;
+}
+
+bool Lvmm::guest_poke_raw(VAddr va, u8 value) {
+  PAddr pa = 0;
+  if (!vcpu_.paging_enabled()) {
+    if (va >= cfg_.guest_mem_limit) return false;
+    pa = va;
+  } else {
+    const auto w =
+        shadow_->walk_guest(vcpu_.vcr[cpu::kCr3], va, /*write=*/false,
+                            /*user=*/false);
+    if (!w.ok || w.pa >= cfg_.guest_mem_limit) return false;
+    pa = w.pa;
+  }
+  // write8 bumps the page version, so any predecoded block covering the
+  // patched byte self-invalidates on its next version check.
+  machine_.mem().write8(pa, value);
+  return true;
+}
+
 void Lvmm::guest_crash() {
   trace(TraceKind::kGuestCrash, 0, 0, 0);
   vcpu_.crashed = true;
   freeze_guest(DebugDelegate::StopReason::kCrash);
+}
+
+// --------------------------------------------------------------------------
+// Snapshot support.
+// --------------------------------------------------------------------------
+
+void Lvmm::save(SnapshotWriter& w) const {
+  w.begin_section(SnapTag::kLvmm);
+  w.put_bool(vcpu_.vif);
+  w.put_u8(vcpu_.vcpl);
+  for (u32 c : vcpu_.vcr) w.put_u32(c);
+  w.put_u32(vcpu_.vidt_base);
+  w.put_u32(vcpu_.vidt_count);
+  w.put_bool(vcpu_.halted);
+  w.put_bool(vcpu_.crashed);
+
+  w.put_u64(stats_.total);
+  w.put_u64(stats_.privileged_instr);
+  w.put_u64(stats_.io_emulated);
+  w.put_u64(stats_.interrupts);
+  w.put_u64(stats_.injections);
+  w.put_u64(stats_.shadow_syncs);
+  w.put_u64(stats_.pt_writes);
+  w.put_u64(stats_.reflected_faults);
+  w.put_u64(stats_.soft_ints);
+  w.put_u64(stats_.unknown_ports);
+  w.put_u64(stats_.charged_cycles);
+  for (const ExitKindStats& k : stats_.by_kind) {
+    w.put_u64(k.count);
+    w.put_u64(k.cycles);
+    w.put_u64(k.max_cycles);
+    for (u32 h : k.hist) w.put_u32(h);
+  }
+
+  w.put_u64(masked_pending_.size());
+  for (unsigned irq : masked_pending_) w.put_u32(irq);
+  w.put_u64(watches_.size());
+  for (const WatchRange& wr : watches_) {
+    w.put_u32(wr.va);
+    w.put_u32(wr.len);
+  }
+  w.put_u32(watch_hit_.va);
+  w.put_u32(watch_hit_.value);
+  w.put_u32(watch_hit_.size);
+  w.put_u32(watch_hit_.pc);
+  w.put_bool(frozen_);
+  w.end_section();
+
+  w.begin_section(SnapTag::kVpic);
+  vpic_.save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kShadowMmu);
+  shadow_->save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kGuestMem);
+  gmem_->save(w);
+  w.end_section();
+}
+
+bool Lvmm::restore(SnapshotReader& r) {
+  if (!r.open_section(SnapTag::kLvmm)) return false;
+  vcpu_.vif = r.get_bool();
+  vcpu_.vcpl = r.get_u8();
+  for (u32& c : vcpu_.vcr) c = r.get_u32();
+  vcpu_.vidt_base = r.get_u32();
+  vcpu_.vidt_count = r.get_u32();
+  vcpu_.halted = r.get_bool();
+  vcpu_.crashed = r.get_bool();
+
+  stats_.total = r.get_u64();
+  stats_.privileged_instr = r.get_u64();
+  stats_.io_emulated = r.get_u64();
+  stats_.interrupts = r.get_u64();
+  stats_.injections = r.get_u64();
+  stats_.shadow_syncs = r.get_u64();
+  stats_.pt_writes = r.get_u64();
+  stats_.reflected_faults = r.get_u64();
+  stats_.soft_ints = r.get_u64();
+  stats_.unknown_ports = r.get_u64();
+  stats_.charged_cycles = r.get_u64();
+  for (ExitKindStats& k : stats_.by_kind) {
+    k.count = r.get_u64();
+    k.cycles = r.get_u64();
+    k.max_cycles = r.get_u64();
+    for (u32& h : k.hist) h = r.get_u32();
+  }
+
+  masked_pending_.clear();
+  const u64 nmasked = r.get_u64();
+  for (u64 i = 0; i < nmasked && r.ok(); ++i) {
+    masked_pending_.insert(r.get_u32());
+  }
+  watches_.clear();
+  const u64 nwatch = r.get_u64();
+  for (u64 i = 0; i < nwatch && r.ok(); ++i) {
+    WatchRange wr{};
+    wr.va = r.get_u32();
+    wr.len = r.get_u32();
+    watches_.push_back(wr);
+  }
+  watch_hit_.va = r.get_u32();
+  watch_hit_.value = r.get_u32();
+  watch_hit_.size = r.get_u32();
+  watch_hit_.pc = r.get_u32();
+  frozen_ = r.get_bool();
+
+  if (!r.open_section(SnapTag::kVpic)) return false;
+  vpic_.restore(r);
+  if (!r.open_section(SnapTag::kShadowMmu)) return false;
+  shadow_->restore(r);
+  if (!r.open_section(SnapTag::kGuestMem)) return false;
+  gmem_->restore(r);
+  return r.ok();
 }
 
 }  // namespace vdbg::vmm

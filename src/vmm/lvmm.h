@@ -116,6 +116,7 @@ class Lvmm : public cpu::TrapHook {
 
   // --- debugger support ---
   void set_debug_delegate(DebugDelegate* d) { debug_ = d; }
+  DebugDelegate* debug_delegate() const { return debug_; }
   /// Freezes/unfreezes guest execution (devices and simulated time go on).
   void freeze_guest(DebugDelegate::StopReason reason);
   void resume_guest();
@@ -136,6 +137,17 @@ class Lvmm : public cpu::TrapHook {
   };
   const WatchHit& last_watch_hit() const { return watch_hit_; }
   std::size_t watchpoint_count() const { return watches_.size(); }
+  /// Snapshot of the active watch ranges, for reconciliation after a
+  /// time-travel restore (the restored set reflects checkpoint time).
+  std::vector<std::pair<VAddr, u32>> watchpoint_list() const;
+
+  /// Raw guest-byte access for host-side bookkeeping (breakpoint-patch
+  /// reconciliation after a snapshot restore): translates through the
+  /// guest's own tables but charges no cycles and touches no vTLB or
+  /// walk counters, so using it never perturbs a replay's timeline.
+  /// Permissions are ignored (a debugger patches read-only text).
+  bool guest_peek_raw(VAddr va, u8& out) const;
+  bool guest_poke_raw(VAddr va, u8 value);
 
   /// True while the monitor's private memory is uncorrupted (canary page).
   bool monitor_memory_intact() const;
@@ -147,6 +159,16 @@ class Lvmm : public cpu::TrapHook {
   /// Recording charges LvmmCosts::trace_per_event per event.
   void set_tracer(ExitTracer* tracer) { tracer_ = tracer; }
   ExitTracer* tracer() const { return tracer_; }
+
+  // --- snapshot support ---
+  /// Serialises monitor state on top of Machine::save: vCPU, exit stats,
+  /// virtual PIC, pending-masked IRQ set, watchpoints, freeze flag, shadow
+  /// bookkeeping and the vTLB. The snapshot must be restored onto an
+  /// installed monitor with the same configuration (the frame layout is
+  /// fixed at construction). The debug delegate and tracer are host wiring
+  /// and are untouched.
+  void save(SnapshotWriter& w) const;
+  bool restore(SnapshotReader& r);
 
  protected:
   // Trapped-port emulation; the hosted VMM subclass extends the port set.

@@ -238,4 +238,37 @@ void ShadowMmu::pt_write(PAddr pa, unsigned size, u32 value) {
   }
 }
 
+void ShadowMmu::save(SnapshotWriter& w) const {
+  w.put_u32(pool_used_);
+  w.put_u64(pt_frames_.size());
+  for (const auto& [frame, owners] : pt_frames_) {
+    w.put_u32(frame);
+    w.put_u64(owners.size());
+    for (u32 o : owners) w.put_u32(o);
+  }
+  w.put_u64(watched_vpns_.size());
+  for (u32 vpn : watched_vpns_) w.put_u32(vpn);
+  w.put_u64(syncs_);
+  w.put_u64(flushes_);
+  w.put_u64(pt_invals_);
+}
+
+void ShadowMmu::restore(SnapshotReader& r) {
+  pool_used_ = r.get_u32();
+  pt_frames_.clear();
+  const u64 nframes = r.get_u64();
+  for (u64 i = 0; i < nframes && r.ok(); ++i) {
+    const PAddr frame = r.get_u32();
+    auto& owners = pt_frames_[frame];
+    const u64 nowners = r.get_u64();
+    for (u64 j = 0; j < nowners && r.ok(); ++j) owners.insert(r.get_u32());
+  }
+  watched_vpns_.clear();
+  const u64 nwatch = r.get_u64();
+  for (u64 i = 0; i < nwatch && r.ok(); ++i) watched_vpns_.insert(r.get_u32());
+  syncs_ = r.get_u64();
+  flushes_ = r.get_u64();
+  pt_invals_ = r.get_u64();
+}
+
 }  // namespace vdbg::vmm

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "cpu/mmu.h"
 #include "cpu/phys_mem.h"
 #include "vmm/vcpu.h"
@@ -113,6 +114,15 @@ class ShadowMmu {
   u64 flushes() const { return flushes_; }
   u64 pt_write_invalidations() const { return pt_invals_; }
   u64 pool_in_use() const { return pool_used_; }
+
+  /// Snapshot support. The table contents themselves live in PhysMem (the
+  /// monitor pool frames) and roll back with it; this serialises only the
+  /// bookkeeping derived alongside them: pool allocation cursor, the
+  /// registered PT-frame map, watched pages and counters. The frame layout
+  /// (identity PD, shadow PD, pool base) is fixed at construction and must
+  /// match between save and restore.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   PAddr alloc_pool_frame();  // zeroed; flushes everything when exhausted

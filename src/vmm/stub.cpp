@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/hexdump.h"
+#include "vmm/time_travel.h"
 
 namespace vdbg::vmm {
 
@@ -27,6 +28,17 @@ void DebugStub::attach() {
   mon_.machine().set_frozen_service([this] { service(); });
   // Enable RX-available and TX-empty interrupts on the monitor's UART.
   uart_.io_write(1, 0x03);
+}
+
+void DebugStub::set_time_travel(TimeTravel* tt) {
+  tt_ = tt;
+  if (!tt_) return;
+  tt_->set_patch_lookup([this](VAddr pc) -> std::optional<u8> {
+    const auto it = breakpoints_.find(pc);
+    if (it == breakpoints_.end()) return std::nullopt;
+    return it->second;
+  });
+  tt_->set_post_restore([this] { reapply_patches(); });
 }
 
 // --------------------------------------------------------------------------
@@ -207,6 +219,13 @@ void DebugStub::execute(const std::string& p) {
     case 's':
       do_step();
       return;
+    case 'b':
+      if (args == "c" || args == "s") {
+        do_reverse(args == "c");
+        return;
+      }
+      send_packet("");  // other b-packets unsupported
+      return;
     case 'Z':
     case 'z':
       send_packet(cmd_breakpoint(args, p[0] == 'Z'));
@@ -239,6 +258,15 @@ void DebugStub::do_continue() {
     mon_.arm_single_step();
   }
   mon_.resume_guest();
+  checkpoint_on_resume();
+}
+
+void DebugStub::checkpoint_on_resume() {
+  // Anchor a checkpoint at every interactive resume: the stretch from here
+  // to the next stop then contains no debugger wire traffic, so replaying
+  // it reproduces the original timeline exactly — which is what makes
+  // reverse execution from the next stop land faithfully.
+  if (tt_ && tt_->enabled()) tt_->checkpoint_now();
 }
 
 void DebugStub::do_step() {
@@ -254,6 +282,41 @@ void DebugStub::do_step() {
   }
   mon_.arm_single_step();
   mon_.resume_guest();
+  checkpoint_on_resume();
+}
+
+void DebugStub::do_reverse(bool is_continue) {
+  if (!tt_ || !stopped_) {
+    send_packet("E01");
+    return;
+  }
+  const auto r = is_continue ? tt_->reverse_continue() : tt_->reverse_stepi();
+  if (r.outcome == TimeTravel::ReverseOutcome::kNoHistory ||
+      r.outcome == TimeTravel::ReverseOutcome::kError) {
+    // Still frozen (at the original position for kNoHistory; wherever
+    // error containment froze it otherwise).
+    send_packet("E01");
+    return;
+  }
+  // Landed frozen somewhere in the past: report it like a live stop.
+  stopped_ = true;
+  user_stepping_ = false;
+  step_over_.reset();
+  switch (r.reason) {
+    case StopReason::kWatchpoint: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "T05watch:%x;",
+                    mon_.last_watch_hit().va);
+      send_packet(buf);
+      return;
+    }
+    case StopReason::kCrash:
+      send_packet("S0b");
+      return;
+    default:
+      send_packet("S05");
+      return;
+  }
 }
 
 }  // namespace vdbg::vmm

@@ -10,11 +10,19 @@
 // Wire protocol: GDB remote-serial-protocol framing ($data#xx with '+'/'-'
 // acks, 0x03 break-in) and the classic command set:
 //   ?  g  G  p  P  m  M  c  s  Z0  z0  qSupported  qAttached  k
+// reverse execution (needs an attached TimeTravel controller):
+//   bc  bs               -> reverse continue / reverse step, reply is a
+//                           stop packet for the landing position
 // plus custom queries:
 //   qVdbg.Crashed        -> "1"/"0"
 //   qVdbg.Exits          -> decimal VM-exit count
 //   qVdbg.ExitStats      -> "<kind>:<count>:<cycles>;..." per exit kind
 //   qVdbg.MonitorIntact  -> "1"/"0" (canary check)
+//   qVdbg.Icount         -> decimal retired guest instructions
+//   qVdbg.Checkpoint     -> take a checkpoint now ("OK")
+//   qVdbg.Checkpoints    -> decimal checkpoints held in the ring
+//   qVdbg.Snapshot.Save  -> serialise full state into the host-side slot
+//   qVdbg.Snapshot.Load  -> restore the slot ("OK"/"E03")
 #pragma once
 
 #include <deque>
@@ -22,10 +30,14 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "hw/uart.h"
 #include "vmm/lvmm.h"
 
 namespace vdbg::vmm {
+
+class TimeTravel;
 
 class DebugStub final : public DebugDelegate {
  public:
@@ -33,6 +45,13 @@ class DebugStub final : public DebugDelegate {
 
   /// Registers with the monitor and the machine, enables UART interrupts.
   void attach();
+
+  /// Attaches the time-travel controller behind the `bc`/`bs` packets and
+  /// the qVdbg.Snapshot/Checkpoint queries. The stub registers itself as
+  /// the controller's breakpoint-patch authority so replay can step over
+  /// patched sites and restores re-apply patches inserted after the
+  /// checkpoint. Pass nullptr to detach.
+  void set_time_travel(TimeTravel* tt);
 
   // --- DebugDelegate ---
   bool owns_breakpoint(VAddr pc) override;
@@ -68,10 +87,17 @@ class DebugStub final : public DebugDelegate {
   std::string cmd_query(const std::string& q);
   void do_continue();
   void do_step();
+  void do_reverse(bool is_continue);
+  /// Anchors a time-travel checkpoint at an interactive resume so the
+  /// window to the next stop is free of debugger wire traffic.
+  void checkpoint_on_resume();
   void report_stop(const std::string& reply);
 
   bool insert_breakpoint(VAddr addr);
   bool remove_breakpoint(VAddr addr);
+  /// Post-restore hook: reconciles breakpoint patches with the rolled-back
+  /// memory image (charge-free; writes only where the image disagrees).
+  void reapply_patches();
 
   Lvmm& mon_;
   hw::Uart& uart_;
@@ -87,6 +113,13 @@ class DebugStub final : public DebugDelegate {
 
   /// addr -> original opcode byte replaced by BRK.
   std::map<VAddr, u8> breakpoints_;
+  /// Every site ever patched (kept after removal): a snapshot restore can
+  /// resurrect a stale BRK byte that must be un-patched.
+  std::map<VAddr, u8> patch_history_;
+
+  TimeTravel* tt_ = nullptr;
+  /// Host-side slot for qVdbg.Snapshot.Save/Load.
+  std::vector<u8> snapshot_slot_;
 
   bool stopped_ = false;        // guest frozen by us
   bool user_stepping_ = false;  // 's' in flight

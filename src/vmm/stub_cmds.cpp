@@ -4,6 +4,7 @@
 #include "vmm/stub.h"
 
 #include "common/hexdump.h"
+#include "vmm/time_travel.h"
 
 namespace vdbg::vmm {
 
@@ -125,7 +126,23 @@ bool DebugStub::insert_breakpoint(VAddr addr) {
   const u8 brk = static_cast<u8>(cpu::Opcode::kBrk);
   if (!mon_.guest_write(addr, {&brk, 1})) return false;
   breakpoints_[addr] = orig;
+  patch_history_[addr] = orig;
   return true;
+}
+
+void DebugStub::reapply_patches() {
+  const u8 brk = static_cast<u8>(cpu::Opcode::kBrk);
+  for (const auto& [addr, orig] : patch_history_) {
+    u8 cur = 0;
+    if (!mon_.guest_peek_raw(addr, cur)) continue;
+    if (breakpoints_.count(addr)) {
+      // Active breakpoint whose patch predates the restored image.
+      if (cur != brk) mon_.guest_poke_raw(addr, brk);
+    } else {
+      // Removed breakpoint resurrected by the restore: un-patch it.
+      if (cur == brk) mon_.guest_poke_raw(addr, orig);
+    }
+  }
 }
 
 bool DebugStub::remove_breakpoint(VAddr addr) {
@@ -200,6 +217,26 @@ std::string DebugStub::cmd_query(const std::string& q) {
     if (!mon_.tracer()) return "E01";
     mon_.tracer()->set_enabled(q == "Vdbg.TraceOn");
     return "OK";
+  }
+  if (q == "Vdbg.Icount") {
+    return std::to_string(mon_.machine().cpu().stats().instructions);
+  }
+  if (q == "Vdbg.Checkpoint") {
+    if (!tt_) return "E01";
+    return tt_->checkpoint_now() ? "OK" : "E03";
+  }
+  if (q == "Vdbg.Checkpoints") {
+    if (!tt_) return "E01";
+    return std::to_string(tt_->checkpoint_count());
+  }
+  if (q == "Vdbg.Snapshot.Save") {
+    if (!tt_) return "E01";
+    snapshot_slot_ = tt_->save_state();
+    return snapshot_slot_.empty() ? "E03" : "OK";
+  }
+  if (q == "Vdbg.Snapshot.Load") {
+    if (!tt_ || snapshot_slot_.empty()) return "E01";
+    return tt_->load_state(snapshot_slot_) ? "OK" : "E03";
   }
   if (q.rfind("Vdbg.Trace,", 0) == 0) {
     if (!mon_.tracer()) return "E01";

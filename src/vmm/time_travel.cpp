@@ -1,0 +1,386 @@
+#include "vmm/time_travel.h"
+
+#include <algorithm>
+
+#include "cpu/isa.h"
+
+namespace vdbg::vmm {
+
+TimeTravel::TimeTravel(Lvmm& mon, Config cfg) : mon_(mon), cfg_(cfg) {}
+
+TimeTravel::~TimeTravel() { disable(); }
+
+u64 TimeTravel::icount() const {
+  return machine().cpu().stats().instructions;
+}
+
+void TimeTravel::enable() {
+  if (enabled_) return;
+  enabled_ = true;
+  machine().set_instr_hook(cfg_.interval,
+                           [this](u64 ic) { on_boundary(ic); });
+}
+
+void TimeTravel::disable() {
+  if (!enabled_) return;
+  enabled_ = false;
+  machine().set_instr_hook(0, nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------------
+
+void TimeTravel::charge_checkpoint() {
+  // Per *resident* page: a pure function of guest state at the boundary, so
+  // a replay reaching the same boundary re-charges the identical amount.
+  const auto& costs = mon_.config().costs;
+  const u64 pages = machine().mem().nonzero_pages();
+  mon_.charge(costs.checkpoint_base + costs.checkpoint_per_page * pages);
+}
+
+std::vector<u8> TimeTravel::serialize() const {
+  SnapshotWriter w;
+  machine().save(w);
+  mon_.save(w);
+  return w.finish();
+}
+
+void TimeTravel::store_checkpoint(u64 ic, std::vector<u8> bytes) {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), ic,
+      [](const Checkpoint& c, u64 v) { return c.icount < v; });
+  if (it != ring_.end() && it->icount == ic) {
+    // A replay pass re-reached a boundary already in the ring; the stream
+    // is bit-identical by determinism, so just refresh it.
+    it->cycles = machine().now();
+    it->bytes = std::move(bytes);
+    return;
+  }
+  ring_.insert(it, Checkpoint{ic, machine().now(), std::move(bytes)});
+  ++stats_.checkpoints;
+  while (ring_.size() > cfg_.ring) ring_.pop_front();
+}
+
+void TimeTravel::on_boundary(u64 boundary_icount) {
+  // Charge before serialising so the snapshot captures the post-charge
+  // state: restoring a checkpoint then resumes *after* that boundary's
+  // checkpoint work, and the next replayed boundary re-charges its own.
+  charge_checkpoint();
+  store_checkpoint(boundary_icount, serialize());
+}
+
+bool TimeTravel::checkpoint_now() {
+  charge_checkpoint();
+  auto bytes = serialize();
+  if (bytes.empty()) return false;
+  store_checkpoint(icount(), std::move(bytes));
+  return true;
+}
+
+const TimeTravel::Checkpoint* TimeTravel::newest_at_or_below(u64 ic) const {
+  const Checkpoint* best = nullptr;
+  for (const Checkpoint& c : ring_) {
+    if (c.icount <= ic) best = &c;
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// Snapshot save/load (qVdbg.Snapshot)
+// --------------------------------------------------------------------------
+
+std::vector<u8> TimeTravel::save_state() const { return serialize(); }
+
+bool TimeTravel::load_state(const std::vector<u8>& bytes) {
+  const bool was_frozen = mon_.guest_frozen();
+  if (!restore_bytes(bytes)) return false;
+  if (was_frozen && !mon_.guest_frozen()) {
+    freeze_quietly(StopReason::kStep);
+  }
+  return true;
+}
+
+bool TimeTravel::restore_bytes(const std::vector<u8>& bytes) {
+  // The debugger's current watch set is host truth; the snapshot carries
+  // the set as of checkpoint time. Capture the desired set first, restore,
+  // then reconcile — a no-op (no writes, no charges) when they match.
+  const auto desired = mon_.watchpoint_list();
+  SnapshotReader r(bytes);
+  if (!r.ok()) return false;
+  if (!machine().restore(r)) return false;
+  if (!mon_.restore(r)) return false;
+  ++stats_.restores;
+  const auto restored = mon_.watchpoint_list();
+  if (restored != desired) {
+    for (const auto& w : restored) mon_.remove_watchpoint(w.first, w.second);
+    for (const auto& w : desired) mon_.add_watchpoint(w.first, w.second);
+  }
+  if (post_restore_) post_restore_();
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Replay session plumbing
+// --------------------------------------------------------------------------
+
+void TimeTravel::begin_replay() {
+  prev_delegate_ = mon_.debug_delegate();
+  mon_.set_debug_delegate(this);
+  machine().uart().set_tx_muted(true);
+  machine().nic().set_wire_muted(true);
+  replaying_ = true;
+  replay_failed_ = false;
+  step_over_.reset();
+  held_ = false;
+}
+
+void TimeTravel::end_replay() {
+  mon_.set_debug_delegate(prev_delegate_);
+  prev_delegate_ = nullptr;
+  machine().uart().set_tx_muted(false);
+  machine().nic().set_wire_muted(false);
+  replaying_ = false;
+  mode_ = Mode::kIdle;
+}
+
+hw::Machine::StopReason TimeTravel::replay_to(u64 target) {
+  ++stats_.replay_passes;
+  const u64 before = icount();
+  hw::Machine::StopReason r;
+  for (;;) {
+    r = machine().run_to_instruction(target, cfg_.replay_budget);
+    if (r == hw::Machine::StopReason::kGuestExit) {
+      // The guest's diag-port exit re-fires during replay; the original
+      // timeline continued past it, so clear the latch and keep going.
+      machine().clear_guest_exit();
+      continue;
+    }
+    break;
+  }
+  stats_.replayed_instructions += icount() - before;
+  if (r == hw::Machine::StopReason::kBudget ||
+      r == hw::Machine::StopReason::kShutdown ||
+      r == hw::Machine::StopReason::kIdleDeadlock) {
+    replay_failed_ = true;
+  }
+  return r;
+}
+
+void TimeTravel::hold(StopReason reason) {
+  held_ = true;
+  held_reason_ = reason;
+  machine().external_stop();
+}
+
+void TimeTravel::freeze_quietly(StopReason reason) {
+  DebugDelegate* prev = mon_.debug_delegate();
+  mon_.set_debug_delegate(this);
+  suppress_stop_ = true;
+  mon_.freeze_guest(reason);
+  suppress_stop_ = false;
+  mon_.set_debug_delegate(prev);
+}
+
+// --------------------------------------------------------------------------
+// DebugDelegate — replay-time stop handling
+// --------------------------------------------------------------------------
+
+bool TimeTravel::owns_breakpoint(VAddr pc) {
+  if (prev_delegate_) return prev_delegate_->owns_breakpoint(pc);
+  return patch_lookup_ && patch_lookup_(pc).has_value();
+}
+
+bool TimeTravel::wants_step() { return step_over_.has_value(); }
+
+void TimeTravel::on_uart_activity() {
+  // Acknowledge exactly as the stub's service() would (reading IIR clears a
+  // THRE indication, charge-free): a checkpoint taken just after a resume
+  // still has the reply's transmit-drain events in flight, and leaving the
+  // level asserted would storm the interrupt path for the whole replay.
+  // RX is NOT drained: a debugger-quiet window has none, and replay must
+  // not consume bytes the live stub will read after the landing.
+  (void)machine().uart().io_read(2);
+}
+
+void TimeTravel::on_guest_stop(StopReason reason) {
+  if (suppress_stop_) return;
+  if (!replaying_) return;  // defensive: not our delegate window
+  const u64 ic = icount();
+
+  // Completion of our own transparent step-over: re-patch, keep going.
+  if (reason == StopReason::kStep && step_over_) {
+    if (!mon_.guest_poke_raw(*step_over_,
+                             static_cast<u8>(cpu::Opcode::kBrk))) {
+      replay_failed_ = true;
+      hold(reason);
+      return;
+    }
+    step_over_.reset();
+    mon_.resume_guest();
+    return;
+  }
+
+  if (mode_ == Mode::kScan) {
+    // A stop retiring exactly at the window's end boundary belongs to this
+    // window only when the boundary is a checkpoint from a newer window
+    // (the freeze precedes a checkpoint taken at the same icount, e.g. a
+    // resume-anchored one); when the boundary is the reverse origin itself,
+    // that stop IS the origin and must not be re-recorded. Step stops are
+    // never hits — they are artifacts of a trap flag captured by a
+    // checkpoint taken mid-single-step.
+    const bool in_window =
+        ic < scan_end_ || (scan_inclusive_ && ic == scan_end_);
+    const bool recordable = reason == StopReason::kBreakpoint ||
+                            reason == StopReason::kWatchpoint ||
+                            reason == StopReason::kCrash;
+    if (in_window && recordable) hits_.push_back({ic, reason});
+    if (ic < scan_end_ && reason != StopReason::kCrash) {
+      transparent_resume(reason);
+    } else {
+      hold(reason);  // reached the window end (or an unpassable crash)
+    }
+    return;
+  }
+  if (mode_ == Mode::kLand) {
+    if (ic < land_target_ && reason != StopReason::kCrash) {
+      transparent_resume(reason);
+    } else {
+      hold(reason);
+    }
+    return;
+  }
+  hold(reason);
+}
+
+void TimeTravel::transparent_resume(StopReason reason) {
+  if (reason == StopReason::kBreakpoint) {
+    const VAddr pc = machine().cpu().state().pc;
+    std::optional<u8> orig;
+    if (patch_lookup_) orig = patch_lookup_(pc);
+    if (!orig || !mon_.guest_poke_raw(pc, *orig)) {
+      replay_failed_ = true;
+      hold(reason);
+      return;
+    }
+    step_over_ = pc;
+    mon_.arm_single_step();
+  }
+  mon_.resume_guest();
+}
+
+// --------------------------------------------------------------------------
+// Reverse execution
+// --------------------------------------------------------------------------
+
+TimeTravel::ReverseStop TimeTravel::reverse_stepi() {
+  ReverseStop out;
+  const u64 origin = icount();
+  if (origin == 0) {
+    out.outcome = ReverseOutcome::kNoHistory;
+    out.icount = origin;
+    return out;
+  }
+  const u64 target = origin - 1;
+  const Checkpoint* cp = newest_at_or_below(target);
+  if (!cp) {
+    out.outcome = ReverseOutcome::kNoHistory;
+    out.icount = origin;
+    return out;
+  }
+  const std::vector<u8> bytes = cp->bytes;  // ring may mutate during replay
+
+  begin_replay();
+  mode_ = Mode::kLand;
+  land_target_ = target;
+  if (restore_bytes(bytes)) {
+    const auto r = replay_to(target);
+    if (held_) {
+      out = {ReverseOutcome::kStopped, held_reason_, icount()};
+    } else if (r == hw::Machine::StopReason::kInstrLimit && !replay_failed_) {
+      freeze_quietly(StopReason::kStep);
+      out = {ReverseOutcome::kStopped, StopReason::kStep, icount()};
+    }
+  }
+  if (out.outcome == ReverseOutcome::kError && !mon_.guest_frozen()) {
+    freeze_quietly(StopReason::kStep);  // containment: never leave it running
+    out.icount = icount();
+  }
+  end_replay();
+  return out;
+}
+
+TimeTravel::ReverseStop TimeTravel::reverse_continue() {
+  ReverseStop out;
+  const u64 origin = icount();
+
+  // Candidate checkpoints strictly below the origin, newest first. Copies:
+  // replay passes refresh the ring underneath us.
+  std::vector<Checkpoint> cands;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->icount < origin) cands.push_back(*it);
+  }
+  if (cands.empty()) {
+    out.outcome = ReverseOutcome::kNoHistory;
+    out.icount = origin;
+    return out;
+  }
+
+  begin_replay();
+  bool done = false;
+  u64 window_end = origin;
+  for (const Checkpoint& cp : cands) {
+    // Scan pass over the window up from cp: collect every hit. The first
+    // window ends at (and excludes) the origin stop; older windows end at
+    // (and include) the next-newer checkpoint's boundary.
+    mode_ = Mode::kScan;
+    scan_end_ = window_end;
+    scan_inclusive_ = window_end != origin;
+    hits_.clear();
+    held_ = false;
+    step_over_.reset();
+    if (!restore_bytes(cp.bytes)) {
+      done = true;
+      break;
+    }
+    replay_to(window_end);
+    if (replay_failed_) {
+      done = true;
+      break;
+    }
+    if (!hits_.empty()) {
+      // Landing pass: restore again, replay to the LAST hit and keep that
+      // stop frozen.
+      const Hit target = hits_.back();
+      mode_ = Mode::kLand;
+      land_target_ = target.icount;
+      held_ = false;
+      step_over_.reset();
+      if (restore_bytes(cp.bytes)) {
+        replay_to(target.icount);
+        if (held_) {
+          out = {ReverseOutcome::kStopped, held_reason_, icount()};
+        }
+      }
+      done = true;
+      break;
+    }
+    window_end = cp.icount;
+  }
+  if (!done) {
+    // No hit anywhere in recorded history: land on the oldest checkpoint.
+    mode_ = Mode::kIdle;
+    if (restore_bytes(cands.back().bytes)) {
+      freeze_quietly(StopReason::kStep);
+      out = {ReverseOutcome::kAtCheckpoint, StopReason::kStep, icount()};
+    }
+  }
+  if (out.outcome == ReverseOutcome::kError && !mon_.guest_frozen()) {
+    freeze_quietly(StopReason::kStep);
+    out.icount = icount();
+  }
+  end_replay();
+  return out;
+}
+
+}  // namespace vdbg::vmm

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares google-benchmark JSON output against a checked-in baseline of
+*simulated* counters (vTLB hit rate, per-exit cycle charge, checkpoint
+overhead). The counters are deterministic functions of the simulated
+machine, not wall-clock timings, so exact values are reproducible across
+hosts and any drift is a real behavioural change.
+
+Usage:
+    check_bench.py --baseline tools/bench_baseline.json out1.json [out2.json ...]
+
+Exits non-zero if any gated counter regresses by more than --threshold
+(default 25%) relative to its baseline, in its bad direction ("higher" means
+higher-is-better). Improvements and missing benchmarks in the baseline are
+ignored; a baselined benchmark missing from every results file is an error
+(the gate must not silently stop gating).
+"""
+
+import argparse
+import json
+import sys
+
+
+def normalize(name: str) -> str:
+    """Strips the /iterations:N suffix google-benchmark appends."""
+    parts = [p for p in name.split("/") if not p.startswith("iterations:")]
+    return "/".join(parts)
+
+
+def load_results(paths):
+    results = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            results[normalize(bench["name"])] = bench
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fractional regression allowed (default 0.25)")
+    ap.add_argument("results", nargs="+",
+                    help="google-benchmark --benchmark_format=json outputs")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    results = load_results(args.results)
+
+    failures = []
+    checked = 0
+    for bench_name, counters in baseline.items():
+        bench = results.get(bench_name)
+        if bench is None:
+            failures.append(f"{bench_name}: missing from results")
+            continue
+        for counter, spec in counters.items():
+            base = spec["value"]
+            higher_is_better = spec["direction"] == "higher"
+            cur = bench.get(counter)
+            if cur is None:
+                failures.append(f"{bench_name}.{counter}: counter missing")
+                continue
+            checked += 1
+            if base == 0:
+                continue
+            delta = (base - cur) / abs(base) if higher_is_better \
+                else (cur - base) / abs(base)
+            status = "FAIL" if delta > args.threshold else "ok"
+            print(f"[{status}] {bench_name}.{counter}: "
+                  f"baseline={base:.6g} current={cur:.6g} "
+                  f"regression={delta * 100:+.1f}% "
+                  f"({'higher' if higher_is_better else 'lower'} is better)")
+            if delta > args.threshold:
+                failures.append(
+                    f"{bench_name}.{counter}: {delta * 100:+.1f}% "
+                    f"(limit {args.threshold * 100:.0f}%)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("no counters checked — baseline/results mismatch",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated counters within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
