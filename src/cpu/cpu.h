@@ -201,22 +201,22 @@ class Cpu {
 
   PhysMem& mem_;
   IoBus& io_;
-  IntrLine* intr_;
+  IntrLine* intr_;  // snap:skip(wiring; the machine's interrupt line)
   const CostModel& costs_;
   CpuState st_{};
-  Mmu mmu_;
-  BlockCache bcache_;
-  bool block_cache_enabled_ = true;
-  TrapHook* hook_ = nullptr;
+  Mmu mmu_;         // snap:skip(serialized by Machine in its own kMmu section)
+  BlockCache bcache_;  // snap:skip(derived cache; dropped on restore)
+  bool block_cache_enabled_ = true;  // snap:skip(host tuning knob)
+  TrapHook* hook_ = nullptr;  // snap:skip(wiring; reinstalled by the monitor)
   /// One bit per port, 64 ports per word (0 = denied).
   std::array<u64, 1024> io_bitmap_{};
 
   Cycles cycles_ = 0;
-  Cycles run_limit_ = ~Cycles{0};
-  u64 instr_stop_ = ~u64{0};
+  Cycles run_limit_ = ~Cycles{0};  // snap:skip(per-run() budget; reset by restore)
+  u64 instr_stop_ = ~u64{0};  // snap:skip(per-run() stop point, host run control)
   bool halted_ = false;
   bool shutdown_ = false;
-  bool stop_requested_ = false;
+  bool stop_requested_ = false;  // snap:skip(transient; reset by restore)
   CpuStats stats_{};
 };
 

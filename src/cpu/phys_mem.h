@@ -172,6 +172,8 @@ class PhysMem {
   };
   std::vector<u8> bytes_;
   std::vector<u64> versions_;
+  // Install-time monitor ranges; restore targets an installed machine
+  // where they are already in place. snap:skip(install-time)
   std::vector<Range> protected_;
 };
 

@@ -82,8 +82,8 @@ class DiagPort final : public IoDevice {
   std::string text_;
   std::vector<u32> values_;
   u32 host_value_ = 0;
-  std::function<void(u32)> exit_fn_;
-  std::function<u32()> tsc_fn_;
+  std::function<void(u32)> exit_fn_;  // snap:skip(host callback wiring)
+  std::function<u32()> tsc_fn_;       // snap:skip(host callback wiring)
 };
 
 }  // namespace vdbg::hw

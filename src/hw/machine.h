@@ -129,9 +129,11 @@ class Machine final : public Clock {
 
  private:
   MachineConfig cfg_;
+  // Only next_seq is serialized, and it is applied after every device has
+  // re-armed its events. snap:reorder(applied after schedule_restored)
   EventQueue eq_;
   cpu::PhysMem mem_;
-  PortRouter router_;
+  PortRouter router_;  // snap:skip(port wiring rebuilt by the constructor)
   Pic pic_;
   DiagPort diag_;
   std::unique_ptr<cpu::Cpu> cpu_;
@@ -141,15 +143,16 @@ class Machine final : public Clock {
   std::vector<std::unique_ptr<ScsiDisk>> disks_;
 
   bool frozen_ = false;
-  std::function<void()> frozen_service_;
-  bool external_stop_ = false;
+  std::function<void()> frozen_service_;  // snap:skip(host callback wiring)
+  bool external_stop_ = false;  // snap:skip(transient; reset by restore)
   std::optional<u32> guest_exit_;
   Cycles idle_cycles_ = 0;
 
+  // Host run control; reset by restore(), never serialized. snap:skip(host)
   u64 instr_target_ = ~u64{0};       // run_to_instruction() stop
-  u64 instr_hook_every_ = 0;         // 0 = no hook installed
-  u64 instr_hook_next_ = ~u64{0};    // next absolute firing boundary
-  InstrHook instr_hook_;
+  u64 instr_hook_every_ = 0;         // 0 = no hook installed; snap:skip(host)
+  u64 instr_hook_next_ = ~u64{0};    // next firing boundary; snap:skip(host)
+  InstrHook instr_hook_;             // snap:skip(host callback wiring)
 };
 
 }  // namespace vdbg::hw

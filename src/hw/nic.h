@@ -113,8 +113,8 @@ class Nic final : public IoDevice {
   const Clock& clock_;
   IrqSink& irq_;
   cpu::PhysMem& mem_;
-  Config cfg_;
-  WireSink wire_;
+  Config cfg_;     // snap:skip(construction-time config)
+  WireSink wire_;  // snap:skip(host callback wiring)
 
   void update_irq();
 
@@ -131,13 +131,15 @@ class Nic final : public IoDevice {
   u32 rx_head_ = 0;  // device produces
   u32 rx_tail_ = 0;  // guest consumes/recycles
 
-  // In-flight transmit (valid while tx_event_ != 0).
-  std::vector<u8> tx_frame_;
+  // In-flight transmit (valid while tx_event_ != 0). tx_frame_ and
+  // tx_event_ are cleared up front in restore so stale in-flight state
+  // never leaks, then re-armed from the saved deadline.
+  std::vector<u8> tx_frame_;  // snap:reorder(reset-before-read)
   PAddr tx_desc_ = 0;
   u32 tx_flags_ = 0;
   bool tx_bad_ = false;
-  EventId tx_event_ = 0;
-  bool wire_muted_ = false;
+  EventId tx_event_ = 0;  // snap:reorder(reset-before-read)
+  bool wire_muted_ = false;  // snap:skip(replay-time mute, host policy)
 
   u64 frames_ = 0;
   u64 bytes_ = 0;

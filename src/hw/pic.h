@@ -88,8 +88,8 @@ class Pic final : public cpu::IntrLine, public IrqSink {
 
   Chip master_;
   Chip slave_;
-  ChipIo master_io_;
-  ChipIo slave_io_;
+  ChipIo master_io_;  // snap:skip(stateless port shim over master_)
+  ChipIo slave_io_;   // snap:skip(stateless port shim over slave_)
 };
 
 }  // namespace vdbg::hw

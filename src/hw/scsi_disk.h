@@ -97,13 +97,13 @@ class ScsiDisk final : public IoDevice {
   void complete(Cycles now);
   void finish_with(u32 status, PAddr req_addr);
 
-  unsigned id_;
+  unsigned id_;  // snap:skip(construction-time identity)
   EventQueue& eq_;
   const Clock& clock_;
   IrqSink& irq_;
-  unsigned irq_line_;
+  unsigned irq_line_;  // snap:skip(construction-time wiring)
   cpu::PhysMem& mem_;
-  Config cfg_;
+  Config cfg_;  // snap:skip(construction-time config)
 
   u32 req_addr_ = 0;
   bool busy_ = false;
@@ -117,6 +117,8 @@ class ScsiDisk final : public IoDevice {
   u32 cur_buf_ = 0;
   PAddr cur_req_ = 0;
   bool cur_is_write_ = false;
+  // Cancelled up front in restore, then re-armed from the saved deadline
+  // once the serialized fields are back. snap:reorder(reset-before-read)
   EventId event_ = 0;
   /// Sparse overlay of written sectors over the synthetic pattern.
   std::map<u32, std::array<u8, kSectorBytes>> written_;

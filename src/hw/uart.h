@@ -68,7 +68,7 @@ class Uart final : public IoDevice {
   EventQueue& eq_;
   const Clock& clock_;
   IrqSink& irq_;
-  Config cfg_;
+  Config cfg_;  // snap:skip(construction-time config)
 
   std::deque<u8> rx_;
   std::deque<u8> tx_;
@@ -78,9 +78,11 @@ class Uart final : public IoDevice {
   u8 ier_ = 0;
   u8 lcr_ = 0;
   u8 mcr_ = 0;
+  // Cancelled up front in restore, then re-armed from the saved deadline
+  // once the serialized fields are back. snap:reorder(reset-before-read)
   EventId tx_event_ = 0;
-  bool tx_muted_ = false;
-  std::function<void(u8)> tx_sink_;
+  bool tx_muted_ = false;  // snap:skip(replay-time mute, host policy)
+  std::function<void(u8)> tx_sink_;  // snap:skip(host callback wiring)
 };
 
 }  // namespace vdbg::hw

@@ -115,6 +115,7 @@ void Lvmm::emulate_guest_iret() {
   try_inject();
 }
 
+// charge:exempt(poll; inject() charges when an injection actually happens)
 void Lvmm::try_inject() {
   if (frozen_ || vcpu_.crashed) return;
   if (!vcpu_.vif) return;

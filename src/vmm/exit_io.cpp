@@ -60,6 +60,7 @@ void Lvmm::vpic_write(bool slave, u16 offset, u32 value) {
   }
 }
 
+// charge:exempt(helper; emulate_io charges io_emulate on entry)
 u32 Lvmm::io_emulated_read(u16 port) {
   switch (port) {
     case 0x20:
@@ -85,6 +86,7 @@ u32 Lvmm::io_emulated_read(u16 port) {
   return 0xffffffffu;
 }
 
+// charge:exempt(pure classifier; emulate_io charges io_emulate on entry)
 bool Lvmm::is_device_class_port(u16 port) const {
   if (port >= hw::kNicBase && port < hw::kNicBase + 0x40) return true;
   const u16 scsi_end = static_cast<u16>(
@@ -96,6 +98,7 @@ bool Lvmm::is_device_class_port(u16 port) const {
   return false;
 }
 
+// charge:exempt(helper; emulate_io charges io_emulate on entry)
 void Lvmm::io_emulated_write(u16 port, u32 value) {
   switch (port) {
     case 0x20:

@@ -56,6 +56,7 @@ void Lvmm::handle_page_fault(ExitContext& ctx) {
 /// if no earlier pipeline stage already did. False when the instruction
 /// cannot be fetched or is not a store (a faulting "write" from a non-store
 /// should not happen).
+// charge:exempt(decode helper; callers charge per fault outcome)
 bool Lvmm::decode_faulting_store(ExitContext& ctx, StoreInfo& out) {
   if (!ctx.have_instr) {
     if (!fetch_guest_instr(ctx.instr)) return false;
@@ -111,6 +112,7 @@ void Lvmm::handle_watch_write(const Fault& f, const StoreInfo& store) {
   // Unwatched bytes of a watched page: silent single-store emulation.
 }
 
+// charge:exempt(debugger bookkeeping, not a guest exit path)
 void Lvmm::sync_watch_pages() {
   std::set<u32> vpns;
   for (const auto& w : watches_) {
@@ -129,6 +131,7 @@ void Lvmm::sync_watch_pages() {
   machine_.cpu().mmu().flush_tlb();
 }
 
+// charge:exempt(debugger API, not a guest exit path)
 bool Lvmm::add_watchpoint(VAddr va, u32 len) {
   if (!vcpu_.paging_enabled() || len == 0) return false;
   watches_.push_back({va, len});
@@ -136,6 +139,7 @@ bool Lvmm::add_watchpoint(VAddr va, u32 len) {
   return true;
 }
 
+// charge:exempt(debugger API, not a guest exit path)
 bool Lvmm::remove_watchpoint(VAddr va, u32 len) {
   for (auto it = watches_.begin(); it != watches_.end(); ++it) {
     if (it->va == va && it->len == len) {

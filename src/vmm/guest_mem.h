@@ -135,15 +135,16 @@ class GuestMemory final : public TranslationListener {
   cpu::PhysMem& mem_;
   ShadowMmu& shadow_;
   const VcpuState& vcpu_;
-  u32 guest_mem_limit_;
+  u32 guest_mem_limit_;  // snap:skip(install-time config)
 
   std::array<Entry, kEntries> entries_{};
-  bool cache_enabled_ = true;
-  Cycles walk_cost_ = 0;
-  Cycles hit_cost_ = 0;
-  ChargeFn charge_;
-  WriteObserver observe_write_;
+  bool cache_enabled_ = true;  // snap:skip(host tuning knob)
+  Cycles walk_cost_ = 0;  // snap:skip(cost-model config, set at install)
+  Cycles hit_cost_ = 0;   // snap:skip(cost-model config, set at install)
+  ChargeFn charge_;               // snap:skip(host callback wiring)
+  WriteObserver observe_write_;   // snap:skip(host callback wiring)
   /// Reused across calls so hot-path span accesses do not allocate.
+  /// snap:skip(scratch; contents are meaningless between calls)
   std::vector<Seg> scratch_segs_;
   Stats stats_;
 };

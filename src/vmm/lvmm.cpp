@@ -360,6 +360,7 @@ bool Lvmm::guest_poke_raw(VAddr va, u8 value) {
   return true;
 }
 
+// charge:covered(terminal; the guest freezes for good, accounting is moot)
 void Lvmm::guest_crash() {
   trace(TraceKind::kGuestCrash, 0, 0, 0);
   vcpu_.crashed = true;

@@ -183,7 +183,7 @@ class Lvmm : public cpu::TrapHook {
   cpu::CpuState& st() { return machine_.cpu().state(); }
 
   hw::Machine& machine_;
-  Config cfg_;
+  Config cfg_;  // snap:skip(install-time config; restore needs an equal one)
   VcpuState vcpu_;
   VmExitStats stats_;
 
@@ -243,8 +243,8 @@ class Lvmm : public cpu::TrapHook {
   std::unique_ptr<GuestMemory> gmem_;
   hw::Pic vpic_;
   std::set<unsigned> masked_pending_;
-  DebugDelegate* debug_ = nullptr;
-  ExitTracer* tracer_ = nullptr;
+  DebugDelegate* debug_ = nullptr;   // snap:skip(host debugger wiring)
+  ExitTracer* tracer_ = nullptr;     // snap:skip(host tracer wiring)
   struct WatchRange {
     VAddr va;
     u32 len;
@@ -252,7 +252,7 @@ class Lvmm : public cpu::TrapHook {
   std::vector<WatchRange> watches_;
   WatchHit watch_hit_{};
   bool frozen_ = false;
-  bool installed_ = false;
+  bool installed_ = false;  // snap:skip(restore requires an installed monitor)
 };
 
 }  // namespace vdbg::vmm

@@ -134,13 +134,15 @@ class ShadowMmu {
   void downgrade_mappings_of(PAddr frame);
 
   cpu::PhysMem& mem_;
-  Config cfg_;
-  TranslationListener* listener_ = nullptr;
+  Config cfg_;  // snap:skip(install-time config)
+  TranslationListener* listener_ = nullptr;  // snap:skip(host wiring)
 
+  // Monitor-frame pool layout: fixed at install() and identical on the
+  // restoring side by construction. snap:skip(install-time layout)
   PAddr identity_pd_ = 0;
-  PAddr shadow_pd_ = 0;
-  PAddr pool_base_ = 0;
-  u32 pool_frames_ = 0;
+  PAddr shadow_pd_ = 0;    // snap:skip(install-time layout)
+  PAddr pool_base_ = 0;    // snap:skip(install-time layout)
+  u32 pool_frames_ = 0;    // snap:skip(install-time layout)
   u32 pool_used_ = 0;
 
   /// guest PT frame -> PD indices whose PDE points at it; index 0xffffffff

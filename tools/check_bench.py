@@ -13,8 +13,9 @@ Usage:
 Exits non-zero if any gated counter regresses by more than --threshold
 (default 25%) relative to its baseline, in its bad direction ("higher" means
 higher-is-better). Improvements and missing benchmarks in the baseline are
-ignored; a baselined benchmark missing from every results file is an error
-(the gate must not silently stop gating).
+ignored; a baselined benchmark or counter missing from every results file is
+an error (the gate must not silently stop gating), and so is a baseline or
+results file that cannot be read or parsed (exit code 2).
 """
 
 import argparse
@@ -28,12 +29,35 @@ def normalize(name: str) -> str:
     return "/".join(parts)
 
 
+def die(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    """Loads a JSON file, exiting with a clear message instead of a
+    traceback when it is unreadable or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        die(f"cannot read {what} {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        die(f"{what} {path} is not valid JSON: {e}")
+
+
 def load_results(paths):
     results = {}
     for path in paths:
-        with open(path) as f:
-            data = json.load(f)
-        for bench in data.get("benchmarks", []):
+        data = load_json(path, "results file")
+        benchmarks = data.get("benchmarks")
+        if not isinstance(benchmarks, list):
+            die(f"results file {path} has no 'benchmarks' array; pass "
+                "--benchmark_format=json output")
+        for bench in benchmarks:
+            if "name" not in bench:
+                die(f"results file {path} has a benchmark entry without "
+                    "a 'name'")
             results[normalize(bench["name"])] = bench
     return results
 
@@ -47,8 +71,7 @@ def main():
                     help="google-benchmark --benchmark_format=json outputs")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline, "baseline")
     results = load_results(args.results)
 
     failures = []
@@ -59,14 +82,34 @@ def main():
             failures.append(f"{bench_name}: missing from results")
             continue
         for counter, spec in counters.items():
+            if not isinstance(spec, dict) or "value" not in spec \
+                    or spec.get("direction") not in ("higher", "lower"):
+                die(f"baseline entry {bench_name}.{counter} needs a numeric "
+                    "'value' and a 'direction' of 'higher' or 'lower'")
             base = spec["value"]
             higher_is_better = spec["direction"] == "higher"
             cur = bench.get(counter)
             if cur is None:
                 failures.append(f"{bench_name}.{counter}: counter missing")
                 continue
+            if not isinstance(cur, (int, float)):
+                failures.append(f"{bench_name}.{counter}: non-numeric value "
+                                f"{cur!r}")
+                continue
             checked += 1
             if base == 0:
+                # No relative delta exists. A zero baseline can only regress
+                # in the lower-is-better direction (counters are >= 0).
+                bad = cur > 0 and not higher_is_better
+                status = "FAIL" if bad else "ok"
+                print(f"[{status}] {bench_name}.{counter}: "
+                      f"baseline=0 current={cur:.6g} "
+                      f"({'higher' if higher_is_better else 'lower'} "
+                      "is better)")
+                if bad:
+                    failures.append(
+                        f"{bench_name}.{counter}: rose from a zero baseline "
+                        f"to {cur:.6g}")
                 continue
             delta = (base - cur) / abs(base) if higher_is_better \
                 else (cur - base) / abs(base)

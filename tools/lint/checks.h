@@ -1,0 +1,52 @@
+// The four repo-invariant checkers. Each takes the fully lexed repo model
+// and appends file:line diagnostics; main.cpp applies the suppression file
+// and decides the exit code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "model.h"
+
+namespace vlint {
+
+struct Diag {
+  std::string check;  // "snap-complete" | "det-pure" | "charge-path" | "layer-dag"
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+struct Repo {
+  std::vector<std::unique_ptr<LexedFile>> files;
+  std::vector<ClassInfo> classes;  // all classes from all files
+  std::vector<FuncDef> funcs;      // all out-of-line member definitions
+};
+
+/// (1) Snapshot completeness: every data member of a class with both
+/// save(SnapshotWriter&) and restore(SnapshotReader&) must appear in both
+/// bodies, in the same relative order, unless reference wiring or
+/// annotated `// snap:skip(<reason>)` / `// snap:reorder(<reason>)`.
+void check_snapshot_completeness(const Repo& repo, std::vector<Diag>& out);
+
+/// (2) Replay-determinism purity: no wall-clock, RNG or environment access
+/// anywhere under src/cpu, src/hw, src/vmm, src/common. common/rng.h is
+/// the one sanctioned randomness source; host-sink files opt out with a
+/// `// det:host-boundary(<reason>)` annotation.
+void check_determinism(const Repo& repo, std::vector<Diag>& out);
+
+/// (3) Charge discipline: every handler defined in src/vmm/exit_*.cpp must
+/// reach the cost-model charge API on every return path, exactly once
+/// directly. Helpers opt out with `// charge:exempt(<reason>)`; functions
+/// that satisfy the discipline for their callers without a statically
+/// visible charge declare `// charge:covered(<reason>)`.
+void check_charge_discipline(const Repo& repo, std::vector<Diag>& out);
+
+/// (4) Layer DAG: includes must respect
+/// common <- {net, cpu} <- asm <- hw <- vmm <- {fullvmm, debug, guest}
+/// <- harness (see DESIGN.md, "Static analysis" for the full edge list).
+void check_layer_dag(const Repo& repo, std::vector<Diag>& out);
+
+}  // namespace vlint

@@ -1,0 +1,181 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace vlint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string derive_layer(const std::string& path) {
+  // "src/<layer>/..." -> "<layer>".
+  const std::string prefix = "src/";
+  if (path.rfind(prefix, 0) != 0) return "";
+  const auto slash = path.find('/', prefix.size());
+  if (slash == std::string::npos) return "";
+  return path.substr(prefix.size(), slash - prefix.size());
+}
+
+void add_comment(LexedFile& out, int line, const std::string& text) {
+  auto& slot = out.comments[line];
+  if (!slot.empty()) slot += ' ';
+  slot += text;
+}
+
+}  // namespace
+
+LexedFile lex_file(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  out.layer = derive_layer(path);
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? text[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      add_comment(out, line, text.substr(i + 2, j - i - 2));
+      i = j;
+      continue;
+    }
+    // Block comment (attached to every line it spans).
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      std::size_t seg_start = j;
+      int l = line;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') {
+          add_comment(out, l, text.substr(seg_start, j - seg_start));
+          ++l;
+          seg_start = j + 1;
+        }
+        ++j;
+      }
+      add_comment(out, l, text.substr(seg_start, std::min(j, n) - seg_start));
+      i = j + 1 < n ? j + 2 : n;
+      line = l;
+      continue;
+    }
+
+    // Preprocessor directive: record #include targets, drop the rest of
+    // the (possibly continued) logical line from the token stream.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      std::size_t kw_end = j;
+      while (kw_end < n && ident_char(text[kw_end])) ++kw_end;
+      const std::string kw = text.substr(j, kw_end - j);
+      if (kw == "include") {
+        std::size_t p = kw_end;
+        while (p < n && (text[p] == ' ' || text[p] == '\t')) ++p;
+        if (p < n && (text[p] == '"' || text[p] == '<')) {
+          const char close = text[p] == '<' ? '>' : '"';
+          std::size_t q = p + 1;
+          while (q < n && text[q] != close && text[q] != '\n') ++q;
+          if (q < n && text[q] == close) {
+            out.includes.push_back(
+                Include{line, text.substr(p + 1, q - p - 1), close == '>'});
+          }
+        }
+      }
+      // Skip to end of logical line (honouring backslash continuations).
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, j);
+      end = end == std::string::npos ? n : end + closer.size();
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      out.toks.push_back(Tok{TokKind::kString, "<raw-string>", line});
+      i = end;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.toks.push_back(Tok{TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.toks.push_back(Tok{TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      out.toks.push_back(Tok{TokKind::kString, text.substr(i, j + 1 - i), line});
+      i = j + 1;
+      continue;
+    }
+
+    // Punctuation. Only `::` and `->` matter as multi-char units.
+    if (c == ':' && peek(1) == ':') {
+      out.toks.push_back(Tok{TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.toks.push_back(Tok{TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back(Tok{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace vlint

@@ -1,0 +1,46 @@
+// Lightweight C++ tokenizer for vdbg_lint.
+//
+// Not a compiler front end: it splits a translation unit into identifiers,
+// numbers, literals and punctuation, with per-token line numbers, and keeps
+// comments and #include directives in side tables. That is exactly enough
+// for the repo-invariant checkers (snapshot completeness, determinism,
+// charge discipline, layer DAG) over this codebase's consistent style —
+// and it keeps the tool dependency-free (no libclang).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlint {
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  int line;
+  std::string path;  // as written, e.g. "common/types.h" or "chrono"
+  bool angled;
+};
+
+struct LexedFile {
+  std::string path;   // root-relative, forward slashes
+  std::string layer;  // second path component under src/ ("" otherwise)
+  std::vector<Tok> toks;
+  std::vector<Include> includes;
+  // line -> concatenated comment text on that line (block comments are
+  // attached to every line they span, so annotation lookup stays by-line).
+  std::map<int, std::string> comments;
+};
+
+/// Tokenizes `text`. Preprocessor lines are excluded from `toks`
+/// (directives are not C++ statements); #include targets land in
+/// `includes`. `::` and `->` are kept as single punctuation tokens.
+LexedFile lex_file(const std::string& path, const std::string& text);
+
+}  // namespace vlint

@@ -1,0 +1,177 @@
+// vdbg_lint — repo-invariant static analyzer for the vdbg tree.
+//
+// Four checkers (see checks.h and DESIGN.md, "Static analysis"):
+//   snap-complete  snapshot save/restore completeness and order
+//   det-pure       replay-determinism purity of the simulated layers
+//   charge-path    cost-model charge discipline in VM-exit handlers
+//   layer-dag      include edges respect the layer DAG
+//
+// Usage:
+//   vdbg_lint [--root <dir>] [--suppressions <file>] [scan-dirs...]
+//
+// Scan dirs default to "src", relative to --root (default "."). Emits
+// file:line diagnostics relative to the root; exit code 0 when clean,
+// 1 when any unsuppressed diagnostic remains, 2 on usage/IO errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+#include "model.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Suppression {
+  std::string check;     // exact checker id, or "*"
+  std::string path_sub;  // substring of the diagnostic path ("" = any)
+  std::string msg_sub;   // substring of the message ("" = any)
+};
+
+std::vector<Suppression> load_suppressions(const std::string& path) {
+  std::vector<Suppression> out;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "vdbg_lint: cannot read suppression file: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Suppression s;
+    std::istringstream ls(line);
+    std::getline(ls, s.check, '|');
+    std::getline(ls, s.path_sub, '|');
+    std::getline(ls, s.msg_sub, '|');
+    if (!s.check.empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool suppressed(const vlint::Diag& d, const std::vector<Suppression>& sups) {
+  for (const Suppression& s : sups) {
+    if (s.check != "*" && s.check != d.check) continue;
+    if (!s.path_sub.empty() && d.path.find(s.path_sub) == std::string::npos) {
+      continue;
+    }
+    if (!s.msg_sub.empty() && d.message.find(s.msg_sub) == std::string::npos) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string relative_slashed(const fs::path& p, const fs::path& root) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string suppressions_path;
+  std::vector<std::string> scan_dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vdbg_lint [--root <dir>] [--suppressions <file>] "
+                   "[scan-dirs...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "vdbg_lint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      scan_dirs.push_back(arg);
+    }
+  }
+  if (scan_dirs.empty()) scan_dirs.push_back("src");
+
+  const fs::path root_path(root);
+  std::vector<fs::path> sources;
+  for (const std::string& dir : scan_dirs) {
+    const fs::path base = root_path / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      std::cerr << "vdbg_lint: not a directory: " << base.string() << "\n";
+      return 2;
+    }
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && source_extension(it->path())) {
+        sources.push_back(it->path());
+      }
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+
+  vlint::Repo repo;
+  for (const fs::path& p : sources) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "vdbg_lint: cannot read: " << p.string() << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto lexed = std::make_unique<vlint::LexedFile>(
+        vlint::lex_file(relative_slashed(p, root_path), text.str()));
+    repo.files.push_back(std::move(lexed));
+  }
+  for (const auto& f : repo.files) {
+    for (auto& ci : vlint::extract_classes(*f)) {
+      repo.classes.push_back(std::move(ci));
+    }
+    for (auto& fd : vlint::extract_funcs(*f)) {
+      repo.funcs.push_back(std::move(fd));
+    }
+  }
+
+  std::vector<vlint::Diag> diags;
+  vlint::check_snapshot_completeness(repo, diags);
+  vlint::check_determinism(repo, diags);
+  vlint::check_charge_discipline(repo, diags);
+  vlint::check_layer_dag(repo, diags);
+
+  std::vector<Suppression> sups;
+  if (!suppressions_path.empty()) sups = load_suppressions(suppressions_path);
+
+  std::sort(diags.begin(), diags.end(),
+            [](const vlint::Diag& a, const vlint::Diag& b) {
+              return std::tie(a.path, a.line, a.check, a.message) <
+                     std::tie(b.path, b.line, b.check, b.message);
+            });
+
+  int reported = 0;
+  int hidden = 0;
+  for (const vlint::Diag& d : diags) {
+    if (suppressed(d, sups)) {
+      ++hidden;
+      continue;
+    }
+    std::cout << d.path << ":" << d.line << ": error: [" << d.check << "] "
+              << d.message << "\n";
+    ++reported;
+  }
+  std::cout << "vdbg_lint: " << repo.files.size() << " files, " << reported
+            << " diagnostic(s)";
+  if (hidden > 0) std::cout << " (" << hidden << " suppressed)";
+  std::cout << "\n";
+  return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,267 @@
+#include "model.h"
+
+namespace vlint {
+
+namespace {
+
+bool is_ident(const Tok& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+bool member_like(const std::string& s) {
+  return s.size() > 1 && s.back() == '_';
+}
+
+/// Scans the paren group opening at toks[open] ("(") for an identifier.
+bool paren_group_contains(const std::vector<Tok>& t, int open,
+                          const char* ident) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(t.size()); ++k) {
+    if (t[k].text == "(") ++depth;
+    if (t[k].text == ")" && --depth == 0) return false;
+    if (t[k].kind == TokKind::kIdent && t[k].text == ident) return true;
+  }
+  return false;
+}
+
+int match_paren(const std::vector<Tok>& t, int open) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(t.size()); ++k) {
+    if (t[k].text == "(") ++depth;
+    if (t[k].text == ")" && --depth == 0) return k + 1;
+  }
+  return static_cast<int>(t.size());
+}
+
+/// Parses the class body [begin,end) for data members and inline
+/// save/restore definitions. `begin` indexes the opening '{'.
+void scan_class_body(const LexedFile& f, int begin, int end, ClassInfo& ci) {
+  const auto& t = f.toks;
+  int depth = 0;  // relative to the class body
+  int paren = 0;
+  bool in_init = false;  // between a member's '=' and the closing ';'
+  for (int k = begin + 1; k < end - 1; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "{") {
+      ++depth;
+      continue;
+    }
+    if (s == "}") {
+      --depth;
+      continue;
+    }
+    if (s == "(") ++paren;
+    if (s == ")") --paren;
+    if (depth != 0 || paren != 0) continue;
+
+    if (s == ";") {
+      in_init = false;
+      continue;
+    }
+    if (s == "=") {
+      in_init = true;
+      continue;
+    }
+
+    // Inline save/restore definition or declaration.
+    if (t[k].kind == TokKind::kIdent && (s == "save" || s == "restore") &&
+        k + 1 < end && t[k + 1].text == "(") {
+      const char* marker = s == "save" ? "SnapshotWriter" : "SnapshotReader";
+      if (!paren_group_contains(t, k + 1, marker)) continue;
+      (s == "save" ? ci.save_declared : ci.restore_declared) = true;
+      int p = match_paren(t, k + 1);
+      while (p < end && (is_ident(t[p], "const") || is_ident(t[p], "noexcept") ||
+                         is_ident(t[p], "override") || is_ident(t[p], "final"))) {
+        ++p;
+      }
+      if (p < end && t[p].text == "{") {
+        const int close = match_brace(t, p);
+        if (s == "save") {
+          ci.save_body_begin = p;
+          ci.save_body_end = close;
+        } else {
+          ci.restore_body_begin = p;
+          ci.restore_body_end = close;
+        }
+        k = close - 1;  // skip the body
+      } else if (p < end && t[p].text == ";") {
+        k = p;
+      }
+      continue;
+    }
+
+    // Data member declarator: trailing-underscore identifier followed by
+    // ';', '=', '{', ',' or '[' (the repo's member naming convention).
+    if (!in_init && t[k].kind == TokKind::kIdent && member_like(s) &&
+        k + 1 < end &&
+        (t[k + 1].text == ";" || t[k + 1].text == "=" ||
+         t[k + 1].text == "{" || t[k + 1].text == "," ||
+         t[k + 1].text == "[")) {
+      if (k > begin && t[k - 1].text == "::") continue;  // qualified name
+      Member m;
+      m.name = s;
+      m.line = t[k].line;
+      m.is_reference = k > begin && t[k - 1].text == "&";
+      m.skip_reason = find_annotation(f, m.line, "snap:skip");
+      m.reorder_reason = find_annotation(f, m.line, "snap:reorder");
+      ci.members.push_back(std::move(m));
+    }
+  }
+}
+
+}  // namespace
+
+int match_brace(const std::vector<Tok>& toks, int open) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(toks.size()); ++k) {
+    if (toks[k].text == "{") ++depth;
+    if (toks[k].text == "}" && --depth == 0) return k + 1;
+  }
+  return static_cast<int>(toks.size());
+}
+
+std::optional<std::string> find_annotation(const LexedFile& file, int line,
+                                           const std::string& key) {
+  const auto scan = [&](int l) -> std::optional<std::string> {
+    const auto it = file.comments.find(l);
+    if (it == file.comments.end()) return std::nullopt;
+    const std::string& c = it->second;
+    const auto pos = c.find(key + "(");
+    if (pos == std::string::npos) return std::nullopt;
+    const auto open = pos + key.size();
+    const auto close = c.find(')', open);
+    if (close == std::string::npos) return std::nullopt;
+    return c.substr(open + 1, close - open - 1);
+  };
+  const auto line_has_token = [&](int l) {
+    for (const Tok& t : file.toks) {
+      if (t.line == l) return true;
+    }
+    return false;
+  };
+  // The annotation may sit on the annotated line itself or anywhere in the
+  // contiguous comment block directly above it (a code or blank line ends
+  // the block).
+  if (auto r = scan(line)) return r;
+  for (int l = line - 1; l > 0; --l) {
+    if (line_has_token(l)) break;
+    if (file.comments.find(l) == file.comments.end()) break;
+    if (auto r = scan(l)) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<ClassInfo> extract_classes(const LexedFile& f) {
+  const auto& t = f.toks;
+  std::vector<ClassInfo> out;
+  for (int i = 0; i + 1 < static_cast<int>(t.size()); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text != "class" && t[i].text != "struct") continue;
+    if (i > 0 && (is_ident(t[i - 1], "enum") || is_ident(t[i - 1], "friend") ||
+                  t[i - 1].text == "<" || t[i - 1].text == ",")) {
+      continue;  // enum class / friend decl / template parameter
+    }
+    if (t[i + 1].kind != TokKind::kIdent) continue;
+    // Find the body '{', skipping "final" and the base clause; a ';' or
+    // other structural token first means it was only a declaration.
+    int j = i + 2;
+    int angle = 0;
+    bool has_body = false;
+    for (; j < static_cast<int>(t.size()); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "<") ++angle;
+      if (s == ">") --angle;
+      if (angle > 0) continue;
+      if (s == "{") {
+        has_body = true;
+        break;
+      }
+      if (s == ";" || s == "(" || s == ")" || s == "=" || s == "}") break;
+    }
+    if (!has_body) continue;
+    ClassInfo ci;
+    ci.name = t[i + 1].text;
+    ci.file = &f;
+    ci.line = t[i].line;
+    scan_class_body(f, j, match_brace(t, j), ci);
+    out.push_back(std::move(ci));
+    // Do not skip the body: nested classes are extracted as their own
+    // entries by the continuing scan.
+  }
+  return out;
+}
+
+std::vector<FuncDef> extract_funcs(const LexedFile& f) {
+  const auto& t = f.toks;
+  const int n = static_cast<int>(t.size());
+  std::vector<FuncDef> out;
+  for (int i = 0; i + 3 < n; ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i + 1].text != "::") continue;
+    int name_at = i + 2;
+    std::string name;
+    if (t[name_at].text == "~" && name_at + 1 < n) {
+      name = "~" + t[name_at + 1].text;
+      ++name_at;
+    } else if (t[name_at].kind == TokKind::kIdent) {
+      name = t[name_at].text;
+    } else {
+      continue;
+    }
+    if (name == "operator" || name_at + 1 >= n || t[name_at + 1].text != "(") {
+      continue;
+    }
+
+    // Walk from the parameter list's ')' to the body '{'; only tokens that
+    // can legally appear there (cv-qualifiers, init lists, trailing return
+    // types) are allowed, so expressions like `if (Foo::bar(x)) {` never
+    // masquerade as definitions.
+    int p = match_paren(t, name_at + 1);
+    bool in_init_list = false;
+    int body = -1;
+    for (int k = p; k < n; ++k) {
+      const std::string& s = t[k].text;
+      if (s == ";" || s == "=") break;  // declaration / deleted / defaulted
+      if (s == "{") {
+        // In a ctor init list, `member{...}` braces follow an identifier or
+        // a template '>'; the body brace follows ')' or '}' or ':' -- never
+        // an identifier.
+        if (in_init_list && k > 0 &&
+            (t[k - 1].kind == TokKind::kIdent || t[k - 1].text == ">")) {
+          k = match_brace(t, k) - 1;
+          continue;
+        }
+        body = k;
+        break;
+      }
+      if (s == "(") {
+        k = match_paren(t, k) - 1;
+        continue;
+      }
+      if (s == ":") {
+        in_init_list = true;
+        continue;
+      }
+      if (t[k].kind == TokKind::kIdent || s == "::" || s == "&" || s == "*" ||
+          s == "<" || s == ">" || s == "," || s == "->") {
+        continue;
+      }
+      break;  // anything else: not a definition
+    }
+    if (body < 0) continue;
+
+    FuncDef fd;
+    fd.cls = t[i].text;
+    fd.name = std::move(name);
+    fd.file = &f;
+    fd.line = t[i].line;
+    fd.returns_void = i > 0 && is_ident(t[i - 1], "void");
+    fd.body_begin = body;
+    fd.body_end = match_brace(t, body);
+    const int resume = fd.body_end;
+    out.push_back(std::move(fd));
+    i = resume - 1;  // never scan inside bodies (calls are not definitions)
+  }
+  return out;
+}
+
+}  // namespace vlint

@@ -1,0 +1,73 @@
+// Structural model extracted from the token streams: classes with their
+// declared data members and snapshot annotations, and out-of-line member
+// function definitions with body token ranges. Shared by the checkers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace vlint {
+
+// Annotation grammar (DESIGN.md, "Static analysis"):
+//   // snap:skip(<reason>)       member is deliberately not serialized
+//   // snap:reorder(<reason>)    member is serialized but restored at a
+//                                different point than it was saved
+//   // det:host-boundary(<reason>)  file (or line) may touch host
+//                                nondeterminism sources
+//   // charge:exempt(<reason>)   function in an exit handler file is a
+//                                helper, not an exit path
+//   // charge:covered(<reason>)  function satisfies charge discipline for
+//                                its callers without a statically visible
+//                                charge on every path
+//
+// An annotation (including its closing parenthesis) must fit on one comment
+// line, placed on the annotated line itself or in the contiguous comment
+// block directly above it.
+std::optional<std::string> find_annotation(const LexedFile& file, int line,
+                                           const std::string& key);
+
+struct Member {
+  std::string name;
+  int line = 0;
+  bool is_reference = false;  // references are wiring by construction
+  std::optional<std::string> skip_reason;     // snap:skip
+  std::optional<std::string> reorder_reason;  // snap:reorder
+};
+
+struct ClassInfo {
+  std::string name;
+  const LexedFile* file = nullptr;
+  int line = 0;
+  std::vector<Member> members;
+  bool save_declared = false;
+  bool restore_declared = false;
+  // Inline bodies: token index of '{' and one past the matching '}'
+  // (-1 when the method is declared but defined out of line).
+  int save_body_begin = -1, save_body_end = -1;
+  int restore_body_begin = -1, restore_body_end = -1;
+};
+
+struct FuncDef {
+  std::string cls;   // enclosing class of a Cls::name definition
+  std::string name;
+  const LexedFile* file = nullptr;
+  int line = 0;
+  bool returns_void = false;
+  int body_begin = 0;  // token index of '{'
+  int body_end = 0;    // one past the matching '}'
+};
+
+/// Extracts class definitions (with members and inline save/restore
+/// bodies) from a lexed file. Nested classes are modelled independently.
+std::vector<ClassInfo> extract_classes(const LexedFile& file);
+
+/// Extracts out-of-line member function definitions (`Cls::name(...) {`).
+std::vector<FuncDef> extract_funcs(const LexedFile& file);
+
+/// Index one past the brace that matches toks[open] (toks[open] == "{").
+int match_brace(const std::vector<Tok>& toks, int open);
+
+}  // namespace vlint

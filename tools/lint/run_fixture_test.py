@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Golden-output fixture runner for vdbg_lint.
+
+A fixture directory holds a miniature repo tree (src/...) plus:
+    expected.txt       the exact diagnostics vdbg_lint must emit (sorted,
+                       without the trailing summary line); empty or absent
+                       means the fixture must lint clean
+    suppressions.txt   optional; passed through when present
+
+The test fails on any diff between actual and expected diagnostics, or when
+the exit code disagrees with whether diagnostics were expected.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--lint", required=True, help="path to the vdbg_lint binary")
+    ap.add_argument("--fixture", required=True, help="fixture directory")
+    args = ap.parse_args()
+
+    fixture = pathlib.Path(args.fixture)
+    if not (fixture / "src").is_dir():
+        print(f"fixture has no src/ tree: {fixture}", file=sys.stderr)
+        return 2
+
+    cmd = [args.lint, "--root", str(fixture)]
+    sup = fixture / "suppressions.txt"
+    if sup.is_file():
+        cmd += ["--suppressions", str(sup)]
+    cmd.append("src")
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    lines = proc.stdout.splitlines()
+    # Drop the trailing "vdbg_lint: N files, M diagnostic(s)" summary.
+    diags = [l for l in lines if not l.startswith("vdbg_lint: ")]
+
+    expected_path = fixture / "expected.txt"
+    expected = []
+    if expected_path.is_file():
+        expected = [
+            l for l in expected_path.read_text().splitlines() if l.strip()
+        ]
+
+    ok = True
+    if diags != expected:
+        ok = False
+        print("diagnostic mismatch:", file=sys.stderr)
+        print("--- expected ---", file=sys.stderr)
+        print("\n".join(expected) or "(clean)", file=sys.stderr)
+        print("--- actual ---", file=sys.stderr)
+        print("\n".join(diags) or "(clean)", file=sys.stderr)
+
+    want_rc = 1 if expected else 0
+    if proc.returncode != want_rc:
+        ok = False
+        print(
+            f"exit code {proc.returncode}, expected {want_rc}"
+            f" (stderr: {proc.stderr.strip()})",
+            file=sys.stderr,
+        )
+
+    if ok:
+        print(f"fixture ok: {fixture.name} ({len(expected)} diagnostics)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+// Fixture: a line-level host-boundary waiver inside a checked layer.
+#include "cpu/tick.h"
+
+namespace fix {
+
+u64 Tick::startup_stamp() {
+  return time(nullptr);  // det:host-boundary(logged once at boot, not replayed)
+}
+
+}  // namespace fix

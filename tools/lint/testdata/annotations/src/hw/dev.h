@@ -1,0 +1,30 @@
+// Fixture: every annotation form parses and silences its checker; this
+// whole tree must lint clean.
+#pragma once
+
+#include "common/snapshot.h"
+
+namespace fix {
+
+class Dev {
+ public:
+  void save(SnapshotWriter& w) const {
+    w.put_u32(state_);
+    w.put_u64(event_);
+  }
+  void restore(SnapshotReader& r) {
+    event_ = 0;
+    state_ = r.get_u32();
+    event_ = r.get_u64();
+  }
+
+ private:
+  EventQueue& eq_;  // wiring by construction, no annotation needed
+  u32 state_ = 0;
+  Sink* sink_ = nullptr;  // snap:skip(host callback wiring)
+  // Reset before the serialized fields are read back, then re-armed.
+  // snap:reorder(reset-before-read)
+  u64 event_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Fixture: charge annotations on exit-handler functions.
+#include "vmm/demo.h"
+
+namespace fix {
+
+// charge:covered(terminal; the run ends, accounting is moot)
+void Vmm::bail_out() {
+  freeze();
+}
+
+// The guard path defers to the charge:covered sink above.
+void Vmm::emulate_op(u32 op) {
+  if (op == 0) {
+    bail_out();
+    return;
+  }
+  charge(costs_.exit_base);
+}
+
+// charge:exempt(pure classifier; the dispatcher charges on entry)
+bool Vmm::is_handled(u32 op) const {
+  return op < 16;
+}
+
+}  // namespace fix

@@ -1,0 +1,65 @@
+// Fixture: charge discipline in exit-handler files.
+#include "vmm/demo.h"
+
+namespace fix {
+
+// Pass: charges up front, every later return is covered.
+void Vmm::emulate_good(u32 op) {
+  charge(costs_.exit_base);
+  if (op == 0) return;
+  ++stats_.ops;
+}
+
+// Pass: every switch case charges directly or defers to a proven sink.
+void Vmm::emulate_switch(u32 op) {
+  switch (op) {
+    case 0:
+      charge(costs_.a);
+      return;
+    case 1:
+      handle_sub(op);
+      return;
+    default:
+      charge(costs_.b);
+      return;
+  }
+}
+
+// Becomes a sink by fixpoint: it charges on every path, so calling it
+// covers the caller's path too.
+void Vmm::handle_sub(u32 op) {
+  if (op > 4) {
+    charge(costs_.big);
+    return;
+  }
+  charge(costs_.a);
+}
+
+// charge:exempt(decode helper; callers charge per outcome)
+bool Vmm::decode(u32 op) {
+  return op != 0;
+}
+
+// Fail: the op == 1 path returns without charging.
+void Vmm::emulate_bad(u32 op) {
+  if (op == 1) return;
+  charge(costs_.exit_base);
+}
+
+// Fail: charges twice on the fall-through path.
+void Vmm::emulate_double(u32 op) {
+  charge(costs_.exit_base);
+  if (op == 2) return;
+  charge(costs_.a);
+}
+
+// Fail: can fall off the end without charging.
+void Vmm::emulate_leak(u32 op) {
+  if (op == 3) {
+    charge(costs_.exit_base);
+    return;
+  }
+  ++stats_.ops;
+}
+
+}  // namespace fix

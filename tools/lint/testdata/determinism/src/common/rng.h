@@ -1,0 +1,18 @@
+// Fixture: the sanctioned deterministic PRNG is allowlisted by path even
+// though it names engines the checker bans everywhere else.
+#pragma once
+
+#include <random>
+
+namespace fix {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : gen_(seed) {}
+  u32 next() { return static_cast<u32>(gen_()); }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Fixture: the harness layer may use host time freely.
+#include <chrono>
+
+#include "hw/rtc.h"
+
+namespace fix {
+
+u64 bench_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// det:host-boundary(fixture: explicit bridge between host time and the
+// simulated clock; restored runs never take this path)
+#include <chrono>
+
+#include "hw/host_clock.h"
+
+namespace fix {
+
+u64 HostClock::wall_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Fixture: nondeterminism leaks in a replay-deterministic layer.
+#include <chrono>
+#include <ctime>
+
+#include "hw/rtc.h"
+
+namespace fix {
+
+u64 Rtc::host_now() {
+  return static_cast<u64>(time(nullptr));
+}
+
+u32 Rtc::jitter() {
+  return std::rand() & 0xffu;
+}
+
+u32 Rtc::seed() {
+  std::mt19937 gen(42);
+  return gen();
+}
+
+u64 Rtc::calibrate() {
+  return time(nullptr);  // det:host-boundary(one-shot calibration, test only)
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Fixture: the bottom layer depends on nothing but itself.
+#pragma once
+
+#include <cstdint>
+
+namespace fix {
+using u32 = std::uint32_t;
+}  // namespace fix

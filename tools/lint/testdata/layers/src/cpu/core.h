@@ -1,0 +1,9 @@
+// Fixture: cpu reaching up into hw inverts the layer DAG.
+#pragma once
+
+#include "common/types.h"
+#include "hw/board.h"
+
+namespace fix {
+struct Core {};
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Fixture: debug sits below harness and must not include it.
+#pragma once
+
+#include "harness/opts.h"
+#include "vmm/lvmm.h"
+
+namespace fix {
+struct Probe {};
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Fixture: guest code must not see the monitor that hosts it.
+#include "guest/app.h"
+#include "hw/board.h"
+#include "vmm/lvmm.h"
+
+namespace fix {
+int app_main() { return 0; }
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Fixture: hw may include cpu and common (edges below it in the DAG).
+#pragma once
+
+#include "common/types.h"
+#include "cpu/core.h"
+
+namespace fix {
+struct Board {};
+}  // namespace fix

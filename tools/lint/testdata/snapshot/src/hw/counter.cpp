@@ -1,0 +1,14 @@
+#include "hw/counter.h"
+
+namespace fix {
+
+void Counter::save(SnapshotWriter& w) const {
+  w.put_u64(ticks_);
+}
+
+void Counter::restore(SnapshotReader& r) {
+  ticks_ = r.get_u64();
+  rollovers_ = 0;
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Fixture: out-of-line save/restore bodies are resolved across files.
+#pragma once
+
+#include "common/snapshot.h"
+
+namespace fix {
+
+class Counter {
+ public:
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
+ private:
+  u64 ticks_ = 0;
+  u64 rollovers_ = 0;  // seeded gap: save() below forgets this one
+};
+
+}  // namespace fix

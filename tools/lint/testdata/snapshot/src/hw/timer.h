@@ -1,0 +1,48 @@
+// Fixture: snapshot completeness and order checking.
+#pragma once
+
+#include "common/snapshot.h"
+
+namespace fix {
+
+// Pass case: every member is serialized, skipped with a reason, or wiring.
+class GoodTimer {
+ public:
+  void save(SnapshotWriter& w) const {
+    w.put_u32(count_);
+    w.put_u32(period_);
+  }
+  void restore(SnapshotReader& r) {
+    count_ = r.get_u32();
+    period_ = r.get_u32();
+  }
+
+ private:
+  EventQueue& eq_;  // references are wiring by construction
+  u32 count_ = 0;
+  u32 period_ = 0;
+  u32 scratch_ = 0;  // snap:skip(recomputed on first tick)
+};
+
+// Fail case: a half-serialized member, a forgotten member, and a restore
+// order that does not match save.
+class BadTimer {
+ public:
+  void save(SnapshotWriter& w) const {
+    w.put_u32(a_);
+    w.put_u32(b_);
+    w.put_u32(half_);
+  }
+  void restore(SnapshotReader& r) {
+    b_ = r.get_u32();
+    a_ = r.get_u32();
+  }
+
+ private:
+  u32 a_ = 0;
+  u32 b_ = 0;
+  u32 half_ = 0;       // saved but never restored
+  u32 forgotten_ = 0;  // in neither method
+};
+
+}  // namespace fix

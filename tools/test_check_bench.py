@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py: the gate must fail loudly, never
+silently, when a baseline entry has nothing to compare against."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent / "check_bench.py"
+
+
+def run_gate(baseline, results_list):
+    with tempfile.TemporaryDirectory() as d:
+        base_path = pathlib.Path(d) / "baseline.json"
+        base_path.write_text(
+            baseline if isinstance(baseline, str) else json.dumps(baseline))
+        args = [sys.executable, str(SCRIPT), "--baseline", str(base_path)]
+        for i, res in enumerate(results_list):
+            res_path = pathlib.Path(d) / f"res{i}.json"
+            res_path.write_text(
+                res if isinstance(res, str) else json.dumps(res))
+            args.append(str(res_path))
+        return subprocess.run(args, capture_output=True, text=True)
+
+
+def results_with(name, **counters):
+    return {"benchmarks": [{"name": name, **counters}]}
+
+
+BASELINE = {"bm_exit": {"charged": {"value": 100, "direction": "lower"}}}
+
+
+class CheckBenchTest(unittest.TestCase):
+    def test_within_threshold_passes(self):
+        p = run_gate(BASELINE, [results_with("bm_exit", charged=110)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("all 1 gated counters", p.stdout)
+
+    def test_regression_fails(self):
+        p = run_gate(BASELINE, [results_with("bm_exit", charged=200)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("bm_exit.charged", p.stderr)
+
+    def test_missing_benchmark_fails(self):
+        p = run_gate(BASELINE, [results_with("bm_other", charged=1)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("missing from results", p.stderr)
+
+    def test_missing_counter_fails(self):
+        p = run_gate(BASELINE, [results_with("bm_exit", other=5)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("counter missing", p.stderr)
+
+    def test_non_numeric_counter_fails(self):
+        p = run_gate(BASELINE, [results_with("bm_exit", charged="oops")])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("non-numeric", p.stderr)
+
+    def test_zero_baseline_rise_fails(self):
+        base = {"bm_exit": {"faults": {"value": 0, "direction": "lower"}}}
+        p = run_gate(base, [results_with("bm_exit", faults=3)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("zero baseline", p.stderr)
+
+    def test_zero_baseline_zero_passes(self):
+        base = {"bm_exit": {"faults": {"value": 0, "direction": "lower"}}}
+        p = run_gate(base, [results_with("bm_exit", faults=0)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_malformed_results_is_usage_error(self):
+        p = run_gate(BASELINE, ["{not json"])
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("not valid JSON", p.stderr)
+
+    def test_results_without_benchmarks_is_usage_error(self):
+        p = run_gate(BASELINE, [{"context": {}}])
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("'benchmarks'", p.stderr)
+
+    def test_malformed_baseline_spec_is_usage_error(self):
+        base = {"bm_exit": {"charged": {"value": 1, "direction": "sideways"}}}
+        p = run_gate(base, [results_with("bm_exit", charged=1)])
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("direction", p.stderr)
+
+    def test_iteration_suffix_normalized(self):
+        p = run_gate(BASELINE,
+                     [results_with("bm_exit/iterations:50", charged=100)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
