@@ -16,6 +16,7 @@
 #include "debug/cli.h"
 #include "guest/minitactix.h"
 #include "harness/platform.h"
+#include "vmm/flight_recorder.h"
 #include "vmm/stub.h"
 #include "vmm/time_travel.h"
 #include "vmm/trace.h"
@@ -36,6 +37,14 @@ int main(int argc, char** argv) {
   vmm::TimeTravel tt(*platform.monitor());
   stub.set_time_travel(&tt);
   tt.enable();
+
+  // `metrics [prefix]` and `dump` route through these over the wire.
+  stub.set_metrics(&platform.metrics());
+  vmm::FlightRecorder::Config fc;
+  fc.file_prefix = "debugger-cli-flight";
+  vmm::FlightRecorder flight(*platform.monitor(), fc);
+  flight.set_metrics(&platform.metrics());
+  stub.set_flight_recorder(&flight);
 
   debug::RemoteDebugger dbg(platform.machine());
   dbg.add_symbols(platform.image().kernel);

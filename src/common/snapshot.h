@@ -51,7 +51,8 @@ enum class SnapTag : u32 {
 class SnapshotWriter {
  public:
   static constexpr char kMagic[8] = {'V', 'D', 'B', 'G', 'S', 'N', 'A', 'P'};
-  static constexpr u32 kVersion = 1;
+  // v2: PIC ack counters, UART byte counters, Lvmm interrupt-delivery spans.
+  static constexpr u32 kVersion = 2;
 
   SnapshotWriter();
 

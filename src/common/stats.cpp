@@ -11,6 +11,24 @@ void RunningStats::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void Histogram::add(double x) {
+  ++total_;
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: keep the new sample with probability cap/total by
+  // overwriting a uniformly random reservoir slot. percentile() may have
+  // sorted the reservoir in place, but that only permutes it — replacing
+  // a uniform index of a permutation is still a uniform replacement.
+  const u64 j = rng_.below(total_);
+  if (j < cap_) {
+    samples_[static_cast<std::size_t>(j)] = x;
+    sorted_ = false;
+  }
+}
+
 double Histogram::percentile(double p) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {

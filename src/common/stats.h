@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace vdbg {
 
 /// Welford-style running mean/variance plus min/max.
@@ -30,18 +32,34 @@ class RunningStats {
 
 /// Stores samples and answers percentile queries; used for latency
 /// distributions in the microbenchmarks.
+///
+/// Memory is bounded: past `reservoir_cap` samples the accumulator switches
+/// to reservoir sampling (Algorithm R) driven by the deterministic vdbg::Rng,
+/// so percentiles over arbitrarily long runs stay approximately correct at
+/// fixed memory and are reproducible run-to-run. Below the cap percentiles
+/// are exact, as before.
 class Histogram {
  public:
-  void add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
-  }
-  std::size_t count() const { return samples_.size(); }
+  static constexpr std::size_t kDefaultReservoir = 4096;
 
-  /// p in [0,100]. Returns 0 when empty.
+  explicit Histogram(std::size_t reservoir_cap = kDefaultReservoir)
+      : cap_(reservoir_cap ? reservoir_cap : 1) {}
+
+  void add(double x);
+
+  /// Total samples ever added (not the number retained).
+  std::size_t count() const { return static_cast<std::size_t>(total_); }
+  /// Samples currently retained in the reservoir (<= reservoir cap).
+  std::size_t stored() const { return samples_.size(); }
+
+  /// p in [0,100]. Returns 0 when empty. Exact until the reservoir cap is
+  /// reached, an unbiased estimate afterwards.
   double percentile(double p) const;
 
  private:
+  std::size_t cap_;
+  u64 total_ = 0;
+  Rng rng_;  // default fixed seed: identical runs sample identically
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

@@ -7,6 +7,7 @@
 #include <array>
 #include <span>
 
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "common/types.h"
 #include "cpu/block_cache.h"
@@ -141,6 +142,32 @@ class Cpu {
   }
 
   const CpuStats& stats() const { return stats_; }
+
+  /// Registers cpu.core.*, cpu.block.* and cpu.tlb.* counters. The block
+  /// cache is derived state rebuilt after a snapshot restore, so its
+  /// counters register as not replay-exact; everything else is.
+  void register_metrics(MetricsRegistry& reg) {
+    reg.add_counter("cpu.core.instructions", &stats_.instructions);
+    reg.add_counter("cpu.core.mem_accesses", &stats_.mem_accesses);
+    reg.add_counter("cpu.core.io_accesses", &stats_.io_accesses);
+    reg.add_counter("cpu.core.exceptions", &stats_.exceptions);
+    reg.add_counter("cpu.core.interrupts", &stats_.interrupts);
+    reg.add_counter("cpu.core.hook_events", &stats_.hook_events);
+    reg.add_counter("cpu.block.hits", &stats_.block_hits,
+                    /*replay_exact=*/false);
+    reg.add_counter("cpu.block.builds", &stats_.block_builds,
+                    /*replay_exact=*/false);
+    reg.add_counter("cpu.block.invalidations", &stats_.block_invalidations,
+                    /*replay_exact=*/false);
+    reg.add_gauge(
+        "cpu.block.hit_rate",
+        [this] {
+          const u64 total = stats_.block_hits + stats_.block_builds;
+          return total ? double(stats_.block_hits) / double(total) : 0.0;
+        },
+        /*replay_exact=*/false);
+    mmu_.register_metrics(reg);
+  }
 
   /// Architectural event delivery through the in-memory IDT (pushes the
   /// 4-word frame, honours gate target ring and TSS stacks). Used natively

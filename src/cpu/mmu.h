@@ -17,6 +17,7 @@
 
 #include <array>
 
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "common/types.h"
 #include "cpu/cost_model.h"
@@ -105,6 +106,17 @@ class Mmu {
   // --- statistics ---
   u64 tlb_hits() const { return hits_; }
   u64 tlb_misses() const { return misses_; }
+
+  /// Registers cpu.tlb.* counters. The TLB is serialized exactly in
+  /// snapshots, so these counters are replay-exact.
+  void register_metrics(MetricsRegistry& reg) {
+    reg.add_counter("cpu.tlb.hits", &hits_);
+    reg.add_counter("cpu.tlb.misses", &misses_);
+    reg.add_gauge("cpu.tlb.hit_rate", [this] {
+      const u64 total = hits_ + misses_;
+      return total ? double(hits_) / double(total) : 0.0;
+    });
+  }
 
   /// Snapshot support. The TLB is serialized exactly (not rebuilt): a hit
   /// and a walk charge different cycle costs, so flushing on restore would

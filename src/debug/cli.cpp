@@ -68,7 +68,7 @@ void DebuggerCli::cmd_help() {
           "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
           "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
           "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
-          "  status | exits | help | quit\n";
+          "  status | exits | metrics [prefix] | dump | help | quit\n";
 }
 
 void DebuggerCli::cmd_regs() {
@@ -289,6 +289,32 @@ bool DebuggerCli::execute(const std::string& line) {
              << std::setw(9) << s.count << std::setw(13) << s.cycles
              << std::setw(7) << (s.cycles / s.count) << "\n";
       }
+    }
+  } else if (cmd == "metrics") {
+    const auto ms =
+        dbg_.metrics(tok.size() >= 2 ? tok[1] : std::string());
+    if (!ms) {
+      out_ << "error: no metrics registry\n";
+    } else if (ms->empty()) {
+      out_ << "  (no matching metrics)\n";
+    } else {
+      for (const auto& m : *ms) {
+        out_ << "  " << std::left << std::setw(36) << m.name << std::right;
+        if (m.kind == 'c') {
+          out_ << std::setw(14) << u64(m.value) << "\n";
+        } else {
+          out_ << std::setw(14) << std::fixed << std::setprecision(4)
+               << m.value << std::defaultfloat << "\n";
+        }
+      }
+    }
+  } else if (cmd == "dump") {
+    const auto paths = dbg_.flight_dump();
+    if (!paths) {
+      out_ << "error: no flight recorder\n";
+    } else {
+      out_ << "flight bundle written:\n  " << paths->first << "\n  "
+           << paths->second << "\n";
     }
   } else if (cmd == "status") {
     out_ << "last stop: "

@@ -354,6 +354,49 @@ std::optional<std::vector<RemoteExitStat>> RemoteDebugger::exit_stats() {
   return out;
 }
 
+std::optional<std::vector<RemoteMetric>> RemoteDebugger::metrics(
+    const std::string& prefix) {
+  const auto r =
+      query(prefix.empty() ? "Vdbg.Metrics" : "Vdbg.Metrics," + prefix);
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  std::vector<RemoteMetric> out;
+  if (*r == "OK") return out;  // registry attached, nothing matched
+  std::size_t start = 0;
+  while (start <= r->size()) {
+    const auto sep = r->find(';', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    // "name=c:<u64>" or "name=g:<double>"
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq + 2 >= item.size() ||
+        (item[eq + 1] != 'c' && item[eq + 1] != 'g') ||
+        item[eq + 2] != ':') {
+      return std::nullopt;
+    }
+    RemoteMetric m;
+    m.name = item.substr(0, eq);
+    m.kind = item[eq + 1];
+    try {
+      m.value = std::stod(item.substr(eq + 3));
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(m));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
+}
+
+std::optional<std::pair<std::string, std::string>>
+RemoteDebugger::flight_dump() {
+  const auto r = query("Vdbg.FlightDump");
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  const auto sep = r->find(';');
+  if (sep == std::string::npos) return std::nullopt;
+  return std::make_pair(r->substr(0, sep), r->substr(sep + 1));
+}
+
 void RemoteDebugger::add_symbols(const vasm::Program& image) {
   for (const auto& [name, addr] : image.symbols) symbols_[name] = addr;
 }

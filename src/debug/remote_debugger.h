@@ -15,6 +15,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asm/program.h"
@@ -34,6 +35,14 @@ struct RemoteExitStat {
   std::string kind;
   u64 count = 0;
   u64 cycles = 0;
+};
+
+/// One parsed qVdbg.Metrics entry: a monitor/device counter or gauge from
+/// the target-side metrics registry.
+struct RemoteMetric {
+  std::string name;
+  char kind = 'c';  // 'c' counter, 'g' gauge
+  double value = 0.0;
 };
 
 class RemoteDebugger {
@@ -103,6 +112,14 @@ class RemoteDebugger {
   /// Per-exit-kind monitor counters (qVdbg.ExitStats); nullopt when the
   /// stub does not answer or the reply is malformed.
   std::optional<std::vector<RemoteExitStat>> exit_stats();
+  /// Metrics snapshot (qVdbg.Metrics), optionally filtered by name prefix.
+  /// Empty vector when the registry has no matching entries; nullopt when
+  /// no registry is attached or the reply is malformed.
+  std::optional<std::vector<RemoteMetric>> metrics(
+      const std::string& prefix = "");
+  /// Asks the stub to write a flight-recorder bundle (qVdbg.FlightDump).
+  /// Returns {summary_path, trace_path} on success.
+  std::optional<std::pair<std::string, std::string>> flight_dump();
 
   // --- symbols ---
   void add_symbols(const vasm::Program& image);

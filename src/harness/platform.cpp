@@ -1,5 +1,8 @@
 #include "harness/platform.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <stdexcept>
 
 #include "guest/layout.h"
@@ -34,7 +37,10 @@ void Platform::prepare(const guest::RunConfig& rc) {
   machine_->nic().set_wire_sink(
       [this](std::span<const u8> f, Cycles now) { sink_.on_frame(f, now); });
 
-  if (kind_ == PlatformKind::kNative) return;
+  if (kind_ == PlatformKind::kNative) {
+    if (opts_.metrics_registration) machine_->register_metrics(metrics_);
+    return;
+  }
 
   vmm::Lvmm::Config mc;
   mc.costs = opts_.lvmm_costs;
@@ -52,6 +58,28 @@ void Platform::prepare(const guest::RunConfig& rc) {
                                                     opts_.hosted_costs);
   }
   monitor_->install();
+  if (opts_.metrics_registration) {
+    machine_->register_metrics(metrics_);
+    monitor_->register_metrics(metrics_);
+  }
+
+  // CI post-mortem hook: with VDBG_FLIGHT_DIR set, every guest crash under
+  // the monitor writes a flight-recorder bundle into that directory. The
+  // tracer and recorder are host-side observers — they charge nothing, so
+  // the simulated timeline is identical with or without them.
+  if (const char* dir = std::getenv("VDBG_FLIGHT_DIR")) {
+    if (!monitor_->tracer()) {
+      flight_tracer_ = std::make_unique<vmm::ExitTracer>();
+      flight_tracer_->set_enabled(true);
+      monitor_->set_tracer(flight_tracer_.get());
+    }
+    vmm::FlightRecorder::Config fc;
+    fc.out_dir = dir;
+    fc.file_prefix = "flight-" + std::to_string(getpid());
+    flight_ = std::make_unique<vmm::FlightRecorder>(*monitor_, fc);
+    flight_->set_metrics(&metrics_);
+    flight_->arm();
+  }
 }
 
 }  // namespace vdbg::harness

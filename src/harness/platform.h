@@ -10,11 +10,14 @@
 #include <memory>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "fullvmm/hosted_vmm.h"
 #include "guest/minitactix.h"
 #include "hw/machine.h"
 #include "net/packet_sink.h"
+#include "vmm/flight_recorder.h"
 #include "vmm/lvmm.h"
+#include "vmm/trace.h"
 
 namespace vdbg::harness {
 
@@ -29,6 +32,9 @@ struct PlatformOptions {
   fullvmm::HostedCosts hosted_costs = fullvmm::HostedCosts::defaults();
   /// Ablation knob: disable the LVMM's device passthrough (trap-all I/O).
   bool lvmm_device_passthrough = true;
+  /// Ablation knob: skip metrics registration entirely — the "no registry"
+  /// leg of ablation_trace_overhead.
+  bool metrics_registration = true;
 };
 
 class Platform {
@@ -58,11 +64,21 @@ class Platform {
     return guest::read_mailbox(machine_->mem());
   }
 
+  /// Every machine/monitor counter under one roof, populated by prepare().
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Flight recorder, when VDBG_FLIGHT_DIR was set at prepare() time (the
+  /// CI failure path sets it to collect post-mortem bundles); else nullptr.
+  vmm::FlightRecorder* flight_recorder() { return flight_.get(); }
+
  private:
   PlatformKind kind_;
   PlatformOptions opts_;
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<vmm::Lvmm> monitor_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<vmm::ExitTracer> flight_tracer_;
+  std::unique_ptr<vmm::FlightRecorder> flight_;
   guest::GuestImage image_;
   guest::RunConfig rc_;
   net::PacketSink sink_;

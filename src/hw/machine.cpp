@@ -154,6 +154,18 @@ void Machine::set_instr_hook(u64 every, InstrHook hook) {
   instr_hook_next_ = (icount / every + 1) * every;
 }
 
+void Machine::register_metrics(MetricsRegistry& reg) {
+  cpu_->register_metrics(reg);
+  pic_.register_metrics(reg, "hw.pic");
+  pit_->register_metrics(reg);
+  uart_->register_metrics(reg);
+  nic_->register_metrics(reg);
+  for (unsigned d = 0; d < num_disks(); ++d) {
+    disks_[d]->register_metrics(reg, "hw.scsi" + std::to_string(d));
+  }
+  reg.add_counter("hw.machine.idle_cycles", &idle_cycles_);
+}
+
 void Machine::save(SnapshotWriter& w) const {
   w.begin_section(SnapTag::kMachine);
   w.put_u32(cfg_.mem_bytes);

@@ -92,6 +92,12 @@ class Machine final : public Clock {
   void set_instr_hook(u64 every, InstrHook hook);
   u64 instr_hook_interval() const { return instr_hook_every_; }
 
+  /// Registers every component's counters with a metrics registry
+  /// (cpu.core.*, cpu.block.*, cpu.tlb.*, hw.pic.*, hw.pit.*, hw.uart.*,
+  /// hw.nic.*, hw.scsi<N>.*, hw.machine.*). Monitor metrics on top are
+  /// registered separately by their owner (see vmm::Lvmm::register_metrics).
+  void register_metrics(MetricsRegistry& reg);
+
   // --- snapshot support ---
   /// Serialises the whole machine: CPU+MMU, physical memory, and every
   /// device, each in its own tagged section. Monitor/VMM state on top is

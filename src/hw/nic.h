@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "cpu/phys_mem.h"
 #include "hw/device.h"
@@ -87,6 +88,19 @@ class Nic final : public IoDevice {
   u64 frames_received() const { return rx_frames_; }
   u64 rx_dropped() const { return rx_dropped_; }
   bool engine_active() const { return engine_active_; }
+
+  /// Registers hw.nic.* counters and queue-depth gauges.
+  void register_metrics(MetricsRegistry& reg) {
+    reg.add_counter("hw.nic.frames_sent", &frames_);
+    reg.add_counter("hw.nic.bytes_sent", &bytes_);
+    reg.add_counter("hw.nic.errors", &errors_);
+    reg.add_counter("hw.nic.frames_received", &rx_frames_);
+    reg.add_counter("hw.nic.rx_dropped", &rx_dropped_);
+    reg.add_gauge("hw.nic.tx_queue_depth",
+                  [this] { return double(tail_ - head_); });
+    reg.add_gauge("hw.nic.rx_queue_depth",
+                  [this] { return double(rx_head_ - rx_tail_); });
+  }
 
   /// Replay mute: while set, completed frames are not handed to the wire
   /// sink (the host already saw them on the first pass). Timing, DMA and

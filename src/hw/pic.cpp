@@ -22,6 +22,8 @@ void Pic::save(SnapshotWriter& w) const {
     w.put_bool(c->icw4_needed);
     w.put_bool(c->read_isr);
   }
+  w.put_u64(acks_);
+  w.put_u64(spurious_);
 }
 
 void Pic::restore(SnapshotReader& r) {
@@ -35,6 +37,13 @@ void Pic::restore(SnapshotReader& r) {
     c->icw4_needed = r.get_bool();
     c->read_isr = r.get_bool();
   }
+  acks_ = r.get_u64();
+  spurious_ = r.get_u64();
+}
+
+void Pic::register_metrics(MetricsRegistry& reg, const std::string& prefix) {
+  reg.add_counter(prefix + ".acks", &acks_);
+  reg.add_counter(prefix + ".spurious", &spurious_);
 }
 
 void Pic::set_irq_level(unsigned irq, bool asserted) {
@@ -74,17 +83,25 @@ u8 Pic::acknowledge() {
   const bool slave_pending = deliverable(slave_) >= 0;
   const u8 extra = slave_pending ? u8(1u << kPicCascadeIrq) : 0;
   const int m = deliverable(master_, extra);
-  if (m < 0) return spurious_vector();
+  if (m < 0) {
+    ++spurious_;
+    return spurious_vector();
+  }
 
   master_.isr |= static_cast<u8>(1u << m);
   master_.edge &= static_cast<u8>(~(1u << m));
   if (m == int(kPicCascadeIrq)) {
     const int s = deliverable(slave_);
-    if (s < 0) return static_cast<u8>(slave_.offset + 7);  // slave spurious
+    if (s < 0) {
+      ++spurious_;
+      return static_cast<u8>(slave_.offset + 7);  // slave spurious
+    }
     slave_.isr |= static_cast<u8>(1u << s);
     slave_.edge &= static_cast<u8>(~(1u << s));
+    ++acks_;
     return static_cast<u8>(slave_.offset + s);
   }
+  ++acks_;
   return static_cast<u8>(master_.offset + m);
 }
 

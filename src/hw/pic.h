@@ -10,7 +10,9 @@
 #pragma once
 
 #include <array>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "cpu/bus.h"
 #include "hw/device.h"
@@ -48,6 +50,14 @@ class Pic final : public cpu::IntrLine, public IrqSink {
 
   /// Spurious vector delivered when INTA finds nothing (master IRQ7).
   u8 spurious_vector() const { return master_.offset + 7; }
+
+  u64 acks() const { return acks_; }
+  u64 spurious_acks() const { return spurious_; }
+
+  /// Registers <prefix>.acks / <prefix>.spurious. The prefix distinguishes
+  /// the physical PIC ("hw.pic") from the monitor's virtual one
+  /// ("vmm.vpic", registered by Lvmm — its acks are vIDT injections).
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix);
 
   /// Snapshot support: both chips are plain registers, no timeline state.
   void save(SnapshotWriter& w) const;
@@ -88,6 +98,8 @@ class Pic final : public cpu::IntrLine, public IrqSink {
 
   Chip master_;
   Chip slave_;
+  u64 acks_ = 0;      // vectors delivered through INTA
+  u64 spurious_ = 0;  // INTA cycles that found nothing deliverable
   ChipIo master_io_;  // snap:skip(stateless port shim over master_)
   ChipIo slave_io_;   // snap:skip(stateless port shim over slave_)
 };

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "hw/device.h"
 
@@ -33,6 +34,12 @@ class Pit final : public IoDevice {
   u64 ticks_fired() const { return ticks_; }
   /// Cycle timestamp of the most recent tick (for latency measurements).
   Cycles last_fire_cycles() const { return last_fire_; }
+
+  /// Registers hw.pit.* counters.
+  void register_metrics(MetricsRegistry& reg) {
+    reg.add_counter("hw.pit.ticks", &ticks_);
+    reg.add_counter("hw.pit.last_fire_cycles", &last_fire_);
+  }
 
   /// Snapshot support: registers plus the pending tick's deadline/sequence
   /// so the restored timer fires at the exact same cycle with the same

@@ -30,8 +30,10 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "cpu/phys_mem.h"
 #include "hw/device.h"
@@ -84,6 +86,13 @@ class ScsiDisk final : public IoDevice {
   u64 sectors_written() const { return written_.size(); }
   unsigned id() const { return id_; }
   const Config& config() const { return cfg_; }
+
+  /// Registers <prefix>.* counters (prefix e.g. "hw.scsi0", per controller).
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix) {
+    reg.add_counter(prefix + ".requests_completed", &completed_);
+    reg.add_counter(prefix + ".bytes_transferred", &bytes_);
+    reg.add_gauge(prefix + ".busy", [this] { return busy_ ? 1.0 : 0.0; });
+  }
 
   /// Snapshot support: registers, the written-sector overlay and the
   /// in-flight request's parameters plus its completion deadline/sequence.

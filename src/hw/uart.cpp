@@ -92,6 +92,9 @@ void Uart::start_tx(Cycles from) {
 void Uart::tx_done(Cycles now) {
   tx_busy_ = false;
   tx_event_ = 0;
+  // Counted at serialisation completion whether or not the sink is muted,
+  // so the counter is a pure function of simulated time (replay-exact).
+  ++tx_bytes_;
   if (tx_sink_ && !tx_muted_) tx_sink_(tx_shift_);
   if (!tx_.empty()) {
     start_tx(now);
@@ -114,6 +117,8 @@ void Uart::save(SnapshotWriter& w) const {
   w.put_u8(ier_);
   w.put_u8(lcr_);
   w.put_u8(mcr_);
+  w.put_u64(rx_bytes_);
+  w.put_u64(tx_bytes_);
   const auto ev = tx_event_ != 0 ? eq_.info(tx_event_) : std::nullopt;
   w.put_bool(ev.has_value());
   if (ev) {
@@ -140,6 +145,8 @@ void Uart::restore(SnapshotReader& r) {
   ier_ = r.get_u8();
   lcr_ = r.get_u8();
   mcr_ = r.get_u8();
+  rx_bytes_ = r.get_u64();
+  tx_bytes_ = r.get_u64();
   if (r.get_bool()) {
     const Cycles deadline = r.get_u64();
     const u64 seq = r.get_u64();
@@ -150,12 +157,21 @@ void Uart::restore(SnapshotReader& r) {
 
 void Uart::host_inject(u8 byte) {
   rx_.push_back(byte);
+  ++rx_bytes_;
   update_irq();
 }
 
 void Uart::host_inject(std::string_view bytes) {
   for (char c : bytes) rx_.push_back(static_cast<u8>(c));
+  rx_bytes_ += bytes.size();
   update_irq();
+}
+
+void Uart::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter("hw.uart.rx_bytes", &rx_bytes_);
+  reg.add_counter("hw.uart.tx_bytes", &tx_bytes_);
+  reg.add_gauge("hw.uart.tx_queue_depth",
+                [this] { return double(tx_.size() + (tx_busy_ ? 1 : 0)); });
 }
 
 }  // namespace vdbg::hw

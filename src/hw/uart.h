@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "hw/device.h"
 
@@ -47,6 +48,12 @@ class Uart final : public IoDevice {
   bool rx_pending() const { return !rx_.empty(); }
   std::size_t tx_in_flight() const { return tx_.size() + (tx_busy_ ? 1 : 0); }
 
+  u64 rx_bytes() const { return rx_bytes_; }
+  u64 tx_bytes() const { return tx_bytes_; }
+
+  /// Registers hw.uart.* byte counters and queue-depth gauge.
+  void register_metrics(MetricsRegistry& reg);
+
   /// Replay mute: while set, transmitted bytes are serialised (same timing,
   /// same interrupts) but not delivered to the host sink. Used by the
   /// time-travel controller so re-executed output is not sent to the
@@ -78,6 +85,8 @@ class Uart final : public IoDevice {
   u8 ier_ = 0;
   u8 lcr_ = 0;
   u8 mcr_ = 0;
+  u64 rx_bytes_ = 0;  // bytes the host injected
+  u64 tx_bytes_ = 0;  // bytes fully serialised by the target
   // Cancelled up front in restore, then re-armed from the saved deadline
   // once the serialized fields are back. snap:reorder(reset-before-read)
   EventId tx_event_ = 0;

@@ -88,7 +88,7 @@ void Lvmm::inject(u8 vector, u32 errcode, u32 resume_pc, bool is_soft_int,
   s.set_if(true);  // physical IF is the monitor's
   machine_.cpu().set_halted(false);
   ++stats_.injections;
-  trace(TraceKind::kInjection, vector, 0, 0);
+  trace(TraceKind::kInjection, vector, 0, 0, inject_span_);
 }
 
 void Lvmm::emulate_guest_iret() {
@@ -121,7 +121,15 @@ void Lvmm::try_inject() {
   if (!vcpu_.vif) return;
   if (!vpic_.intr_asserted()) return;
   const u8 vector = vpic_.acknowledge();
+  // Tie the injection to the delivery span opened at arrival, so the trace
+  // correlates it and the per-phase latency records the arrival->inject leg.
+  const int irq = irq_for_vpic_vector(vector);
+  if (irq >= 0 && unsigned(irq) < irq_spans_.size()) {
+    inject_span_ = irq_spans_[unsigned(irq)].id;
+  }
   inject(vector, 0, st().pc, /*is_soft_int=*/false);
+  if (irq >= 0) note_irq_injected(unsigned(irq));
+  inject_span_ = 0;
 }
 
 }  // namespace vdbg::vmm

@@ -52,6 +52,7 @@ void Lvmm::vpic_write(bool slave, u16 offset, u32 value) {
   auto& chip = slave ? vpic_.slave_ports() : vpic_.master_ports();
   chip.io_write(offset, value);
   if (eoi_irq >= 0 && eoi_irq != int(hw::kPicCascadeIrq)) {
+    end_irq_span(unsigned(eoi_irq));
     auto it = masked_pending_.find(unsigned(eoi_irq));
     if (it != masked_pending_.end()) {
       masked_pending_.erase(it);

@@ -1,0 +1,221 @@
+#include "vmm/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/units.h"
+
+namespace vdbg::vmm {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Simulated cycles -> trace timestamp in microseconds.
+std::string ts_us(Cycles c) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.4f", double(c) / kCpuHz * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Lvmm& mon, Config cfg)
+    : mon_(mon), cfg_(std::move(cfg)) {}
+
+void FlightRecorder::arm() {
+  mon_.set_stop_observer([this](DebugDelegate::StopReason reason) {
+    const bool crash = reason == DebugDelegate::StopReason::kCrash;
+    const bool watch = reason == DebugDelegate::StopReason::kWatchpoint;
+    if (!crash && !watch) return;
+    const char* why = crash ? "guest-crash" : "watchpoint";
+    if ((crash && cfg_.dump_on_crash) ||
+        (watch && cfg_.dump_on_watchpoint)) {
+      dump(why);
+    } else {
+      last_ = capture(why);
+      have_last_ = true;
+      ++captures_;
+    }
+  });
+}
+
+std::string FlightRecorder::summary_json(std::string_view reason) const {
+  const VmExitStats& st = mon_.exit_stats();
+  const Lvmm::IrqSpanStats& sp = mon_.irq_span_stats();
+  std::string out = "{";
+  out += "\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"seq\":" + std::to_string(seq_);
+  out += ",\"cycles\":" + std::to_string(mon_.machine().cpu().cycles());
+  out += ",\"instructions\":" +
+         std::to_string(mon_.machine().cpu().stats().instructions);
+  out += std::string(",\"guest_crashed\":") +
+         (mon_.vcpu().crashed ? "true" : "false");
+  out += std::string(",\"guest_frozen\":") +
+         (mon_.guest_frozen() ? "true" : "false");
+  out += std::string(",\"monitor_intact\":") +
+         (mon_.monitor_memory_intact() ? "true" : "false");
+
+  out += ",\"exit_stats\":{\"total\":" + std::to_string(st.total);
+  out += ",\"charged_cycles\":" + std::to_string(st.charged_cycles);
+  out += ",\"by_kind\":{";
+  for (unsigned i = 0; i < kNumExitKinds; ++i) {
+    const ExitKindStats& k = st.by_kind[i];
+    if (i) out += ",";
+    out += "\"" + std::string(exit_kind_name(static_cast<ExitKind>(i))) +
+           "\":{\"count\":" + std::to_string(k.count) +
+           ",\"cycles\":" + std::to_string(k.cycles) +
+           ",\"max_cycles\":" + std::to_string(k.max_cycles) + "}";
+  }
+  out += "}}";
+
+  out += ",\"irq_spans\":{\"begun\":" + std::to_string(sp.begun) +
+         ",\"completed\":" + std::to_string(sp.completed) +
+         ",\"aborted\":" + std::to_string(sp.aborted) +
+         ",\"arrival_to_inject_cycles\":" +
+         std::to_string(sp.arrival_to_inject.cycles) +
+         ",\"inject_to_eoi_cycles\":" +
+         std::to_string(sp.inject_to_eoi.cycles) + "}";
+
+  out += ",\"metrics\":";
+  out += metrics_ ? metrics_->to_json() : "{}";
+
+  const ExitTracer* tracer = mon_.tracer();
+  out += ",\"trace\":{\"recorded\":" +
+         std::to_string(tracer ? tracer->recorded() : 0) +
+         ",\"overwritten\":" +
+         std::to_string(tracer ? tracer->overwritten() : 0) + "}";
+  out += "}";
+  return out;
+}
+
+std::string FlightRecorder::trace_event_json() const {
+  std::vector<TraceEvent> events;
+  if (const ExitTracer* tracer = mon_.tracer()) {
+    events = tracer->tail(cfg_.trace_tail);
+  }
+
+  // Pair-complete the window: an "e" whose "b" was overwritten demotes to
+  // an instant; a "b" whose "e" has not happened yet gets a synthetic close
+  // at the window's end so strict viewers (and our validator) see balanced
+  // async spans.
+  std::set<u32> begun, ended;
+  for (const TraceEvent& e : events) {
+    if (e.span == 0) continue;
+    if (e.phase == SpanPhase::kBegin) begun.insert(e.span);
+    if (e.phase == SpanPhase::kEnd) ended.insert(e.span);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"vdbg-lvmm\"}}";
+
+  auto common_fields = [](const TraceEvent& e) {
+    std::string f = "\"ts\":" + ts_us(e.timestamp) + ",\"pid\":0,\"tid\":0";
+    f += ",\"args\":{\"pc\":" + std::to_string(e.pc) +
+         ",\"vector\":" + std::to_string(e.vector) +
+         ",\"detail\":" + std::to_string(e.detail) +
+         ",\"extra\":" + std::to_string(e.extra) + "}";
+    return f;
+  };
+
+  Cycles window_end = 0;
+  for (const TraceEvent& e : events) window_end = e.timestamp;
+
+  std::vector<u32> open;  // spans begun in-window, awaiting their end
+  for (const TraceEvent& e : events) {
+    out += ",";
+    const std::string name(trace_kind_name(e.kind));
+    const bool span_begin = e.span != 0 && e.phase == SpanPhase::kBegin;
+    const bool span_end =
+        e.span != 0 && e.phase == SpanPhase::kEnd && begun.count(e.span);
+    if (span_begin) {
+      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"b\","
+             "\"id\":" +
+             std::to_string(e.span) + "," + common_fields(e) + "}";
+      if (!ended.count(e.span)) open.push_back(e.span);
+    } else if (span_end) {
+      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
+             "\"id\":" +
+             std::to_string(e.span) + "," + common_fields(e) + "}";
+    } else if (e.span != 0 && e.phase == SpanPhase::kInstant &&
+               begun.count(e.span)) {
+      // Async instant inside the span (e.g. the injection).
+      out += "{\"name\":\"" + name + "\",\"cat\":\"irq\",\"ph\":\"n\","
+             "\"id\":" +
+             std::to_string(e.span) + "," + common_fields(e) + "}";
+    } else {
+      out += "{\"name\":\"" + name +
+             "\",\"cat\":\"exit\",\"ph\":\"i\",\"s\":\"t\"," +
+             common_fields(e) + "}";
+    }
+  }
+  for (u32 span : open) {
+    out += ",{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
+           "\"id\":" +
+           std::to_string(span) + ",\"ts\":" + ts_us(window_end) +
+           ",\"pid\":0,\"tid\":0,\"args\":{\"truncated\":true}}";
+  }
+  out += "]}";
+  return out;
+}
+
+FlightRecorder::Bundle FlightRecorder::capture(std::string_view reason) const {
+  Bundle b;
+  b.reason = std::string(reason);
+  b.seq = seq_;
+  b.summary_json = summary_json(reason);
+  b.trace_json = trace_event_json();
+  return b;
+}
+
+bool FlightRecorder::dump(std::string_view reason, std::string* summary_path,
+                          std::string* trace_path) {
+  ++seq_;
+  last_ = capture(reason);
+  have_last_ = true;
+  ++captures_;
+
+  const std::string stem =
+      cfg_.out_dir + "/" + cfg_.file_prefix + "-" + std::to_string(seq_);
+  const std::string spath = stem + "-summary.json";
+  const std::string tpath = stem + "-trace.json";
+  {
+    std::ofstream f(spath, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << last_.summary_json << "\n";
+    if (!f.good()) return false;
+  }
+  {
+    std::ofstream f(tpath, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << last_.trace_json << "\n";
+    if (!f.good()) return false;
+  }
+  ++dumps_;
+  if (summary_path) *summary_path = spath;
+  if (trace_path) *trace_path = tpath;
+  return true;
+}
+
+}  // namespace vdbg::vmm

@@ -1,0 +1,89 @@
+// Flight recorder: bundles the monitor's observability state — trace-ring
+// tail, metrics snapshot, exit stats — into a post-mortem "black box" when
+// the guest crashes, a watchpoint fires, or a dump is explicitly requested
+// (CLI `dump`, RSP qVdbg.FlightDump, CI on test failure).
+//
+// Two artefacts per capture:
+//   * a JSON summary (reason, position, exit stats, full metrics snapshot),
+//   * a Chrome trace-event (catapult) JSON of the trace tail, loadable in
+//     Perfetto / chrome://tracing. Interrupt-delivery spans become async
+//     "b"/"e" slices correlated by span id; everything else is an instant.
+//
+// Capturing is host-side and free of simulation effects: it reads state,
+// charges nothing, and touches no counters, so a capture can never perturb
+// a replay. File writing is host I/O and only happens on request (dump) or
+// when armed for auto-dump.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "vmm/lvmm.h"
+
+namespace vdbg::vmm {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Directory dump() writes into (created by the caller; "." default).
+    std::string out_dir = ".";
+    /// File name prefix; the harness adds a pid so parallel test binaries
+    /// sharing one directory (CI artifact collection) do not collide.
+    std::string file_prefix = "flight";
+    /// Trace-ring events included in the bundle (newest N).
+    std::size_t trace_tail = 2048;
+    /// When armed via arm(): write files automatically on guest crash.
+    bool dump_on_crash = true;
+    /// When armed via arm(): also write files on watchpoint hits (captures
+    /// happen in memory regardless; a hot watchpoint would spam the disk).
+    bool dump_on_watchpoint = false;
+  };
+
+  struct Bundle {
+    std::string reason;
+    std::string summary_json;
+    std::string trace_json;
+    u64 seq = 0;
+  };
+
+  explicit FlightRecorder(Lvmm& mon) : FlightRecorder(mon, Config()) {}
+  FlightRecorder(Lvmm& mon, Config cfg);
+
+  void set_metrics(const MetricsRegistry* reg) { metrics_ = reg; }
+  const Config& config() const { return cfg_; }
+
+  /// Installs the monitor's stop observer: every guest crash or watchpoint
+  /// stop captures a bundle in memory, and writes it out per the Config.
+  void arm();
+
+  /// Captures the current state into a bundle (in memory only).
+  Bundle capture(std::string_view reason) const;
+
+  /// capture() + write both files to out_dir. Returns false when either
+  /// file could not be written; on success the optional out params receive
+  /// the paths.
+  bool dump(std::string_view reason, std::string* summary_path = nullptr,
+            std::string* trace_path = nullptr);
+
+  u64 captures() const { return captures_; }
+  u64 dumps() const { return dumps_; }
+  /// Most recent capture (auto or explicit); nullptr before the first.
+  const Bundle* last() const { return have_last_ ? &last_ : nullptr; }
+
+ private:
+  std::string summary_json(std::string_view reason) const;
+  std::string trace_event_json() const;
+
+  Lvmm& mon_;
+  Config cfg_;
+  const MetricsRegistry* metrics_ = nullptr;
+  Bundle last_;
+  bool have_last_ = false;
+  u64 seq_ = 0;       // monotonically numbers captures (file names)
+  u64 captures_ = 0;  // mutable state is host-side only; never snapshotted
+  u64 dumps_ = 0;
+};
+
+}  // namespace vdbg::vmm

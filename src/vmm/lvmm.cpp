@@ -3,6 +3,9 @@
 // exit_pf.cpp and exit_inject.cpp.
 #include "vmm/lvmm.h"
 
+#include <string>
+#include <utility>
+
 #include "hw/diag_port.h"
 #include "hw/nic.h"
 #include "hw/scsi_disk.h"
@@ -50,7 +53,8 @@ void Lvmm::charge(Cycles c) {
   stats_.charged_cycles += c;
 }
 
-void Lvmm::trace(TraceKind kind, u8 vector, u16 detail, u32 extra) {
+void Lvmm::trace(TraceKind kind, u8 vector, u16 detail, u32 extra, u32 span,
+                 SpanPhase phase) {
   if (!tracer_ || !tracer_->enabled()) return;
   charge(cfg_.costs.trace_per_event);
   TraceEvent e;
@@ -60,7 +64,60 @@ void Lvmm::trace(TraceKind kind, u8 vector, u16 detail, u32 extra) {
   e.vector = vector;
   e.detail = detail;
   e.extra = extra;
+  e.span = span;
+  e.phase = phase;
   tracer_->record(e);
+}
+
+// --------------------------------------------------------------------------
+// Interrupt-delivery spans: arrival -> injection -> guest ISR -> EOI. The
+// bookkeeping is pure simulation state (cycle timestamps, monotonic ids)
+// and is snapshot-saved, so a replay reproduces both the aggregate phase
+// stats and the span ids of future trace events bit-identically.
+// --------------------------------------------------------------------------
+
+void Lvmm::begin_irq_span(unsigned irq, u8 vector) {
+  if (irq >= irq_spans_.size()) return;
+  IrqSpan& sp = irq_spans_[irq];
+  if (sp.id != 0) ++span_stats_.aborted;  // line re-armed with span open
+  sp.id = next_span_id_++;
+  sp.arrival = machine_.cpu().cycles();
+  sp.injected = 0;
+  sp.injected_seen = false;
+  ++span_stats_.begun;
+  trace(TraceKind::kInterrupt, vector, static_cast<u16>(irq), 0, sp.id,
+        SpanPhase::kBegin);
+}
+
+void Lvmm::note_irq_injected(unsigned irq) {
+  if (irq >= irq_spans_.size()) return;
+  IrqSpan& sp = irq_spans_[irq];
+  if (sp.id == 0 || sp.injected_seen) return;
+  sp.injected = machine_.cpu().cycles();
+  sp.injected_seen = true;
+  span_stats_.arrival_to_inject.record(sp.injected - sp.arrival);
+}
+
+void Lvmm::end_irq_span(unsigned irq) {
+  if (irq >= irq_spans_.size()) return;
+  IrqSpan& sp = irq_spans_[irq];
+  if (sp.id == 0) return;  // EOI with no forwarded interrupt (e.g. init)
+  if (sp.injected_seen) {
+    span_stats_.inject_to_eoi.record(machine_.cpu().cycles() - sp.injected);
+    ++span_stats_.completed;
+  } else {
+    ++span_stats_.aborted;
+  }
+  trace(TraceKind::kEoi, 0, static_cast<u16>(irq), 0, sp.id, SpanPhase::kEnd);
+  sp = IrqSpan{};
+}
+
+int Lvmm::irq_for_vpic_vector(u8 vector) const {
+  const u8 mo = vpic_.vector_offset(false);
+  const u8 so = vpic_.vector_offset(true);
+  if (vector >= mo && vector < mo + 8) return vector - mo;
+  if (vector >= so && vector < so + 8) return 8 + (vector - so);
+  return -1;
 }
 
 void Lvmm::install() {
@@ -290,7 +347,7 @@ void Lvmm::forward_external_interrupt(u8 vector) {
   // Forward to the guest's virtual PIC. Mask the line physically until the
   // guest EOIs its vPIC (the device keeps asserting until the guest's ISR
   // acknowledges it directly).
-  trace(TraceKind::kInterrupt, vector, static_cast<u16>(irq), 0);
+  begin_irq_span(unsigned(irq), vector);
   physical_set_mask(unsigned(irq), true);
   masked_pending_.insert(unsigned(irq));
   physical_eoi(unsigned(irq));
@@ -309,6 +366,7 @@ void Lvmm::freeze_guest(DebugDelegate::StopReason reason) {
   machine_.set_cpu_frozen(true);
   machine_.cpu().request_stop();
   if (debug_) debug_->on_guest_stop(reason);
+  if (stop_observer_) stop_observer_(reason);
 }
 
 void Lvmm::resume_guest() {
@@ -411,6 +469,24 @@ void Lvmm::save(SnapshotWriter& w) const {
   w.put_u32(watch_hit_.size);
   w.put_u32(watch_hit_.pc);
   w.put_bool(frozen_);
+
+  for (const IrqSpan& sp : irq_spans_) {
+    w.put_u32(sp.id);
+    w.put_u64(sp.arrival);
+    w.put_u64(sp.injected);
+    w.put_bool(sp.injected_seen);
+  }
+  w.put_u32(next_span_id_);
+  w.put_u64(span_stats_.begun);
+  w.put_u64(span_stats_.completed);
+  w.put_u64(span_stats_.aborted);
+  for (const ExitKindStats* ph :
+       {&span_stats_.arrival_to_inject, &span_stats_.inject_to_eoi}) {
+    w.put_u64(ph->count);
+    w.put_u64(ph->cycles);
+    w.put_u64(ph->max_cycles);
+    for (u32 h : ph->hist) w.put_u32(h);
+  }
   w.end_section();
 
   w.begin_section(SnapTag::kVpic);
@@ -471,6 +547,24 @@ bool Lvmm::restore(SnapshotReader& r) {
   watch_hit_.pc = r.get_u32();
   frozen_ = r.get_bool();
 
+  for (IrqSpan& sp : irq_spans_) {
+    sp.id = r.get_u32();
+    sp.arrival = r.get_u64();
+    sp.injected = r.get_u64();
+    sp.injected_seen = r.get_bool();
+  }
+  next_span_id_ = r.get_u32();
+  span_stats_.begun = r.get_u64();
+  span_stats_.completed = r.get_u64();
+  span_stats_.aborted = r.get_u64();
+  for (ExitKindStats* ph :
+       {&span_stats_.arrival_to_inject, &span_stats_.inject_to_eoi}) {
+    ph->count = r.get_u64();
+    ph->cycles = r.get_u64();
+    ph->max_cycles = r.get_u64();
+    for (u32& h : ph->hist) h = r.get_u32();
+  }
+
   if (!r.open_section(SnapTag::kVpic)) return false;
   vpic_.restore(r);
   if (!r.open_section(SnapTag::kShadowMmu)) return false;
@@ -478,6 +572,76 @@ bool Lvmm::restore(SnapshotReader& r) {
   if (!r.open_section(SnapTag::kGuestMem)) return false;
   gmem_->restore(r);
   return r.ok();
+}
+
+// --------------------------------------------------------------------------
+// Metrics registration. Every slot handed to the registry is a live stats
+// member serialized by save()/restore() above (or by the component's own
+// snapshot support), so the exported values are replay-exact; the only
+// exceptions are the tracer gauges, which read host wiring.
+// --------------------------------------------------------------------------
+
+void Lvmm::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter("vmm.exit.total", &stats_.total);
+  reg.add_counter("vmm.exit.privileged_instr", &stats_.privileged_instr);
+  reg.add_counter("vmm.exit.io_emulated", &stats_.io_emulated);
+  reg.add_counter("vmm.exit.interrupts", &stats_.interrupts);
+  reg.add_counter("vmm.exit.injections", &stats_.injections);
+  reg.add_counter("vmm.exit.shadow_syncs", &stats_.shadow_syncs);
+  reg.add_counter("vmm.exit.pt_writes", &stats_.pt_writes);
+  reg.add_counter("vmm.exit.reflected_faults", &stats_.reflected_faults);
+  reg.add_counter("vmm.exit.soft_ints", &stats_.soft_ints);
+  reg.add_counter("vmm.exit.unknown_ports", &stats_.unknown_ports);
+  reg.add_counter("vmm.exit.charged_cycles", &stats_.charged_cycles);
+
+  for (unsigned i = 0; i < kNumExitKinds; ++i) {
+    const ExitKindStats& k = stats_.by_kind[i];
+    const std::string base =
+        "vmm.exit_" + std::string(exit_kind_name(static_cast<ExitKind>(i)));
+    reg.add_counter(base + ".count", &k.count);
+    reg.add_counter(base + ".cycles", &k.cycles);
+    reg.add_counter(base + ".max_cycles", &k.max_cycles);
+    reg.add_histogram(base + ".latency_log2", k.hist.data(),
+                      ExitKindStats::kHistBuckets);
+  }
+
+  const GuestMemory::Stats& vs = gmem_->stats();
+  reg.add_counter("vmm.vtlb.lookups", &vs.lookups);
+  reg.add_counter("vmm.vtlb.hits", &vs.hits);
+  reg.add_counter("vmm.vtlb.walks", &vs.walks);
+  reg.add_counter("vmm.vtlb.fills", &vs.fills);
+  reg.add_counter("vmm.vtlb.invalidations", &vs.invalidations);
+  reg.add_counter("vmm.vtlb.flushes", &vs.flushes);
+  reg.add_gauge("vmm.vtlb.hit_rate", [this] {
+    const GuestMemory::Stats& s = gmem_->stats();
+    return s.lookups ? double(s.hits) / double(s.lookups) : 0.0;
+  });
+
+  reg.add_counter("vmm.irqspan.begun", &span_stats_.begun);
+  reg.add_counter("vmm.irqspan.completed", &span_stats_.completed);
+  reg.add_counter("vmm.irqspan.aborted", &span_stats_.aborted);
+  for (const auto& [phase, ph] :
+       {std::pair{"arrival_to_inject", &span_stats_.arrival_to_inject},
+        std::pair{"inject_to_eoi", &span_stats_.inject_to_eoi}}) {
+    const std::string base = "vmm.irqspan." + std::string(phase);
+    reg.add_counter(base + ".count", &ph->count);
+    reg.add_counter(base + ".cycles", &ph->cycles);
+    reg.add_counter(base + ".max_cycles", &ph->max_cycles);
+    reg.add_histogram(base + ".latency_log2", ph->hist.data(),
+                      ExitKindStats::kHistBuckets);
+  }
+
+  vpic_.register_metrics(reg, "vmm.vpic");
+
+  // Host wiring: the tracer ring is dropped on restore, not replayed.
+  reg.add_gauge(
+      "vmm.trace.recorded",
+      [this] { return tracer_ ? double(tracer_->recorded()) : 0.0; },
+      /*replay_exact=*/false);
+  reg.add_gauge(
+      "vmm.trace.overwritten",
+      [this] { return tracer_ ? double(tracer_->overwritten()) : 0.0; },
+      /*replay_exact=*/false);
 }
 
 }  // namespace vdbg::vmm

@@ -28,10 +28,13 @@
 // exposed for the benchmark harness.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "cpu/cpu.h"
 #include "hw/machine.h"
 #include "hw/pic.h"
@@ -93,6 +96,19 @@ class Lvmm : public cpu::TrapHook {
   const VcpuState& vcpu() const { return vcpu_; }
   ShadowMmu& shadow() { return *shadow_; }
   const VmExitStats& exit_stats() const { return stats_; }
+
+  /// Aggregate per-phase latencies of interrupt-delivery spans (arrival ->
+  /// vIDT injection, injection -> guest EOI at the vPIC). Snapshot-saved,
+  /// so a time-travel replay reproduces them bit-identically; powers the
+  /// per-phase breakdown in bench_intr_latency.
+  struct IrqSpanStats {
+    u64 begun = 0;
+    u64 completed = 0;
+    u64 aborted = 0;  // a new arrival found a span still open on the line
+    ExitKindStats arrival_to_inject;  // phase-latency record (reused shape)
+    ExitKindStats inject_to_eoi;
+  };
+  const IrqSpanStats& irq_span_stats() const { return span_stats_; }
   hw::Pic& vpic() { return vpic_; }
   hw::Machine& machine() { return machine_; }
   const Config& config() const { return cfg_; }
@@ -159,6 +175,19 @@ class Lvmm : public cpu::TrapHook {
   /// Recording charges LvmmCosts::trace_per_event per event.
   void set_tracer(ExitTracer* tracer) { tracer_ = tracer; }
   ExitTracer* tracer() const { return tracer_; }
+
+  /// Host-side observer fired whenever the guest freezes (after the debug
+  /// delegate). The FlightRecorder uses it to auto-capture on crashes and
+  /// watchpoint hits; it is host wiring, never snapshot state.
+  void set_stop_observer(std::function<void(DebugDelegate::StopReason)> fn) {
+    stop_observer_ = std::move(fn);
+  }
+
+  /// Registers the monitor's counters with a metrics registry: vmm.exit.*,
+  /// per-kind vmm.exit_<kind>.*, vmm.vtlb.*, vmm.irqspan.*, vmm.vpic.* and
+  /// vmm.trace.*. The registered slots are the live stats members, so the
+  /// registry must not outlive the monitor.
+  void register_metrics(MetricsRegistry& reg);
 
   // --- snapshot support ---
   /// Serialises monitor state on top of Machine::save: vCPU, exit stats,
@@ -237,7 +266,16 @@ class Lvmm : public cpu::TrapHook {
   void vpic_write(bool slave, u16 offset, u32 value);
 
   bool fetch_guest_instr(cpu::Instr& out);
-  void trace(TraceKind kind, u8 vector, u16 detail, u32 extra);
+  void trace(TraceKind kind, u8 vector, u16 detail, u32 extra, u32 span = 0,
+             SpanPhase phase = SpanPhase::kInstant);
+
+  // Interrupt-delivery span bookkeeping (lvmm.cpp). Span ids are allocated
+  // by the monitor (not the host tracer) so a replay reproduces them.
+  void begin_irq_span(unsigned irq, u8 vector);
+  void note_irq_injected(unsigned irq);
+  void end_irq_span(unsigned irq);
+  /// IRQ line a vector acknowledged from the vPIC belongs to, or -1.
+  int irq_for_vpic_vector(u8 vector) const;
 
   std::unique_ptr<ShadowMmu> shadow_;
   std::unique_ptr<GuestMemory> gmem_;
@@ -252,6 +290,20 @@ class Lvmm : public cpu::TrapHook {
   std::vector<WatchRange> watches_;
   WatchHit watch_hit_{};
   bool frozen_ = false;
+
+  /// One in-flight delivery span per IRQ line.
+  struct IrqSpan {
+    u32 id = 0;  // 0 = no span open on this line
+    Cycles arrival = 0;
+    Cycles injected = 0;
+    bool injected_seen = false;
+  };
+  std::array<IrqSpan, 16> irq_spans_{};
+  u32 next_span_id_ = 1;
+  IrqSpanStats span_stats_;
+  u32 inject_span_ = 0;  // snap:skip(transient within one exit dispatch)
+  // snap:skip(host observer wiring)
+  std::function<void(DebugDelegate::StopReason)> stop_observer_;
   bool installed_ = false;  // snap:skip(restore requires an installed monitor)
 };
 

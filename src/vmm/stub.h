@@ -23,6 +23,12 @@
 //   qVdbg.Checkpoints    -> decimal checkpoints held in the ring
 //   qVdbg.Snapshot.Save  -> serialise full state into the host-side slot
 //   qVdbg.Snapshot.Load  -> restore the slot ("OK"/"E03")
+//   qVdbg.Metrics[,pfx]  -> "name=c:<u64>;name=g:<double>;..." from the
+//                           attached registry, optionally filtered to names
+//                           starting with pfx (histograms are skipped; "OK"
+//                           when nothing matches)
+//   qVdbg.FlightDump     -> write a flight-recorder bundle, reply is
+//                           "<summary_path>;<trace_path>"
 #pragma once
 
 #include <deque>
@@ -32,11 +38,13 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "hw/uart.h"
 #include "vmm/lvmm.h"
 
 namespace vdbg::vmm {
 
+class FlightRecorder;
 class TimeTravel;
 
 class DebugStub final : public DebugDelegate {
@@ -52,6 +60,12 @@ class DebugStub final : public DebugDelegate {
   /// patched sites and restores re-apply patches inserted after the
   /// checkpoint. Pass nullptr to detach.
   void set_time_travel(TimeTravel* tt);
+
+  /// Attaches the metrics registry behind qVdbg.Metrics (nullptr detaches).
+  void set_metrics(const MetricsRegistry* reg) { metrics_ = reg; }
+  /// Attaches the flight recorder behind qVdbg.FlightDump (nullptr
+  /// detaches).
+  void set_flight_recorder(FlightRecorder* fr) { flight_ = fr; }
 
   // --- DebugDelegate ---
   bool owns_breakpoint(VAddr pc) override;
@@ -118,6 +132,8 @@ class DebugStub final : public DebugDelegate {
   std::map<VAddr, u8> patch_history_;
 
   TimeTravel* tt_ = nullptr;
+  const MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   /// Host-side slot for qVdbg.Snapshot.Save/Load.
   std::vector<u8> snapshot_slot_;
 

@@ -3,7 +3,10 @@
 // dispatch live in stub.cpp.
 #include "vmm/stub.h"
 
+#include <cstdio>
+
 #include "common/hexdump.h"
+#include "vmm/flight_recorder.h"
 #include "vmm/time_travel.h"
 
 namespace vdbg::vmm {
@@ -237,6 +240,37 @@ std::string DebugStub::cmd_query(const std::string& q) {
   if (q == "Vdbg.Snapshot.Load") {
     if (!tt_ || snapshot_slot_.empty()) return "E01";
     return tt_->load_state(snapshot_slot_) ? "OK" : "E03";
+  }
+  if (q == "Vdbg.Metrics" || q.rfind("Vdbg.Metrics,", 0) == 0) {
+    if (!metrics_) return "E01";
+    std::string prefix;
+    if (q.size() > 12) {
+      prefix = q.substr(13);
+      if (prefix.empty()) return "E01";  // "qVdbg.Metrics," with no prefix
+    }
+    // "name=c:<u64>" for counters, "name=g:<double>" for gauges; histogram
+    // buckets do not fit the line format and are left to qVdbg.FlightDump.
+    std::string out;
+    for (const auto& s : metrics_->snapshot()) {
+      if (s.kind == MetricKind::kHistogram) continue;
+      if (!prefix.empty() && s.name.rfind(prefix, 0) != 0) continue;
+      if (!out.empty()) out.push_back(';');
+      out += s.name;
+      if (s.kind == MetricKind::kCounter) {
+        out += "=c:" + std::to_string(s.value);
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "=g:%.17g", s.number);
+        out += buf;
+      }
+    }
+    return out.empty() ? "OK" : out;
+  }
+  if (q == "Vdbg.FlightDump") {
+    if (!flight_) return "E01";
+    std::string summary, trace;
+    if (!flight_->dump("rsp-request", &summary, &trace)) return "E03";
+    return summary + ";" + trace;
   }
   if (q.rfind("Vdbg.Trace,", 0) == 0) {
     if (!mon_.tracer()) return "E01";

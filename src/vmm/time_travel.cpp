@@ -36,7 +36,9 @@ void TimeTravel::charge_checkpoint() {
   // a replay reaching the same boundary re-charges the identical amount.
   const auto& costs = mon_.config().costs;
   const u64 pages = machine().mem().nonzero_pages();
-  mon_.charge(costs.checkpoint_base + costs.checkpoint_per_page * pages);
+  const Cycles cost = costs.checkpoint_base + costs.checkpoint_per_page * pages;
+  mon_.charge(cost);
+  stats_.checkpoint_charged_cycles += cost;
 }
 
 std::vector<u8> TimeTravel::serialize() const {
@@ -57,8 +59,10 @@ void TimeTravel::store_checkpoint(u64 ic, std::vector<u8> bytes) {
     it->bytes = std::move(bytes);
     return;
   }
-  ring_.insert(it, Checkpoint{ic, machine().now(), std::move(bytes)});
+  auto inserted =
+      ring_.insert(it, Checkpoint{ic, machine().now(), std::move(bytes)});
   ++stats_.checkpoints;
+  stats_.checkpoint_bytes += inserted->bytes.size();
   while (ring_.size() > cfg_.ring) ring_.pop_front();
 }
 

@@ -73,6 +73,8 @@ class TimeTravel final : public DebugDelegate {
     u64 restores = 0;              // successful snapshot restores
     u64 replay_passes = 0;         // forward re-execution passes
     u64 replayed_instructions = 0; // instructions re-executed across passes
+    u64 checkpoint_bytes = 0;      // serialized bytes across all checkpoints
+    Cycles checkpoint_charged_cycles = 0;  // simulated cost billed for them
   };
 
   enum class ReverseOutcome : u8 {
@@ -104,6 +106,27 @@ class TimeTravel final : public DebugDelegate {
   std::size_t checkpoint_count() const { return ring_.size(); }
   const std::deque<Checkpoint>& checkpoints() const { return ring_; }
   const Stats& stats() const { return stats_; }
+
+  /// Registers vmm.tt.* counters. The controller is host-side (its stats
+  /// are not serialized into snapshots), so nothing here is replay-exact.
+  void register_metrics(MetricsRegistry& reg) {
+    reg.add_counter("vmm.tt.checkpoints", &stats_.checkpoints,
+                    /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.restores", &stats_.restores,
+                    /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.replay_passes", &stats_.replay_passes,
+                    /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.replayed_instructions",
+                    &stats_.replayed_instructions, /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.checkpoint_bytes", &stats_.checkpoint_bytes,
+                    /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.checkpoint_charged_cycles",
+                    &stats_.checkpoint_charged_cycles,
+                    /*replay_exact=*/false);
+    reg.add_gauge(
+        "vmm.tt.ring_depth", [this] { return double(ring_.size()); },
+        /*replay_exact=*/false);
+  }
 
   /// Full machine+monitor state as one checksummed stream (the
   /// qVdbg.Snapshot payload). load_state() restores it and, when the guest

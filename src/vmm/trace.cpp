@@ -17,6 +17,7 @@ std::string_view trace_kind_name(TraceKind k) {
     case TraceKind::kPtWrite: return "pt-wr";
     case TraceKind::kGuestCrash: return "CRASH";
     case TraceKind::kDebugStop: return "dbg-stop";
+    case TraceKind::kEoi: return "eoi";
   }
   return "?";
 }
@@ -53,11 +54,18 @@ void ExitTracer::clear() {
 }
 
 std::string ExitTracer::format(const TraceEvent& e) {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "[%12llu] %-8s pc=%08x vec=%02x d=%04x x=%08x",
-                (unsigned long long)e.timestamp,
-                std::string(trace_kind_name(e.kind)).c_str(), e.pc, e.vector,
-                e.detail, e.extra);
+  char buf[160];
+  int n = std::snprintf(buf, sizeof buf,
+                        "[%12llu] %-8s pc=%08x vec=%02x d=%04x x=%08x",
+                        (unsigned long long)e.timestamp,
+                        std::string(trace_kind_name(e.kind)).c_str(), e.pc,
+                        e.vector, e.detail, e.extra);
+  if (e.span != 0 && n > 0 && static_cast<std::size_t>(n) < sizeof buf) {
+    const char tag = e.phase == SpanPhase::kBegin   ? 'b'
+                     : e.phase == SpanPhase::kEnd   ? 'e'
+                                                    : '.';
+    std::snprintf(buf + n, sizeof buf - n, " span=%u%c", e.span, tag);
+  }
   return buf;
 }
 

@@ -28,17 +28,30 @@ enum class TraceKind : u8 {
   kPtWrite,      // protected guest PT write emulated (extra = pa)
   kGuestCrash,   // virtual triple fault
   kDebugStop,    // debugger froze the guest
+  kEoi,          // guest acknowledged an interrupt at the vPIC (detail = irq)
 };
 
 std::string_view trace_kind_name(TraceKind k);
+
+/// Span phase of an event. Events carrying a nonzero span id correlate a
+/// multi-exit operation (today: interrupt delivery, arrival -> injection ->
+/// guest ISR -> EOI) so tooling can reconstruct per-phase latencies and the
+/// FlightRecorder can emit them as Perfetto async spans.
+enum class SpanPhase : u8 {
+  kInstant = 0,  // point event (inside a span when span != 0)
+  kBegin = 1,
+  kEnd = 2,
+};
 
 struct TraceEvent {
   Cycles timestamp = 0;
   u32 pc = 0;
   u32 extra = 0;
+  u32 span = 0;  // 0 = not part of a span
   u16 detail = 0;
   TraceKind kind{};
   u8 vector = 0;
+  SpanPhase phase = SpanPhase::kInstant;
 };
 
 class ExitTracer {

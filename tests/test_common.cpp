@@ -177,6 +177,41 @@ TEST(Histogram, PercentilesInterpolate) {
   EXPECT_NEAR(h.percentile(100), 1000.0, 1e-9);
 }
 
+TEST(Histogram, ReservoirBoundsStorage) {
+  Histogram h(64);
+  for (int i = 0; i < 100'000; ++i) h.add(double(i % 1000));
+  EXPECT_EQ(h.count(), 100'000u);   // every add is counted...
+  EXPECT_EQ(h.stored(), 64u);       // ...but storage stays bounded
+  // The reservoir is a uniform sample of a uniform stream: extreme
+  // percentiles stay within the stream's range and the median lands in
+  // a generous middle band.
+  EXPECT_GE(h.percentile(0), 0.0);
+  EXPECT_LE(h.percentile(100), 999.0);
+  EXPECT_GT(h.percentile(50), 200.0);
+  EXPECT_LT(h.percentile(50), 800.0);
+}
+
+TEST(Histogram, ReservoirIsDeterministic) {
+  // Same stream -> same reservoir (the RNG is seeded, not ambient), so
+  // replayed runs reproduce percentile summaries bit for bit.
+  Histogram a(32), b(32);
+  for (int i = 0; i < 10'000; ++i) {
+    a.add(double(i * 7 % 977));
+    b.add(double(i * 7 % 977));
+  }
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), b.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Histogram, BelowCapacityKeepsEverySample) {
+  Histogram h(1000);
+  for (int i = 1; i <= 100; ++i) h.add(double(i));
+  EXPECT_EQ(h.stored(), 100u);
+  // With no eviction the percentiles are exact, as before the reservoir.
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+}
+
 // -------------------------------------------------------------- checksum --
 TEST(Checksum, Rfc1071KnownVector) {
   // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.

@@ -90,6 +90,13 @@ def main():
             higher_is_better = spec["direction"] == "higher"
             cur = bench.get(counter)
             if cur is None:
+                # Dotted registry metrics (vmm.vtlb.hit_rate, ...) live in a
+                # nested "metrics" object in hand-rolled bench JSON; flat
+                # google-benchmark counters take precedence.
+                metrics = bench.get("metrics")
+                if isinstance(metrics, dict):
+                    cur = metrics.get(counter)
+            if cur is None:
                 failures.append(f"{bench_name}.{counter}: counter missing")
                 continue
             if not isinstance(cur, (int, float)):

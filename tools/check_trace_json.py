@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validator for the flight recorder's Chrome trace-event (catapult) JSON.
+
+Checks the structural rules Perfetto / chrome://tracing rely on:
+
+  * top level is an object with a "traceEvents" array,
+  * every event has a "ph" from the supported set and a "name",
+  * every non-metadata event has numeric "ts" >= 0, "pid" and "tid",
+  * async events ("b"/"e"/"n") carry an "id"; each "e" closes a prior "b"
+    with the same (cat, id), each "b" is closed by the end of the stream,
+    and "n" instants land inside their span's lifetime,
+  * per (pid, tid), timestamps are monotonically non-decreasing.
+
+Usage:
+    check_trace_json.py trace.json [trace2.json ...]
+    check_trace_json.py --run <flight_dump_demo> <out_dir>
+
+--run executes the demo binary (passing out_dir), parses the
+"summary=<path>" / "trace=<path>" lines it prints, validates the trace file
+and additionally requires the summary to be valid JSON with a "metrics"
+object. Exit code 0 when everything validates, 1 on violations, 2 on I/O
+or usage errors.
+"""
+
+import json
+import subprocess
+import sys
+
+SUPPORTED_PH = {"B", "E", "X", "i", "I", "M", "b", "e", "n", "C"}
+
+
+def die(msg):
+    print(f"check_trace_json: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def validate_trace(path):
+    """Returns a list of violation strings (empty when the file is valid)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        return [f"{path}: not valid JSON: {e}"]
+
+    errors = []
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return [f"{path}: top level must be an object with a "
+                "'traceEvents' array"]
+
+    open_spans = {}   # (cat, id) -> begin ts
+    last_ts = {}      # (pid, tid) -> ts
+    events = 0
+    for idx, ev in enumerate(doc["traceEvents"]):
+        where = f"{path}: event {idx}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in SUPPORTED_PH:
+            errors.append(f"{where}: unsupported ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing 'name'")
+        if ph == "M":
+            continue  # metadata has no timestamp
+        events += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a number >= 0, got {ts!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or \
+                not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: missing integer 'pid'/'tid'")
+        thread = (ev.get("pid"), ev.get("tid"))
+        if thread in last_ts and ts < last_ts[thread]:
+            errors.append(f"{where}: ts {ts} goes backwards "
+                          f"(prev {last_ts[thread]}) on {thread}")
+        last_ts[thread] = ts
+
+        if ph in ("b", "e", "n"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ev.get("id") is None:
+                errors.append(f"{where}: async '{ph}' without an 'id'")
+                continue
+            if ph == "b":
+                if key in open_spans:
+                    errors.append(f"{where}: span {key} begun twice")
+                open_spans[key] = ts
+            elif ph == "e":
+                if key not in open_spans:
+                    errors.append(f"{where}: 'e' for span {key} with no "
+                                  "open 'b'")
+                else:
+                    del open_spans[key]
+            else:  # "n"
+                if key not in open_spans:
+                    errors.append(f"{where}: 'n' instant for span {key} "
+                                  "outside its lifetime")
+        elif ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: instant scope {ev['s']!r} invalid")
+
+    for key, ts in open_spans.items():
+        errors.append(f"{path}: span {key} (begun at ts {ts}) never closed")
+    if events == 0:
+        errors.append(f"{path}: no timestamped events")
+    return errors
+
+
+def validate_summary(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        return [f"{path}: not valid JSON: {e}"]
+    errors = []
+    for field in ("reason", "cycles", "exit_stats", "metrics"):
+        if field not in doc:
+            errors.append(f"{path}: summary missing '{field}'")
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append(f"{path}: 'metrics' must be an object")
+    return errors
+
+
+def run_demo(binary, out_dir):
+    """Runs flight_dump_demo and returns (summary_path, trace_path)."""
+    try:
+        proc = subprocess.run([binary, out_dir], capture_output=True,
+                              text=True, timeout=300)
+    except OSError as e:
+        die(f"cannot run {binary}: {e.strerror}")
+    except subprocess.TimeoutExpired:
+        die(f"{binary} timed out")
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        die(f"{binary} exited {proc.returncode}")
+    summary = trace = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("summary="):
+            summary = line[len("summary="):]
+        elif line.startswith("trace="):
+            trace = line[len("trace="):]
+    if not summary or not trace:
+        die(f"{binary} did not print summary=/trace= paths")
+    return summary, trace
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        die("usage: check_trace_json.py <trace.json ...> | "
+            "--run <demo> <out_dir>")
+
+    errors = []
+    if args[0] == "--run":
+        if len(args) != 3:
+            die("--run needs <flight_dump_demo> <out_dir>")
+        summary, trace = run_demo(args[1], args[2])
+        errors += validate_summary(summary)
+        errors += validate_trace(trace)
+        checked = [trace, summary]
+    else:
+        checked = args
+        for path in args:
+            errors += validate_trace(path)
+
+    if errors:
+        print(f"{len(errors)} violation(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"all {len(checked)} file(s) are valid trace-event JSON")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -407,4 +407,62 @@ void check_layer_dag(const Repo& repo, std::vector<Diag>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// (5) Metric naming.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_segments(const std::string& name) {
+  unsigned segments = 0;
+  std::size_t seg_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;  // empty segment
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;  // trailing dot / empty name
+  return segments + 1 >= 3;
+}
+
+}  // namespace
+
+void check_metric_names(const Repo& repo, std::vector<Diag>& out) {
+  static const std::set<std::string> kRegistrars = {
+      "add_counter", "add_gauge", "add_histogram"};
+
+  for (const auto& fp : repo.files) {
+    const LexedFile& f = *fp;
+    for (std::size_t k = 0; k + 2 < f.toks.size(); ++k) {
+      const Tok& t = f.toks[k];
+      if (t.kind != TokKind::kIdent || kRegistrars.count(t.text) == 0) {
+        continue;
+      }
+      if (f.toks[k + 1].text != "(") continue;  // declaration or mention
+      const Tok& arg = f.toks[k + 2];
+      // Only literal names are statically checkable; dynamic names
+      // (prefix + ".x") are validated by the registry at runtime.
+      if (arg.kind != TokKind::kString) continue;
+      std::string name = arg.text;
+      if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+        name = name.substr(1, name.size() - 2);
+      }
+      if (!valid_metric_segments(name)) {
+        out.push_back(
+            {"metric-name", f.path, arg.line,
+             "metric name \"" + name +
+                 "\" must be layer.component.metric: at least three "
+                 "non-empty dot-separated segments of [a-z0-9_]"});
+      }
+    }
+  }
+}
+
 }  // namespace vlint

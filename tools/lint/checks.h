@@ -1,4 +1,4 @@
-// The four repo-invariant checkers. Each takes the fully lexed repo model
+// The five repo-invariant checkers. Each takes the fully lexed repo model
 // and appends file:line diagnostics; main.cpp applies the suppression file
 // and decides the exit code.
 #pragma once
@@ -13,7 +13,9 @@
 namespace vlint {
 
 struct Diag {
-  std::string check;  // "snap-complete" | "det-pure" | "charge-path" | "layer-dag"
+  // "snap-complete" | "det-pure" | "charge-path" | "layer-dag" |
+  // "metric-name"
+  std::string check;
   std::string path;
   int line = 0;
   std::string message;
@@ -48,5 +50,12 @@ void check_charge_discipline(const Repo& repo, std::vector<Diag>& out);
 /// common <- {net, cpu} <- asm <- hw <- vmm <- {fullvmm, debug, guest}
 /// <- harness (see DESIGN.md, "Static analysis" for the full edge list).
 void check_layer_dag(const Repo& repo, std::vector<Diag>& out);
+
+/// (5) Metric naming: every string-literal name passed to
+/// MetricsRegistry::add_counter / add_gauge / add_histogram must follow
+/// `layer.component.metric` — at least three non-empty dot-separated
+/// segments of [a-z0-9_]. Dynamically built names (prefix + "...") are
+/// skipped here; the registry validates them at registration time.
+void check_metric_names(const Repo& repo, std::vector<Diag>& out);
 
 }  // namespace vlint

@@ -1,10 +1,11 @@
 // vdbg_lint — repo-invariant static analyzer for the vdbg tree.
 //
-// Four checkers (see checks.h and DESIGN.md, "Static analysis"):
+// Five checkers (see checks.h and DESIGN.md, "Static analysis"):
 //   snap-complete  snapshot save/restore completeness and order
 //   det-pure       replay-determinism purity of the simulated layers
 //   charge-path    cost-model charge discipline in VM-exit handlers
 //   layer-dag      include edges respect the layer DAG
+//   metric-name    registry metric names follow layer.component.metric
 //
 // Usage:
 //   vdbg_lint [--root <dir>] [--suppressions <file>] [scan-dirs...]
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
   vlint::check_determinism(repo, diags);
   vlint::check_charge_discipline(repo, diags);
   vlint::check_layer_dag(repo, diags);
+  vlint::check_metric_names(repo, diags);
 
   std::vector<Suppression> sups;
   if (!suppressions_path.empty()) sups = load_suppressions(suppressions_path);

@@ -1,0 +1,30 @@
+// metric-name fixture: good and bad registration sites.
+#pragma once
+
+struct MetricsRegistry {
+  bool add_counter(const char* name, const unsigned long long* slot);
+  bool add_gauge(const char* name, double (*fn)());
+  bool add_histogram(const char* name, const unsigned* buckets, int n);
+};
+
+struct Dev {
+  unsigned long long ticks = 0;
+  unsigned hist[4] = {};
+
+  void register_metrics(MetricsRegistry& reg, const char* prefix) {
+    // good: three and four dot-separated lowercase segments
+    reg.add_counter("hw.dev.ticks", &ticks);
+    reg.add_histogram("hw.dev.latency.log2", hist, 4);
+    // good: a dynamically built name is the registry's runtime problem,
+    // not the linter's
+    reg.add_counter(prefix, &ticks);
+    // bad: two segments only
+    reg.add_counter("hw.ticks", &ticks);
+    // bad: uppercase characters
+    reg.add_counter("hw.dev.Ticks", &ticks);
+    // bad: empty segment
+    reg.add_gauge("hw..rate", nullptr);
+    // bad: trailing dot
+    reg.add_counter("hw.dev.ticks.", &ticks);
+  }
+};

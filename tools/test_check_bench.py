@@ -91,6 +91,36 @@ class CheckBenchTest(unittest.TestCase):
                      [results_with("bm_exit/iterations:50", charged=100)])
         self.assertEqual(p.returncode, 0, p.stderr)
 
+    def test_nested_metrics_counter_passes(self):
+        base = {"bm_exit": {
+            "vmm.vtlb.hit_rate": {"value": 0.99, "direction": "higher"}}}
+        res = results_with("bm_exit",
+                           metrics={"vmm.vtlb.hit_rate": 0.991})
+        p = run_gate(base, [res])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_nested_metrics_regression_fails(self):
+        base = {"bm_exit": {
+            "vmm.vtlb.hit_rate": {"value": 0.99, "direction": "higher"}}}
+        res = results_with("bm_exit",
+                           metrics={"vmm.vtlb.hit_rate": 0.5})
+        p = run_gate(base, [res])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("vmm.vtlb.hit_rate", p.stderr)
+
+    def test_flat_counter_shadows_nested_metrics(self):
+        # A flat field with the gated name wins over the nested dict.
+        res = results_with("bm_exit", charged=110,
+                           metrics={"charged": 9999})
+        p = run_gate(BASELINE, [res])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_missing_from_both_flat_and_nested_fails(self):
+        res = results_with("bm_exit", metrics={"other": 1})
+        p = run_gate(BASELINE, [res])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("counter missing", p.stderr)
+
 
 if __name__ == "__main__":
     unittest.main()
