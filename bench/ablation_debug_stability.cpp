@@ -42,9 +42,12 @@ struct CheckpointRun {
   double mean_kb = 0.0;
 };
 
-CheckpointRun run_checkpointed(u64 interval) {
+/// tier 0 = slow interpreter, 1 = block cache, 2 = + superblocks (default).
+CheckpointRun run_checkpointed(u64 interval, int tier) {
   Platform p(PlatformKind::kLvmm);
   p.prepare(guest::RunConfig::for_rate_mbps(40.0));
+  p.machine().cpu().set_block_cache_enabled(tier >= 1);
+  p.machine().cpu().set_superblocks_enabled(tier >= 2);
   std::optional<vmm::TimeTravel> tt;
   if (interval != 0) {
     vmm::TimeTravel::Config cfg;
@@ -68,23 +71,33 @@ CheckpointRun run_checkpointed(u64 interval) {
 }
 
 void checkpoint_overhead_sweep() {
-  std::printf("\n=== Checkpoint overhead vs interval (0.1 s simulated) ===\n");
-  std::printf("%-12s %-12s %-14s %-14s %-10s\n", "interval", "checkpoints",
-              "mean snap KiB", "guest instrs", "retained");
-  const CheckpointRun base = run_checkpointed(0);
-  std::printf("%-12s %-12llu %-14s %-14llu %-10s\n", "off",
-              (unsigned long long)base.checkpoints, "-",
-              (unsigned long long)base.instructions, "100.0%");
-  for (u64 interval : {u64{10'000}, u64{50'000}, u64{200'000}}) {
-    const CheckpointRun r = run_checkpointed(interval);
-    const double retained =
-        base.instructions
-            ? 100.0 * double(r.instructions) / double(base.instructions)
-            : 0.0;
-    std::printf("%-12llu %-12llu %-14.1f %-14llu %.1f%%\n",
-                (unsigned long long)interval,
-                (unsigned long long)r.checkpoints, r.mean_kb,
-                (unsigned long long)r.instructions, retained);
+  // The interval sweep runs once per execution tier: checkpoint charges are
+  // simulated-cycle costs, so retained-throughput percentages should be
+  // (and are asserted by the lockstep tests to be) tier-invariant — any
+  // divergence here means a tier broke the bit-identical cycle contract.
+  static const char* const kTierNames[] = {"interp", "block-cache",
+                                           "superblock"};
+  for (int tier = 0; tier <= 2; ++tier) {
+    std::printf("\n=== Checkpoint overhead vs interval "
+                "(0.1 s simulated, tier: %s) ===\n",
+                kTierNames[tier]);
+    std::printf("%-12s %-12s %-14s %-14s %-10s\n", "interval", "checkpoints",
+                "mean snap KiB", "guest instrs", "retained");
+    const CheckpointRun base = run_checkpointed(0, tier);
+    std::printf("%-12s %-12llu %-14s %-14llu %-10s\n", "off",
+                (unsigned long long)base.checkpoints, "-",
+                (unsigned long long)base.instructions, "100.0%");
+    for (u64 interval : {u64{10'000}, u64{50'000}, u64{200'000}}) {
+      const CheckpointRun r = run_checkpointed(interval, tier);
+      const double retained =
+          base.instructions
+              ? 100.0 * double(r.instructions) / double(base.instructions)
+              : 0.0;
+      std::printf("%-12llu %-12llu %-14.1f %-14llu %.1f%%\n",
+                  (unsigned long long)interval,
+                  (unsigned long long)r.checkpoints, r.mean_kb,
+                  (unsigned long long)r.instructions, retained);
+    }
   }
 }
 

@@ -4,12 +4,16 @@
 // how much wall-clock the Fig. 3.1 sweep costs and sanity-check the CPI
 // assumptions documented in cpu/cost_model.h.
 //
-// Each benchmark runs twice: Arg(0) with the predecoded block cache killed
-// (Cpu::set_block_cache_enabled(false), the pre-cache interpreter) and
-// Arg(1) with it enabled (the default). Compare guest_instr_per_s between
-// the /0 and /1 rows to read the fast-path speedup.
+// Each benchmark runs once per execution tier: Arg(0) is the pre-cache
+// interpreter (block cache killed), Arg(1) the predecoded block cache with
+// superblocks killed, Arg(2) the full threaded-superblock tier (the
+// default configuration). Compare guest_instr_per_s across the /0, /1 and
+// /2 rows to read the per-tier speedup; BM_TierSpeedup reports the
+// superblock-vs-block-cache ratio directly as a counter so CI can gate it
+// (tools/bench_baseline.json).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <functional>
 
 #include "asm/assembler.h"
@@ -31,6 +35,11 @@ class NullBus final : public cpu::IoBus {
 
 struct Rig {
   Rig() : mem(4 * 1024 * 1024), cpu_(mem, bus, nullptr) {}
+  /// tier 0 = slow interpreter, 1 = block cache, 2 = + superblocks.
+  void set_tier(int tier) {
+    cpu_.set_block_cache_enabled(tier >= 1);
+    cpu_.set_superblocks_enabled(tier >= 2);
+  }
   cpu::PhysMem mem;
   NullBus bus;
   cpu::Cpu cpu_;
@@ -44,31 +53,43 @@ void load(Rig& rig, const std::function<void(Assembler&)>& emit) {
   rig.cpu_.state().pc = 0x1000;
 }
 
-void BM_AluLoop(benchmark::State& state) {
-  Rig rig;
-  rig.cpu_.set_block_cache_enabled(state.range(0) != 0);
-  load(rig, [](Assembler& a) {
-    a.movi(kR0, u32{0});
-    a.label("loop");
-    a.addi(kR0, kR0, u32{1});
-    a.xori(kR1, kR0, u32{0x55});
-    a.shli(kR2, kR1, 3);
-    a.cmpi(kR0, u32{0xffffffff});
-    a.jnz(l("loop"));
-  });
-  for (auto _ : state) {
-    rig.cpu_.run(10000);
-  }
+void report_tier_counters(benchmark::State& state, const Rig& rig) {
   state.counters["guest_instr_per_s"] = benchmark::Counter(
       double(rig.cpu_.stats().instructions), benchmark::Counter::kIsRate);
   state.counters["sim_cpi"] =
       double(rig.cpu_.cycles()) / double(rig.cpu_.stats().instructions);
+  if (rig.cpu_.superblocks_enabled()) {
+    const auto& sbc = rig.cpu_.sbc_stats();
+    const double entries = double(sbc.hits + sbc.chains);
+    state.counters["sb_chain_rate"] =
+        entries > 0 ? double(sbc.chains) / entries : 0.0;
+  }
 }
-BENCHMARK(BM_AluLoop)->Arg(0)->Arg(1);
+
+void emit_alu_loop(Assembler& a) {
+  a.movi(kR0, u32{0});
+  a.label("loop");
+  a.addi(kR0, kR0, u32{1});
+  a.xori(kR1, kR0, u32{0x55});
+  a.shli(kR2, kR1, 3);
+  a.cmpi(kR0, u32{0xffffffff});
+  a.jnz(l("loop"));
+}
+
+void BM_AluLoop(benchmark::State& state) {
+  Rig rig;
+  rig.set_tier(int(state.range(0)));
+  load(rig, emit_alu_loop);
+  for (auto _ : state) {
+    rig.cpu_.run(10000);
+  }
+  report_tier_counters(state, rig);
+}
+BENCHMARK(BM_AluLoop)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MemoryCopyLoop(benchmark::State& state) {
   Rig rig;
-  rig.cpu_.set_block_cache_enabled(state.range(0) != 0);
+  rig.set_tier(int(state.range(0)));
   load(rig, [](Assembler& a) {
     a.movi(kR0, u32{0x10000});  // src
     a.movi(kR1, u32{0x20000});  // dst
@@ -86,16 +107,13 @@ void BM_MemoryCopyLoop(benchmark::State& state) {
   for (auto _ : state) {
     rig.cpu_.run(10000);
   }
-  state.counters["guest_instr_per_s"] = benchmark::Counter(
-      double(rig.cpu_.stats().instructions), benchmark::Counter::kIsRate);
-  state.counters["sim_cpi"] =
-      double(rig.cpu_.cycles()) / double(rig.cpu_.stats().instructions);
+  report_tier_counters(state, rig);
 }
-BENCHMARK(BM_MemoryCopyLoop)->Arg(0)->Arg(1);
+BENCHMARK(BM_MemoryCopyLoop)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CallRetLoop(benchmark::State& state) {
   Rig rig;
-  rig.cpu_.set_block_cache_enabled(state.range(0) != 0);
+  rig.set_tier(int(state.range(0)));
   load(rig, [](Assembler& a) {
     a.movi(cpu::kSp, u32{0x8000});
     a.label("loop");
@@ -108,10 +126,45 @@ void BM_CallRetLoop(benchmark::State& state) {
   for (auto _ : state) {
     rig.cpu_.run(10000);
   }
-  state.counters["guest_instr_per_s"] = benchmark::Counter(
-      double(rig.cpu_.stats().instructions), benchmark::Counter::kIsRate);
+  report_tier_counters(state, rig);
 }
-BENCHMARK(BM_CallRetLoop)->Arg(0)->Arg(1);
+BENCHMARK(BM_CallRetLoop)->Arg(0)->Arg(1)->Arg(2);
+
+// Direct tier-2-over-tier-1 ratio on the ALU loop, exported as a counter so
+// tools/check_bench.py can gate it (a cross-row comparison is outside that
+// gate's model). Both rigs run identical simulated-cycle slices, so the
+// host-time ratio is the guest-throughput ratio. sb_chain_rate here is a
+// deterministic simulated counter: the loop block should chain to itself on
+// essentially every dispatch.
+void BM_TierSpeedup(benchmark::State& state) {
+  Rig block_rig;
+  block_rig.set_tier(1);
+  load(block_rig, emit_alu_loop);
+  Rig sb_rig;
+  sb_rig.set_tier(2);
+  load(sb_rig, emit_alu_loop);
+  // Warm both tiers past decode and superblock promotion.
+  block_rig.cpu_.run(100000);
+  sb_rig.cpu_.run(100000);
+  using clock = std::chrono::steady_clock;
+  double t_block = 0.0;
+  double t_sb = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    block_rig.cpu_.run(1000000);
+    const auto t1 = clock::now();
+    sb_rig.cpu_.run(1000000);
+    const auto t2 = clock::now();
+    t_block += std::chrono::duration<double>(t1 - t0).count();
+    t_sb += std::chrono::duration<double>(t2 - t1).count();
+  }
+  state.counters["superblock_speedup_x"] = t_sb > 0.0 ? t_block / t_sb : 0.0;
+  const auto& sbc = sb_rig.cpu_.sbc_stats();
+  const double entries = double(sbc.hits + sbc.chains);
+  state.counters["sb_chain_rate"] =
+      entries > 0 ? double(sbc.chains) / entries : 0.0;
+}
+BENCHMARK(BM_TierSpeedup);
 
 }  // namespace
 

@@ -2,8 +2,8 @@
 
 namespace vdbg::cpu {
 
-const CachedBlock* BlockCache::build(PAddr pa, const PhysMem& mem,
-                                     u64& builds, u64& invals) {
+CachedBlock* BlockCache::build(PAddr pa, const PhysMem& mem, u64& builds,
+                               u64& invals) {
   CachedBlock& slot = slot_for(pa);
   const u64 version = mem.page_version(pa >> kPageBits);
   if (slot.valid && slot.pa == pa && slot.version != version) {
@@ -34,6 +34,8 @@ const CachedBlock* BlockCache::build(PAddr pa, const PhysMem& mem,
   slot.pa = pa;
   slot.version = version;
   slot.count = n;
+  slot.hot = 0;
+  slot.falls_through = !is_block_terminator(slot.instrs[n - 1].op);
   slot.valid = true;
   ++builds;
   return &slot;

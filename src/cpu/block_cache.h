@@ -40,7 +40,14 @@ struct CachedBlock {
   PAddr pa = 0;     // physical address of the first instruction
   u64 version = 0;  // code-page write version when the block was decoded
   u16 count = 0;    // decoded instructions, >= 1 for a valid block
+  u16 hot = 0;      // executions since decode; drives superblock promotion
   bool valid = false;
+  // Tail is a non-terminator that ran into the page boundary (or the block
+  // cap). The fall-through successor starts at pa + count*8 — on the next
+  // page for a page-edge block — and is itself a block entry, so the
+  // superblock tier may chain straight to it; the chain guard checks the
+  // successor's own page version, which is exactly the second page's.
+  bool falls_through = false;
   std::array<Instr, kMaxBlockInstrs> instrs{};
 };
 
@@ -56,7 +63,7 @@ class BlockCache {
   /// page has not been written since decode (`version` is the page's
   /// current write version). Bumps `hits` on success; on miss/stale the
   /// caller uses build().
-  const CachedBlock* lookup(PAddr pa, u64 version, u64& hits) {
+  CachedBlock* lookup(PAddr pa, u64 version, u64& hits) {
     CachedBlock& slot = slot_for(pa);
     if (slot.valid && slot.pa == pa && slot.version == version) {
       ++hits;
@@ -71,8 +78,7 @@ class BlockCache {
   /// when no instruction can be decoded at `pa` (invalid head opcode or
   /// out-of-range fetch); the caller must fall back to the slow path,
   /// which raises the right fault.
-  const CachedBlock* build(PAddr pa, const PhysMem& mem, u64& builds,
-                           u64& invals);
+  CachedBlock* build(PAddr pa, const PhysMem& mem, u64& builds, u64& invals);
 
   /// Drops every cached block overlapping physical [begin, begin+len).
   void invalidate_range(PAddr begin, u32 len, u64& invals);

@@ -282,6 +282,9 @@ bool DebuggerCli::execute(const std::string& line) {
     if (!stats) {
       out_ << "error: no exit stats\n";
     } else {
+      if (const auto tier = dbg_.exec_tier()) {
+        out_ << "  tier: " << *tier << "\n";
+      }
       out_ << "  kind      count       cycles   mean\n";
       for (const auto& s : *stats) {
         if (s.count == 0) continue;

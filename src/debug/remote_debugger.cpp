@@ -325,6 +325,12 @@ bool RemoteDebugger::monitor_intact() {
   return r && *r == "1";
 }
 
+std::optional<std::string> RemoteDebugger::exec_tier() {
+  const auto r = query("Vdbg.Tier");
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  return *r;
+}
+
 std::optional<std::vector<RemoteExitStat>> RemoteDebugger::exit_stats() {
   const auto r = query("Vdbg.ExitStats");
   if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;

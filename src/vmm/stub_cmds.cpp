@@ -224,6 +224,14 @@ std::string DebugStub::cmd_query(const std::string& q) {
   if (q == "Vdbg.Icount") {
     return std::to_string(mon_.machine().cpu().stats().instructions);
   }
+  if (q == "Vdbg.Tier") {
+    // Highest execution tier currently enabled. Purely informational: the
+    // tiers retire bit-identical state, so this never affects debugging
+    // semantics, only guest throughput.
+    const auto& cpu = mon_.machine().cpu();
+    if (!cpu.block_cache_enabled()) return "interp";
+    return cpu.superblocks_enabled() ? "superblock" : "block-cache";
+  }
   if (q == "Vdbg.Checkpoint") {
     if (!tt_) return "E01";
     return tt_->checkpoint_now() ? "OK" : "E03";

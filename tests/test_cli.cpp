@@ -52,6 +52,13 @@ TEST(Cli, HelpAndUnknownCommand) {
   EXPECT_NE(t.find("unknown command: bogus"), std::string::npos);
 }
 
+TEST(Cli, ExitsSummaryLeadsWithExecutionTier) {
+  CliRig rig;
+  const auto t = rig.run_script("run 10\nexits\n");
+  EXPECT_NE(t.find("tier: superblock"), std::string::npos);
+  EXPECT_NE(t.find("kind"), std::string::npos);
+}
+
 TEST(Cli, RunAdvancesSimulatedTime) {
   CliRig rig;
   const auto t = rig.run_script("run 10\n");

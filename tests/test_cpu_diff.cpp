@@ -5,12 +5,16 @@
 //    programs executed both by the VX32 interpreter and by a tiny
 //    independent reference model of the ISA semantics; final register files
 //    and memory effects must agree exactly.
-//  * The CachedVsUncached fuzz — the block-cache fast path versus the
-//    kill-switched slow interpreter, run in lockstep over random programs
-//    with branches, calls, software interrupts, self-modifying stores and
-//    deterministically injected external interrupts. Every slice, the
-//    architectural state, cycle count and (non-block_*) stats of both CPUs
-//    must be bit-identical; that is the fast path's correctness contract.
+//  * The three-tier lockstep fuzz — the superblock tier (tier 2) and the
+//    block-cache tier (tier 1) versus the kill-switched slow interpreter
+//    (tier 0), run in lockstep over random programs with branches, calls,
+//    software interrupts, self-modifying stores and deterministically
+//    injected external interrupts. Every slice, the architectural state,
+//    cycle count and (non-telemetry) stats of all three CPUs must be
+//    bit-identical; that is the fast paths' correctness contract.
+//  * Directed superblock cases: chain unchaining under self-modifying code
+//    and breakpoint patching, chaining across a page-boundary block cut,
+//    and the generic-tail self-chain guard.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -312,11 +316,50 @@ void emit_fuzz_program(Assembler& a, Rng& rng, unsigned len) {
   a.hlt();
 }
 
-TEST(CpuDifferential, CachedVsUncachedLockstepFuzz) {
+/// Asserts rig `b` (a fast tier) is architecturally bit-identical to the
+/// reference rig `a` (the slow interpreter) at a run-slice boundary.
+void expect_rigs_identical(DiffRig& a, DiffRig& b, int trial, int slice,
+                           const char* tier) {
+  const auto& sa = a.cpu.state();
+  const auto& sb = b.cpu.state();
+  ASSERT_EQ(a.cpu.cycles(), b.cpu.cycles())
+      << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(sa.pc, sb.pc) << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(sa.psw, sb.psw) << tier << " trial " << trial << " slice "
+                            << slice;
+  ASSERT_EQ(sa.regs, sb.regs) << tier << " trial " << trial << " slice "
+                              << slice;
+  ASSERT_EQ(sa.cr, sb.cr) << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(sa.idt_base, sb.idt_base);
+  ASSERT_EQ(sa.idt_count, sb.idt_count);
+  ASSERT_EQ(a.cpu.halted(), b.cpu.halted());
+  ASSERT_EQ(a.intr.pending(), b.intr.pending());
+
+  // Architectural stats must match exactly; block_* and the sbc stats are
+  // fast-path-only telemetry and excluded by contract.
+  const auto& ta = a.cpu.stats();
+  const auto& tb = b.cpu.stats();
+  ASSERT_EQ(ta.instructions, tb.instructions)
+      << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(ta.mem_accesses, tb.mem_accesses)
+      << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(ta.io_accesses, tb.io_accesses);
+  ASSERT_EQ(ta.exceptions, tb.exceptions);
+  ASSERT_EQ(ta.interrupts, tb.interrupts)
+      << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(ta.hook_events, tb.hook_events);
+  ASSERT_EQ(a.cpu.mmu().tlb_hits(), b.cpu.mmu().tlb_hits())
+      << tier << " trial " << trial << " slice " << slice;
+  ASSERT_EQ(a.cpu.mmu().tlb_misses(), b.cpu.mmu().tlb_misses());
+}
+
+TEST(CpuDifferential, ThreeTierLockstepFuzz) {
   Rng rng(20260806);
   u64 total_hits = 0, total_builds = 0, total_invals = 0;
+  cpu::SbcStats sb_totals;
   for (int trial = 0; trial < 30; ++trial) {
-    // One program image, loaded into two rigs.
+    // One program image, loaded into three rigs: tier 0 (slow interpreter),
+    // tier 1 (block cache only) and tier 2 (superblocks on top).
     Assembler a(0x1000);
     a.movi(cpu::kR0, l("idt"));
     a.lidt(cpu::kR0, 64);
@@ -329,79 +372,76 @@ TEST(CpuDifferential, CachedVsUncachedLockstepFuzz) {
     emit_fuzz_idt(a);
     auto prog = a.finalize();
 
-    DiffRig cached, uncached;
-    uncached.cpu.set_block_cache_enabled(false);
-    prog.load(cached.mem);
-    prog.load(uncached.mem);
-    cached.cpu.state().pc = 0x1000;
-    uncached.cpu.state().pc = 0x1000;
+    DiffRig interp, block, super;
+    interp.cpu.set_block_cache_enabled(false);
+    block.cpu.set_superblocks_enabled(false);
+    for (DiffRig* r : {&interp, &block, &super}) {
+      prog.load(r->mem);
+      r->cpu.state().pc = 0x1000;
+    }
 
     for (int slice = 0; slice < 60; ++slice) {
       // Deterministic external interrupt injection between slices.
       if (slice % 5 == 2) {
-        cached.intr.assert_vector(kExtVector);
-        uncached.intr.assert_vector(kExtVector);
+        for (DiffRig* r : {&interp, &block, &super}) {
+          r->intr.assert_vector(kExtVector);
+        }
       }
-      const auto ra = cached.cpu.run(997);
-      const auto rb = uncached.cpu.run(997);
+      const auto ra = interp.cpu.run(997);
+      const auto rb = block.cpu.run(997);
+      const auto rc = super.cpu.run(997);
       ASSERT_EQ(ra, rb) << "trial " << trial << " slice " << slice;
-
-      const auto& sa = cached.cpu.state();
-      const auto& sb = uncached.cpu.state();
-      ASSERT_EQ(cached.cpu.cycles(), uncached.cpu.cycles())
-          << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(sa.pc, sb.pc) << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(sa.psw, sb.psw) << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(sa.regs, sb.regs) << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(sa.cr, sb.cr) << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(sa.idt_base, sb.idt_base);
-      ASSERT_EQ(sa.idt_count, sb.idt_count);
-      ASSERT_EQ(cached.cpu.halted(), uncached.cpu.halted());
-      ASSERT_EQ(cached.intr.pending(), uncached.intr.pending());
-
-      // Architectural stats must match exactly; block_* are fast-path-only
-      // telemetry and excluded by contract.
-      const auto& ta = cached.cpu.stats();
-      const auto& tb = uncached.cpu.stats();
-      ASSERT_EQ(ta.instructions, tb.instructions)
-          << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(ta.mem_accesses, tb.mem_accesses)
-          << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(ta.io_accesses, tb.io_accesses);
-      ASSERT_EQ(ta.exceptions, tb.exceptions);
-      ASSERT_EQ(ta.interrupts, tb.interrupts)
-          << "trial " << trial << " slice " << slice;
-      ASSERT_EQ(ta.hook_events, tb.hook_events);
-      ASSERT_EQ(cached.cpu.mmu().tlb_hits(), uncached.cpu.mmu().tlb_hits());
-      ASSERT_EQ(cached.cpu.mmu().tlb_misses(),
-                uncached.cpu.mmu().tlb_misses());
+      ASSERT_EQ(ra, rc) << "trial " << trial << " slice " << slice;
+      expect_rigs_identical(interp, block, trial, slice, "block-cache");
+      if (::testing::Test::HasFatalFailure()) return;
+      expect_rigs_identical(interp, super, trial, slice, "superblock");
+      if (::testing::Test::HasFatalFailure()) return;
 
       // Periodic full-memory compare (self-modifying stores and stack
       // traffic must land identically).
       if (slice % 7 == 0) {
-        const auto ma = cached.mem.span(0, cached.mem.size());
-        const auto mb = uncached.mem.span(0, uncached.mem.size());
+        const auto ma = interp.mem.span(0, interp.mem.size());
+        const auto mb = block.mem.span(0, block.mem.size());
+        const auto mc = super.mem.span(0, super.mem.size());
         ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
             << "trial " << trial << " slice " << slice;
+        ASSERT_EQ(0, std::memcmp(ma.data(), mc.data(), ma.size()))
+            << "trial " << trial << " slice " << slice;
       }
-      if (cached.cpu.shutdown()) break;  // triple fault: both dead (checked)
+      if (interp.cpu.shutdown()) break;  // triple fault: all dead (checked)
     }
-    const auto ma = cached.mem.span(0, cached.mem.size());
-    const auto mb = uncached.mem.span(0, uncached.mem.size());
-    ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
-        << "trial " << trial;
-    total_hits += cached.cpu.stats().block_hits;
-    total_builds += cached.cpu.stats().block_builds;
-    total_invals += cached.cpu.stats().block_invalidations;
-    EXPECT_EQ(0u, uncached.cpu.stats().block_hits);
-    EXPECT_EQ(0u, uncached.cpu.stats().block_builds);
+    for (DiffRig* r : {&block, &super}) {
+      const auto ma = interp.mem.span(0, interp.mem.size());
+      const auto mb = r->mem.span(0, r->mem.size());
+      ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
+          << "trial " << trial;
+    }
+    total_hits += block.cpu.stats().block_hits;
+    total_builds += block.cpu.stats().block_builds;
+    total_invals += block.cpu.stats().block_invalidations;
+    const auto& sbc = super.cpu.sbc_stats();
+    sb_totals.translations += sbc.translations;
+    sb_totals.hits += sbc.hits;
+    sb_totals.chains += sbc.chains;
+    sb_totals.unchains += sbc.unchains;
+    sb_totals.invalidations += sbc.invalidations;
+    EXPECT_EQ(0u, interp.cpu.stats().block_hits);
+    EXPECT_EQ(0u, interp.cpu.stats().block_builds);
+    // Tier 1's superblock switch is off: its sbc stats must stay zero.
+    EXPECT_EQ(0u, block.cpu.sbc_stats().translations);
+    EXPECT_EQ(0u, block.cpu.sbc_stats().hits);
   }
-  // The fuzz must actually have exercised the fast path and both
+  // The fuzz must actually have exercised the fast paths and both
   // invalidation mechanisms, or the whole comparison is vacuous.
   EXPECT_GT(total_hits, 0u);
   EXPECT_GT(total_builds, 0u);
   EXPECT_GT(total_invals, 0u) << "no self-modifying store invalidated a "
                                  "cached block across all trials";
+  EXPECT_GT(sb_totals.translations, 0u) << "no hot block was ever promoted";
+  EXPECT_GT(sb_totals.hits, 0u) << "no superblock was ever dispatched";
+  EXPECT_GT(sb_totals.chains, 0u) << "no direct chain was ever followed";
+  EXPECT_GT(sb_totals.invalidations, 0u)
+      << "no superblock was ever dropped across all trials";
 }
 
 TEST(CpuDifferential, SelfModifyingCodePatchesTakeEffectBothPaths) {
@@ -493,6 +533,11 @@ TEST(CpuDifferential, BreakpointPatchViaWriteVirtInvalidates) {
   ASSERT_EQ(cached.cpu.cycles(), uncached.cpu.cycles());
   ASSERT_EQ(cached.cpu.state().regs, uncached.cpu.state().regs);
   ASSERT_GT(cached.cpu.stats().block_hits, 0u);
+  // The loop is long past the promotion threshold: the superblock tier must
+  // be live (and self-chaining) before the patch lands.
+  ASSERT_GT(cached.cpu.sbc_stats().translations, 0u);
+  ASSERT_GT(cached.cpu.sbc_stats().chains, 0u);
+  const u64 sb_invals_before = cached.cpu.sbc_stats().invalidations;
 
   // Patch the loop body's opcode to BRK on both rigs.
   const u8 brk_op = static_cast<u8>(Opcode::kBrk);
@@ -514,11 +559,177 @@ TEST(CpuDifferential, BreakpointPatchViaWriteVirtInvalidates) {
   EXPECT_EQ(cached.cpu.cycles(), uncached.cpu.cycles());
   EXPECT_EQ(cached.cpu.state().regs, uncached.cpu.state().regs);
   EXPECT_GE(cached.cpu.stats().block_invalidations, 1u);
+  // The breakpoint patch must also have severed the stale superblock (and
+  // its self-chain) rather than let the chained loop keep running the old
+  // translation: write_virt goes through the eager invalidation hook.
+  EXPECT_GT(cached.cpu.sbc_stats().invalidations, sb_invals_before);
+  EXPECT_GT(cached.cpu.sbc_stats().unchains, 0u);
 
-  // The explicit belt-and-braces API also drops blocks.
+  // The explicit belt-and-braces API also drops blocks in both tiers.
   const u64 before = cached.cpu.stats().block_invalidations;
   cached.cpu.invalidate_block_cache();
   EXPECT_GT(cached.cpu.stats().block_invalidations, before);
+}
+
+TEST(CpuDifferential, SuperblockSmcGuestStoreSeversChainAndRetranslates) {
+  // A hot self-chained loop whose body is patched by a guest store after it
+  // has been promoted: the placeholder NOP becomes `movi r2, 7` for the
+  // second hundred iterations. The superblock tier must detect the page
+  // version bump, sever the loop's self-chain, retranslate, and end
+  // bit-identical to the slow interpreter.
+  Instr patch;
+  patch.op = Opcode::kMovI;
+  patch.rd = 2;
+  patch.rs1 = 0;
+  patch.rs2 = 0;
+  patch.imm = 7;
+  const auto enc = patch.encode();
+  const u32 lo = u32(enc[0]) | (u32(enc[1]) << 8) | (u32(enc[2]) << 16) |
+                 (u32(enc[3]) << 24);
+  const u32 hi = u32(enc[4]) | (u32(enc[5]) << 8) | (u32(enc[6]) << 16) |
+                 (u32(enc[7]) << 24);
+
+  auto build = [&](CpuHarness& h) {
+    h.load([&](Assembler& a) {
+      a.movi(cpu::kR3, l("placeholder"));
+      a.movi(cpu::kR1, u32{lo});
+      a.movi(cpu::kR4, u32{hi});
+      a.movi(cpu::kR0, u32{0});
+      a.movi(cpu::kR5, u32{0});          // pass counter
+      a.jmp(l("loop"));
+      a.label("loop");
+      a.label("placeholder");
+      a.nop();                           // becomes `movi r2, 7` in pass 2
+      a.addi(cpu::kR0, cpu::kR0, u32{1});
+      a.cmpi(cpu::kR0, u32{100});
+      a.jnz(l("loop"));                  // 100 hot iterations per pass
+      a.cmpi(cpu::kR5, u32{1});
+      a.jz(l("done"));
+      a.st32(cpu::kR3, 0, cpu::kR1);     // guest store patches the loop body
+      a.st32(cpu::kR3, 4, cpu::kR4);
+      a.movi(cpu::kR0, u32{0});
+      a.addi(cpu::kR5, cpu::kR5, u32{1});
+      a.jmp(l("loop"));
+      a.label("done");
+      a.hlt();
+    });
+  };
+
+  CpuHarness super, interp;
+  build(super);
+  build(interp);
+  interp.cpu.set_block_cache_enabled(false);
+  ASSERT_EQ(super.cpu.run(20000), cpu::RunExit::kHalted);
+  ASSERT_EQ(interp.cpu.run(20000), cpu::RunExit::kHalted);
+
+  EXPECT_EQ(7u, super.cpu.state().regs[2]) << "patched instr did not run";
+  EXPECT_EQ(super.cpu.state().regs, interp.cpu.state().regs);
+  EXPECT_EQ(super.cpu.state().pc, interp.cpu.state().pc);
+  EXPECT_EQ(super.cpu.state().psw, interp.cpu.state().psw);
+  EXPECT_EQ(super.cpu.cycles(), interp.cpu.cycles());
+  EXPECT_EQ(super.cpu.stats().instructions, interp.cpu.stats().instructions);
+  EXPECT_EQ(super.cpu.stats().mem_accesses, interp.cpu.stats().mem_accesses);
+  EXPECT_EQ(super.cpu.mmu().tlb_hits(), interp.cpu.mmu().tlb_hits());
+
+  const auto& sbc = super.cpu.sbc_stats();
+  EXPECT_GE(sbc.translations, 2u) << "stale loop was not retranslated";
+  EXPECT_GT(sbc.chains, 0u) << "hot loop never chained to itself";
+  EXPECT_GE(sbc.invalidations, 1u) << "stale superblock was not dropped";
+  EXPECT_GE(sbc.unchains, 1u) << "the self-chain edge was never severed";
+}
+
+TEST(CpuDifferential, PageBoundaryBlockChainsAcrossTheGuard) {
+  // A loop whose body straddles a page boundary: the decoder cuts the first
+  // block at the 4 KiB edge (a non-terminator tail, SbTail::kFallthrough)
+  // and a second block continues on the next page. Both must be promoted
+  // and chained — fall-through edge across the boundary, taken edge back —
+  // so the loop runs chain-to-chain, and the whole thing must stay
+  // bit-identical to the slow interpreter.
+  auto build = [](CpuHarness& h) {
+    h.load([](Assembler& a) {
+      a.movi(cpu::kR0, u32{0});
+      a.jmp(l("head"));
+      // Pad so "head" sits two instructions before the 0x2000 page edge.
+      while (a.here() < 0x2000 - 2 * cpu::kInstrBytes) a.nop();
+      a.label("head");
+      a.addi(cpu::kR0, cpu::kR0, u32{1});   // 0x1ff0
+      a.xori(cpu::kR1, cpu::kR0, u32{0x55});  // 0x1ff8: last instr on page 1
+      a.cmpi(cpu::kR0, u32{3000});          // 0x2000: first instr on page 2
+      a.jnz(l("head"));
+      a.hlt();
+    });
+  };
+
+  CpuHarness super, interp;
+  build(super);
+  build(interp);
+  interp.cpu.set_block_cache_enabled(false);
+  ASSERT_EQ(super.cpu.run(100000), cpu::RunExit::kHalted);
+  ASSERT_EQ(interp.cpu.run(100000), cpu::RunExit::kHalted);
+
+  EXPECT_EQ(3000u, super.cpu.state().regs[0]);
+  EXPECT_EQ(super.cpu.state().regs, interp.cpu.state().regs);
+  EXPECT_EQ(super.cpu.cycles(), interp.cpu.cycles());
+  EXPECT_EQ(super.cpu.stats().instructions, interp.cpu.stats().instructions);
+  EXPECT_EQ(super.cpu.mmu().tlb_hits(), interp.cpu.mmu().tlb_hits());
+
+  const auto& sbc = super.cpu.sbc_stats();
+  EXPECT_GE(sbc.translations, 2u) << "both halves must be promoted";
+  // Once both halves are promoted, every iteration follows two chain edges
+  // (across the boundary and back); dispatcher entries should be rare.
+  EXPECT_GT(sbc.chains, sbc.hits)
+      << "the boundary-cut block did not chain (falls_through not honoured?)";
+}
+
+TEST(CpuDifferential, GenericTailSelfCallNeverSkipsTheChainGuard) {
+  // Adversarial case for the fast-mode self-chain shortcut: a single-`call`
+  // block whose taken edge points at itself. The block is "pure" (it has no
+  // non-tail instructions at all) but its tail is generic and WRITES MEMORY
+  // — each iteration pushes the return address and sp walks down, through a
+  // neutral page and eventually into the code page itself, finally
+  // overwriting the call's own immediate. The executor must not apply the
+  // pure-body self-chain shortcut here (generic tails clear `fast`): every
+  // re-entry must pass the full version guard, or the tier keeps executing
+  // the stale translation after the pushes start landing on the code page
+  // and diverges from the interpreter.
+  auto build = [](CpuHarness& h) {
+    h.load([](Assembler& a) {
+      a.movi(cpu::kSp, u32{0x3000});
+      a.label("self");
+      a.call(l("self"));
+    });
+  };
+
+  CpuHarness super, interp;
+  build(super);
+  build(interp);
+  interp.cpu.set_block_cache_enabled(false);
+
+  // One uninterrupted run: the whole descent — promote, self-chain, pushes
+  // crossing into the code page, the immediate overwritten — happens without
+  // a single return to the dispatcher, so only the executor's own chain
+  // guard stands between a stale translation and divergence. (A sliced run
+  // would mask the bug: every slice boundary re-enters through the
+  // dispatcher, whose lookup drops stale translations eagerly.)
+  const auto ra = super.cpu.run(60000);
+  const auto rb = interp.cpu.run(60000);
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(super.cpu.state().pc, interp.cpu.state().pc);
+  EXPECT_EQ(super.cpu.state().regs, interp.cpu.state().regs);
+  EXPECT_EQ(super.cpu.cycles(), interp.cpu.cycles());
+  EXPECT_EQ(super.cpu.stats().instructions, interp.cpu.stats().instructions);
+  EXPECT_EQ(super.cpu.stats().mem_accesses, interp.cpu.stats().mem_accesses);
+  EXPECT_EQ(super.cpu.mmu().tlb_hits(), interp.cpu.mmu().tlb_hits());
+  EXPECT_EQ(super.cpu.shutdown(), interp.cpu.shutdown());
+  const auto ma = super.mem.span(0, super.mem.size());
+  const auto mb = interp.mem.span(0, interp.mem.size());
+  EXPECT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()));
+
+  EXPECT_GT(super.cpu.sbc_stats().chains, 0u)
+      << "the call-to-self edge was never followed; the guarded path was "
+         "not exercised";
+  EXPECT_GT(super.cpu.sbc_stats().invalidations, 0u)
+      << "pushes reaching the code page never dropped the translation";
 }
 
 }  // namespace

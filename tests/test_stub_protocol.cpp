@@ -145,6 +145,19 @@ TEST(StubProtocol, CustomQueriesReportMonitorState) {
   EXPECT_FALSE(rig.last_reply().empty());
 }
 
+TEST(StubProtocol, TierQueryTracksKillSwitches) {
+  WireRig rig;
+  auto& cpu = rig.platform->machine().cpu();
+  rig.send_packet("qVdbg.Tier");
+  EXPECT_EQ(rig.last_reply(), "superblock");  // the default configuration
+  cpu.set_superblocks_enabled(false);
+  rig.send_packet("qVdbg.Tier");
+  EXPECT_EQ(rig.last_reply(), "block-cache");
+  cpu.set_block_cache_enabled(false);
+  rig.send_packet("qVdbg.Tier");
+  EXPECT_EQ(rig.last_reply(), "interp");
+}
+
 TEST(StubProtocol, ExitStatsQueryFormatsPerKindTriples) {
   WireRig rig;
   rig.platform->machine().run_for(seconds_to_cycles(0.02));

@@ -161,6 +161,90 @@ TEST(TimeTravelReplay, LockstepDifferentialMatchesStraightLine) {
   EXPECT_GE(tt.stats().restores, 1u);
 }
 
+// The superblock cache is derived state: restoring a snapshot must drop it
+// (its chain edges may reference pre-rollback code), replay must rebuild it
+// on demand, and replaying the same window with the tier disabled must
+// produce a byte-identical snapshot. The kill switch itself is a host
+// tuning knob and must be invisible to the snapshot stream.
+TEST(TimeTravelReplay, SuperblockCacheIsDerivedStateAcrossRestore) {
+  auto p = make_lvmm();
+  auto& m = p->machine();
+  TimeTravel tt(*p->monitor());
+
+  ASSERT_EQ(m.run_for(seconds_to_cycles(0.02)), MStop::kBudget);
+  const auto& sbc = m.cpu().sbc_stats();
+  ASSERT_GT(sbc.hits + sbc.chains, 0u)
+      << "the boot workload never exercised the superblock tier";
+
+  const auto snap = tt.save_state();
+  ASSERT_FALSE(snap.empty());
+
+  // Kill-switch flips must not change the snapshot stream.
+  m.cpu().set_superblocks_enabled(false);
+  EXPECT_EQ(tt.save_state(), snap);
+  m.cpu().set_superblocks_enabled(true);
+
+  // Restore drops every live superblock (counted as invalidations).
+  const u64 inv_before = sbc.invalidations;
+  ASSERT_TRUE(tt.load_state(snap));
+  EXPECT_GT(sbc.invalidations, inv_before)
+      << "restore did not drop the superblock cache";
+
+  // Replay a fixed instruction window with superblocks on...
+  const u64 entries_at_restore = sbc.hits + sbc.chains;
+  const u64 target = m.cpu().stats().instructions + 50'000;
+  ASSERT_EQ(m.run_to_instruction(target, seconds_to_cycles(1.0)),
+            MStop::kInstrLimit);
+  EXPECT_GT(sbc.hits + sbc.chains, entries_at_restore)
+      << "the cache was not rebuilt on demand after restore";
+  const auto on_snap = tt.save_state();
+
+  // ...then the identical window from the identical start with the tier
+  // off: the machine must land on a byte-identical snapshot.
+  ASSERT_TRUE(tt.load_state(snap));
+  m.cpu().set_superblocks_enabled(false);
+  ASSERT_EQ(m.run_to_instruction(target, seconds_to_cycles(1.0)),
+            MStop::kInstrLimit);
+  EXPECT_EQ(tt.save_state(), on_snap)
+      << "superblock replay diverged from the block-cache tier";
+  m.cpu().set_superblocks_enabled(true);
+}
+
+// reverse-stepi is restore + replay, so its landing must not depend on
+// which tier executes the replay window.
+TEST(TimeTravelReplay, ReverseStepiLandsIdenticallyAcrossTiers) {
+  auto p = make_lvmm();
+  auto& m = p->machine();
+  TimeTravel::Config cfg;
+  cfg.interval = 5'000;
+  TimeTravel tt(*p->monitor(), cfg);
+  tt.enable();
+
+  ASSERT_EQ(m.run_for(seconds_to_cycles(0.01)), MStop::kBudget);
+  const u64 n = m.cpu().stats().instructions;
+  ASSERT_GT(tt.checkpoint_count(), 0u);
+
+  // Reverse-step with the superblock tier live (the default)...
+  p->monitor()->freeze_guest(vmm::DebugDelegate::StopReason::kStep);
+  ASSERT_EQ(tt.reverse_stepi().outcome, Outcome::kStopped);
+  ASSERT_EQ(m.cpu().stats().instructions, n - 1);
+  const auto landing_super = tt.save_state();
+
+  // ...return to the boundary, then reverse again with replay pinned to
+  // the block-cache tier: the landing must be byte-identical.
+  p->monitor()->resume_guest();
+  ASSERT_EQ(m.run_to_instruction(n, seconds_to_cycles(1.0)),
+            MStop::kInstrLimit);
+  m.cpu().set_superblocks_enabled(false);
+  p->monitor()->freeze_guest(vmm::DebugDelegate::StopReason::kStep);
+  ASSERT_EQ(tt.reverse_stepi().outcome, Outcome::kStopped);
+  EXPECT_EQ(m.cpu().stats().instructions, n - 1);
+  EXPECT_EQ(tt.save_state(), landing_super)
+      << "reverse-stepi landed on different state across tiers";
+  m.cpu().set_superblocks_enabled(true);
+  p->monitor()->resume_guest();
+}
+
 // -------------------------------------------------- controller-level ops --
 
 TEST(TimeTravelReplay, ReverseStepiLandsExactlyOneInstructionEarlier) {
