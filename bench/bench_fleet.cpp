@@ -1,0 +1,113 @@
+// Fleet sharding scaling curve: aggregate machines/sec for 8 independent
+// deterministic machines as the host worker-thread count sweeps 1/2/4/8
+// (EXPERIMENTS.md "Fleet sharding" table).
+//
+// Two claims are measured:
+//   scaling     aggregate machines/sec grows with host threads (the CI gate
+//               in tools/bench_baseline.json requires >=3x at 4 threads on
+//               the 4-vCPU runners; wall-clock speedup on fewer cores is
+//               honestly reported, not faked)
+//   determinism thread placement must not leak into any machine's simulated
+//               timeline — every leg's total guest segment/instruction
+//               counts must be identical, and this binary exits non-zero
+//               when they are not. This is the cheap fleet-wide echo of
+//               test_fleet's bit-exact per-metric comparison.
+//
+// `--json` emits a google-benchmark-shaped document for check_bench.py.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "guest/minitactix.h"
+
+using namespace vdbg;
+
+namespace {
+
+constexpr unsigned kMachines = 8;
+constexpr unsigned kThreadLegs[] = {1, 2, 4, 8};
+
+struct Leg {
+  unsigned threads = 0;
+  double wall_sec = 0.0;
+  double machines_per_sec = 0.0;
+  u64 total_segments = 0;
+  u64 total_icount = 0;
+};
+
+Leg run_leg(unsigned threads) {
+  fleet::FleetConfig fc;
+  fc.machines = kMachines;
+  fc.threads = threads;
+  fc.kind = fleet::UnitKind::kLvmm;
+  fc.run = guest::RunConfig::for_rate_mbps(40.0);
+  fc.budget = seconds_to_cycles(0.02);
+
+  fleet::Fleet fleet(fc);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto statuses = fleet.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Leg leg;
+  leg.threads = threads;
+  leg.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  leg.machines_per_sec = kMachines / leg.wall_sec;
+  for (unsigned i = 0; i < kMachines; ++i) {
+    leg.total_segments += fleet.unit(i).mailbox().segments_sent;
+    leg.total_icount += statuses[i].icount;
+  }
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+  Leg legs[4];
+  for (int i = 0; i < 4; ++i) legs[i] = run_leg(kThreadLegs[i]);
+
+  // Determinism gate: thread placement must not change what any machine
+  // computed, so fleet-wide totals agree across every leg exactly.
+  bool deterministic = true;
+  for (int i = 1; i < 4; ++i) {
+    deterministic = deterministic &&
+                    legs[i].total_segments == legs[0].total_segments &&
+                    legs[i].total_icount == legs[0].total_icount;
+  }
+
+  const double s2 = legs[1].machines_per_sec / legs[0].machines_per_sec;
+  const double s4 = legs[2].machines_per_sec / legs[0].machines_per_sec;
+  const double s8 = legs[3].machines_per_sec / legs[0].machines_per_sec;
+
+  if (json) {
+    std::printf(
+        "{\"benchmarks\":[{\"name\":\"BM_FleetScaling\","
+        "\"machines\":%u,"
+        "\"machines_per_sec_1t\":%.3f,\"machines_per_sec_2t\":%.3f,"
+        "\"machines_per_sec_4t\":%.3f,\"machines_per_sec_8t\":%.3f,"
+        "\"fleet_speedup_2t\":%.4f,\"fleet_speedup_4t\":%.4f,"
+        "\"fleet_speedup_8t\":%.4f,"
+        "\"fleet_total_segments\":%llu,\"fleet_deterministic\":%d}]}\n",
+        kMachines, legs[0].machines_per_sec, legs[1].machines_per_sec,
+        legs[2].machines_per_sec, legs[3].machines_per_sec, s2, s4, s8,
+        (unsigned long long)legs[0].total_segments, deterministic ? 1 : 0);
+    return deterministic ? 0 : 1;
+  }
+
+  std::printf("=== Fleet sharding: %u machines, %.0f ms budget each ===\n",
+              kMachines, cycles_to_seconds(seconds_to_cycles(0.02)) * 1e3);
+  std::printf("%-8s %12s %16s %10s %16s\n", "threads", "wall s",
+              "machines/sec", "speedup", "total segments");
+  for (const Leg& leg : legs) {
+    std::printf("%-8u %12.3f %16.1f %9.2fx %16llu\n", leg.threads,
+                leg.wall_sec, leg.machines_per_sec,
+                leg.machines_per_sec / legs[0].machines_per_sec,
+                (unsigned long long)leg.total_segments);
+  }
+  std::printf("\nthread placement leaks into simulation: %s\n",
+              deterministic ? "no" : "YES (BUG)");
+  return deterministic ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 namespace vdbg {
 namespace {
@@ -10,6 +11,10 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
 LogSink g_sink;  // guarded by g_sink_mutex; empty => default stderr sink
+
+/// Machine attribution for fleet runs; thread-local because one worker
+/// thread simulates one machine at a time.
+thread_local int t_machine = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,9 +38,18 @@ void set_log_sink(LogSink sink) {
   g_sink = std::move(sink);
 }
 
+void set_log_machine(int id) { t_machine = id; }
+int log_machine() { return t_machine; }
+
 namespace detail {
 
 void emit(LogLevel level, std::string_view component, std::string_view msg) {
+  std::string tagged;
+  if (t_machine >= 0) {
+    tagged = "m" + std::to_string(t_machine) + ":";
+    tagged.append(component);
+    component = tagged;
+  }
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, component, msg);

@@ -16,10 +16,34 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Replaces the sink (e.g. to capture logs in tests). Passing nullptr
-/// restores the default stderr sink.
+/// restores the default stderr sink. The sink is called under a process
+/// mutex, so concurrent machines' lines never interleave mid-record; the
+/// sink itself must not log (deadlock).
 using LogSink = std::function<void(LogLevel, std::string_view component,
                                    std::string_view message)>;
 void set_log_sink(LogSink sink);
+
+/// Fleet attribution: a worker thread tags itself with the id of the
+/// machine it is currently simulating; every line emitted from that thread
+/// — from any layer — reaches the sink with its component prefixed
+/// "m<id>:". The tag is thread-local (each worker owns exactly one machine
+/// at a time); -1 clears it. See fleet::Fleet::run_machine.
+void set_log_machine(int id);
+int log_machine();
+
+/// RAII machine tag for a scope (restores the previous tag on exit).
+class ScopedLogMachine {
+ public:
+  explicit ScopedLogMachine(int id) : prev_(log_machine()) {
+    set_log_machine(id);
+  }
+  ~ScopedLogMachine() { set_log_machine(prev_); }
+  ScopedLogMachine(const ScopedLogMachine&) = delete;
+  ScopedLogMachine& operator=(const ScopedLogMachine&) = delete;
+
+ private:
+  int prev_;
+};
 
 namespace detail {
 void emit(LogLevel level, std::string_view component, std::string_view msg);

@@ -1,0 +1,293 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+
+namespace vdbg::fleet {
+
+Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
+  if (cfg_.machines == 0) throw std::invalid_argument("fleet of 0 machines");
+  threads_ = std::max(1u, std::min(cfg_.threads, cfg_.machines));
+  image_ = guest::build_minitactix(cfg_.unit.build);
+
+  UnitOptions opts = cfg_.unit;
+  opts.prebuilt_image = &image_;
+  for (unsigned i = 0; i < cfg_.machines; ++i) {
+    units_.push_back(
+        std::make_unique<MachineUnit>(cfg_.kind, opts, static_cast<int>(i)));
+    slots_.push_back(std::make_unique<Slot>());
+    units_[i]->prepare(cfg_.run);
+    if (cfg_.attach_stubs) units_[i]->attach_stub();
+    // Capture UART transmissions into the slot so the multiplexed server
+    // can relay them. Host wiring only: observing TX bytes has no effect
+    // on the machine's timeline.
+    Slot* slot = slots_[i].get();
+    units_[i]->machine().uart().set_tx_sink([slot](u8 b) {
+      std::lock_guard<std::mutex> lk(slot->mu);
+      slot->tx.push_back(static_cast<char>(b));
+    });
+  }
+}
+
+Fleet::~Fleet() { health_.stop(); }
+
+std::vector<MachineStatus> Fleet::run() {
+  if (ran_) throw std::logic_error("Fleet::run called twice");
+  ran_ = true;
+  running_.store(true);
+  next_machine_.store(0);
+  if (cfg_.health.enabled) health_.start();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    workers.emplace_back([this] { worker_loop(); });
+  }
+  for (auto& w : workers) w.join();
+
+  if (cfg_.health.enabled) health_.stop();
+  running_.store(false);
+
+  std::vector<MachineStatus> out(units_.size());
+  for (unsigned i = 0; i < units_.size(); ++i) out[i] = status(i);
+  return out;
+}
+
+void Fleet::worker_loop() {
+  for (;;) {
+    const unsigned i = next_machine_.fetch_add(1);
+    if (i >= units_.size()) return;
+    run_machine(i);
+  }
+}
+
+void Fleet::run_machine(unsigned i) {
+  MachineUnit& u = *units_[i];
+  // Tag every log line from any layer with this machine's id while the
+  // worker is inside its simulation.
+  ScopedLogMachine tag(u.id());
+  hw::Machine& m = u.machine();
+  const Cycles end = m.now() + cfg_.budget;
+  const Cycles slice = std::max<Cycles>(1, cfg_.slice);
+  auto r = hw::Machine::StopReason::kBudget;
+  for (;;) {
+    if (!pump_host_channels(i)) {
+      r = hw::Machine::StopReason::kExternalStop;
+      break;
+    }
+    const Cycles now = m.now();
+    if (now >= end) break;
+    r = m.run_for(std::min<Cycles>(slice, end - now));
+    publish(i, /*final_done=*/false, r);
+    if (r != hw::Machine::StopReason::kBudget) break;
+  }
+  publish(i, /*final_done=*/true, r);
+}
+
+bool Fleet::pump_host_channels(unsigned i) {
+  Slot& slot = *slots_[i];
+  std::string rx;
+  bool arm = false;
+  bool stop = false;
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    rx.swap(slot.rx);
+    stop = slot.stop_requested;
+    if (slot.arm_requested && !slot.arm_done) {
+      slot.arm_done = true;
+      arm = true;
+    }
+  }
+  if (arm) arm_flight_recorder_now(i);
+  if (stop) return false;
+  hw::Uart& uart = units_[i]->machine().uart();
+  for (char c : rx) uart.host_inject(static_cast<u8>(c));
+  return true;
+}
+
+void Fleet::publish(unsigned i, bool final_done, hw::Machine::StopReason r) {
+  MachineUnit& u = *units_[i];
+  auto snap = u.metrics().snapshot();
+  MachineStatus st;
+  st.started = true;
+  st.done = final_done;
+  st.stop = r;
+  st.crashed = u.monitor() != nullptr && u.monitor()->vcpu().crashed;
+  st.icount = u.machine().cpu().stats().instructions;
+  st.cycles = u.machine().now();
+
+  Slot& slot = *slots_[i];
+  std::lock_guard<std::mutex> lk(slot.mu);
+  st.sick = slot.status.sick;  // preserve the health monitor's latch
+  slot.status = st;
+  slot.snapshot = std::move(snap);
+}
+
+void Fleet::arm_flight_recorder_now(unsigned i) {
+  auto* fr = units_[i]->arm_flight_recorder(
+      cfg_.health.flight_dir, "fleet-m" + std::to_string(i));
+  // Dump immediately: the point of quarantining a sick machine is having
+  // the evidence bundle on disk before anyone asks for it.
+  if (fr != nullptr) fr->dump("fleet-health");
+}
+
+// ---------------------------------------------------------------- channels
+
+void Fleet::enqueue_rx(unsigned machine, std::string_view bytes) {
+  Slot& slot = *slots_.at(machine);
+  std::lock_guard<std::mutex> lk(slot.mu);
+  slot.rx.append(bytes);
+}
+
+std::string Fleet::drain_tx(unsigned machine) {
+  Slot& slot = *slots_.at(machine);
+  std::lock_guard<std::mutex> lk(slot.mu);
+  std::string out;
+  out.swap(slot.tx);
+  return out;
+}
+
+void Fleet::request_stop(unsigned machine) {
+  Slot& slot = *slots_.at(machine);
+  std::lock_guard<std::mutex> lk(slot.mu);
+  slot.stop_requested = true;
+}
+
+void Fleet::request_stop_all() {
+  for (unsigned i = 0; i < size(); ++i) request_stop(i);
+}
+
+MachineStatus Fleet::status(unsigned machine) const {
+  const Slot& slot = *slots_.at(machine);
+  std::lock_guard<std::mutex> lk(slot.mu);
+  return slot.status;
+}
+
+std::vector<MetricsRegistry::Sample> Fleet::published(unsigned machine) const {
+  const Slot& slot = *slots_.at(machine);
+  std::lock_guard<std::mutex> lk(slot.mu);
+  return slot.snapshot;
+}
+
+// ----------------------------------------------------------------- rollup
+
+namespace {
+
+/// snaps[i][k] when its name matches, else a linear search (registration
+/// order is identical across machines built from one config, so the fast
+/// path always hits in practice).
+const MetricsRegistry::Sample* find_sample(
+    const std::vector<MetricsRegistry::Sample>& snap, std::size_t k,
+    const std::string& name) {
+  if (k < snap.size() && snap[k].name == name) return &snap[k];
+  for (const auto& s : snap) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<MetricsRegistry::Sample> Fleet::rollup() const {
+  using Sample = MetricsRegistry::Sample;
+  const unsigned n = size();
+  std::vector<std::vector<Sample>> snaps(n);
+  u64 done = 0;
+  u64 crashed = 0;
+  u64 sick = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    snaps[i] = published(i);
+    const MachineStatus st = status(i);
+    done += st.done ? 1 : 0;
+    crashed += st.crashed ? 1 : 0;
+    sick += st.sick ? 1 : 0;
+  }
+
+  std::vector<Sample> out;
+  auto push_counter = [&out](std::string name, u64 value) {
+    Sample s;
+    s.name = std::move(name);
+    s.kind = MetricKind::kCounter;
+    s.replay_exact = false;  // fleet-level state, not simulation state
+    s.value = value;
+    out.push_back(std::move(s));
+  };
+  push_counter("fleet.rollup.machines", n);
+  push_counter("fleet.rollup.machines_done", done);
+  push_counter("fleet.rollup.machines_crashed", crashed);
+  push_counter("fleet.rollup.machines_sick", sick);
+
+  for (unsigned i = 0; i < n; ++i) {
+    for (const Sample& s : snaps[i]) {
+      Sample row = s;
+      row.name = "fleet.machine" + std::to_string(i) + "." + s.name;
+      out.push_back(std::move(row));
+    }
+  }
+
+  if (n == 0 || snaps[0].empty()) return out;
+  for (std::size_t k = 0; k < snaps[0].size(); ++k) {
+    Sample tot = snaps[0][k];
+    const std::string base = tot.name;
+    tot.name = "fleet.total." + base;
+    double gauge_sum = tot.number;
+    unsigned contributors = 1;
+    for (unsigned i = 1; i < n; ++i) {
+      const Sample* p = find_sample(snaps[i], k, base);
+      if (p == nullptr) continue;
+      ++contributors;
+      tot.replay_exact = tot.replay_exact && p->replay_exact;
+      switch (tot.kind) {
+        case MetricKind::kCounter:
+          tot.value += p->value;
+          break;
+        case MetricKind::kGauge:
+          gauge_sum += p->number;
+          break;
+        case MetricKind::kHistogram:
+          if (tot.buckets.size() < p->buckets.size()) {
+            tot.buckets.resize(p->buckets.size(), 0);
+          }
+          for (std::size_t b = 0; b < p->buckets.size(); ++b) {
+            tot.buckets[b] += p->buckets[b];
+          }
+          break;
+      }
+    }
+    if (tot.kind == MetricKind::kGauge) {
+      tot.number = gauge_sum / static_cast<double>(contributors);
+    }
+    out.push_back(std::move(tot));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- health
+
+bool Fleet::mark_sick(unsigned machine, const std::string& reason) {
+  Slot& slot = *slots_.at(machine);
+  bool arm_directly = false;
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    if (slot.status.sick) return false;
+    slot.status.sick = true;
+    if (cfg_.health.arm_flight_recorder && !slot.arm_done) {
+      if (slot.status.done) {
+        // The owning worker is gone; its final publish under this mutex
+        // ordered all unit accesses before ours.
+        slot.arm_done = true;
+        arm_directly = true;
+      } else {
+        slot.arm_requested = true;
+      }
+    }
+  }
+  if (arm_directly) arm_flight_recorder_now(machine);
+  Logger("fleet.health").warn("machine ", machine, " flagged sick: ", reason);
+  return true;
+}
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,150 @@
+// Fleet sharding: M independent deterministic machines on N host worker
+// threads (DESIGN.md §10).
+//
+// Each machine is a MachineUnit — machine + monitor + stub + registry, zero
+// shared mutable state — so thread placement is irrelevant to any machine's
+// simulated timeline: a fleet member's replay-exact metrics snapshot is
+// bit-identical to the same machine run solo. Workers pull machine indexes
+// from an atomic counter and run each machine to its budget in slices; at
+// every slice boundary they drain the machine's host channels (RSP bytes
+// from the multiplexed server, stop/flight-recorder requests from the
+// health monitor) and publish a metrics snapshot + status copy under the
+// per-machine mutex. Everything any other thread reads comes from those
+// published copies — live simulation state is touched only by the owning
+// worker.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "fleet/health.h"
+#include "fleet/machine_unit.h"
+
+namespace vdbg::fleet {
+
+/// Published per-machine run state (copied out under the slot mutex).
+struct MachineStatus {
+  bool started = false;
+  bool done = false;
+  bool crashed = false;  // guest triple-faulted under its monitor
+  bool sick = false;     // latched by the health monitor
+  hw::Machine::StopReason stop = hw::Machine::StopReason::kBudget;
+  u64 icount = 0;    // retired guest instructions
+  Cycles cycles = 0;  // machine-local simulated time
+};
+
+struct FleetConfig {
+  unsigned machines = 1;
+  /// Host worker threads; clamped to `machines`. 0 means 1.
+  unsigned threads = 1;
+  UnitKind kind = UnitKind::kLvmm;
+  UnitOptions unit{};
+  guest::RunConfig run{};
+  /// Simulated cycles each machine runs for in run().
+  Cycles budget = 0;
+  /// Worker pump granularity: host channels are drained and snapshots
+  /// published every `slice` simulated cycles. Slicing run_for is
+  /// behaviour-identical to one big call (the machine is a discrete-event
+  /// simulation), so this knob never changes any machine's timeline.
+  Cycles slice = 2'000'000;
+  /// Attach an RSP debug stub to every monitor-carrying machine (required
+  /// for the multiplexed server; attach is a guest-visible UART register
+  /// write, so compare fleet machines only against solo runs that attach
+  /// the stub too).
+  bool attach_stubs = true;
+  HealthPolicy health{};
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& cfg);
+  ~Fleet();
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(units_.size()); }
+  unsigned threads() const { return threads_; }
+  const FleetConfig& config() const { return cfg_; }
+  /// The unit itself. Live simulation state: only touch it when the fleet
+  /// is not running (before run(), or after run() returned).
+  MachineUnit& unit(unsigned i) { return *units_.at(i); }
+
+  /// Runs every machine for cfg.budget simulated cycles, sharded across
+  /// cfg.threads host workers. Blocking; spawns the health monitor thread
+  /// for the duration when the policy enables it. Returns per-machine
+  /// final statuses. Call at most once per Fleet.
+  std::vector<MachineStatus> run();
+  bool running() const { return running_.load(); }
+
+  // --- host channels (thread-safe; the server and tests use these) ---
+  /// Queues bytes for the machine's UART host end; the owning worker
+  /// injects them at the next slice boundary.
+  void enqueue_rx(unsigned machine, std::string_view bytes);
+  /// Drains bytes the machine's UART transmitted since the last drain.
+  std::string drain_tx(unsigned machine);
+  /// Asks the owning worker to stop the machine at the next slice boundary
+  /// (published stop reason becomes kExternalStop).
+  void request_stop(unsigned machine);
+  void request_stop_all();
+
+  /// Published status / metrics snapshot copies (thread-safe).
+  MachineStatus status(unsigned machine) const;
+  std::vector<MetricsRegistry::Sample> published(unsigned machine) const;
+
+  /// Fleet rollup over the published snapshots:
+  ///   fleet.rollup.machines / machines_done / machines_crashed /
+  ///   machines_sick, then fleet.machine<i>.<name> for every per-machine
+  ///   metric, then fleet.total.<name> — counters summed, histogram buckets
+  ///   merged elementwise, gauges averaged — in machine-0 registration
+  ///   order. A total is replay-exact only when every contributing
+  ///   per-machine metric is.
+  std::vector<MetricsRegistry::Sample> rollup() const;
+
+  // --- health ---
+  HealthMonitor& health() { return health_; }
+  /// Latches machine `machine` as sick (idempotent; returns false when it
+  /// already was) and, per the policy, requests a FlightRecorder on it.
+  bool mark_sick(unsigned machine, const std::string& reason);
+
+ private:
+  friend class HealthMonitor;
+
+  /// Per-machine host-side channel state. Everything here is guarded by
+  /// mu; the worker copies in, other threads copy out.
+  struct Slot {
+    mutable std::mutex mu;
+    std::string rx;  // host -> machine UART bytes, pending injection
+    std::string tx;  // machine UART -> host bytes, pending drain
+    bool stop_requested = false;
+    bool arm_requested = false;  // health monitor wants a FlightRecorder
+    bool arm_done = false;
+    MachineStatus status{};
+    std::vector<MetricsRegistry::Sample> snapshot;
+  };
+
+  void worker_loop();
+  void run_machine(unsigned i);
+  /// Drains rx/commands into the machine; false when a stop was requested.
+  bool pump_host_channels(unsigned i);
+  void publish(unsigned i, bool final_done, hw::Machine::StopReason r);
+  /// Arms (and dumps) the machine's FlightRecorder. Only call from the
+  /// owning worker, or for a machine whose published status is done.
+  void arm_flight_recorder_now(unsigned i);
+
+  FleetConfig cfg_;
+  unsigned threads_ = 1;
+  guest::GuestImage image_;  // built once, stamped into every unit
+  std::vector<std::unique_ptr<MachineUnit>> units_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<unsigned> next_machine_{0};
+  std::atomic<bool> running_{false};
+  bool ran_ = false;
+  HealthMonitor health_;
+};
+
+}  // namespace vdbg::fleet

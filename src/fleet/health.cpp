@@ -1,0 +1,129 @@
+#include "fleet/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "fleet/fleet.h"
+
+namespace vdbg::fleet {
+
+void HealthMonitor::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+void HealthMonitor::loop() {
+  const auto period =
+      std::chrono::milliseconds(std::max(1u, fleet_.config().health.poll_interval_ms));
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait_for(lk, period, [this] { return stopping_; });
+    if (stopping_) return;
+    lk.unlock();
+    std::vector<HealthEvent> fresh = evaluate();
+    polls_.fetch_add(1);
+    lk.lock();
+    for (auto& e : fresh) events_.push_back(std::move(e));
+  }
+}
+
+std::vector<HealthEvent> HealthMonitor::check_now() {
+  std::vector<HealthEvent> fresh = evaluate();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& e : fresh) events_.push_back(e);
+  return fresh;
+}
+
+std::vector<HealthEvent> HealthMonitor::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::vector<HealthEvent> HealthMonitor::evaluate() {
+  const HealthPolicy& policy = fleet_.config().health;
+  const unsigned n = fleet_.size();
+
+  struct Obs {
+    bool started = false;
+    bool crashed = false;
+    bool sick = false;
+    bool rates_valid = false;
+    double cycles_per_exit = 0.0;
+    double exits_per_mcycle = 0.0;
+  };
+  std::vector<Obs> obs(n);
+  std::vector<double> rates;
+  for (unsigned i = 0; i < n; ++i) {
+    const MachineStatus st = fleet_.status(i);
+    Obs& o = obs[i];
+    o.started = st.started;
+    o.crashed = st.crashed;
+    o.sick = st.sick;
+    if (!st.started || st.cycles == 0) continue;
+    u64 exits = 0;
+    u64 exit_cycles = 0;
+    for (const auto& s : fleet_.published(i)) {
+      if (s.name == "vmm.exit.total") exits = s.value;
+      if (s.name == "vmm.exit.charged_cycles") exit_cycles = s.value;
+    }
+    if (exits < policy.min_exits) continue;
+    o.rates_valid = true;
+    o.cycles_per_exit =
+        static_cast<double>(exit_cycles) / static_cast<double>(exits);
+    o.exits_per_mcycle =
+        static_cast<double>(exits) * 1e6 / static_cast<double>(st.cycles);
+    rates.push_back(o.exits_per_mcycle);
+  }
+
+  double median_rate = 0.0;
+  if (!rates.empty()) {
+    std::sort(rates.begin(), rates.end());
+    median_rate = rates[rates.size() / 2];
+  }
+
+  std::vector<HealthEvent> fresh;
+  for (unsigned i = 0; i < n; ++i) {
+    const Obs& o = obs[i];
+    if (!o.started || o.sick) continue;
+    std::string reason;
+    char buf[96];
+    if (o.crashed) {
+      reason = "guest crashed";
+    } else if (policy.max_cycles_per_exit > 0.0 && o.rates_valid &&
+               o.cycles_per_exit > policy.max_cycles_per_exit) {
+      std::snprintf(buf, sizeof buf, "%.1f monitor cycles/exit over ceiling %.1f",
+                    o.cycles_per_exit, policy.max_cycles_per_exit);
+      reason = buf;
+    } else if (policy.exit_rate_factor > 0.0 && o.rates_valid &&
+               median_rate > 0.0 &&
+               o.exits_per_mcycle > policy.exit_rate_factor * median_rate) {
+      std::snprintf(buf, sizeof buf,
+                    "exit rate %.1f/Mcycle is %.1fx the fleet median %.1f",
+                    o.exits_per_mcycle, o.exits_per_mcycle / median_rate,
+                    median_rate);
+      reason = buf;
+    } else {
+      continue;
+    }
+    if (fleet_.mark_sick(i, reason)) fresh.push_back({i, std::move(reason)});
+  }
+  return fresh;
+}
+
+}  // namespace vdbg::fleet

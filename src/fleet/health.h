@@ -1,0 +1,93 @@
+// Fleet health monitor: a host-side watchdog thread that periodically reads
+// every machine's published metrics snapshot and flags machines whose
+// exit-rate or exit-latency rollups look pathological (or that crashed
+// outright). A sick machine is latched, reported as a HealthEvent, and —
+// when the policy says so — gets a FlightRecorder armed and an immediate
+// evidence bundle dumped, so the black box is recording by the time a human
+// looks at the fleet.
+//
+// The monitor only ever touches the fleet's published (mutex-guarded,
+// copied-at-slice-boundary) state, never live simulation state, so it can
+// poll on wall-clock time without perturbing any machine's deterministic
+// timeline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg::fleet {
+
+class Fleet;
+
+struct HealthPolicy {
+  /// Spawn the polling thread for the duration of Fleet::run().
+  bool enabled = false;
+  /// Host-time polling period. Wall clock, deliberately: the watchdog is
+  /// fleet tooling, not simulation, and must keep ticking even when a
+  /// machine wedges.
+  unsigned poll_interval_ms = 20;
+  /// Absolute ceiling on mean monitor cycles charged per VM exit
+  /// (vmm.exit.charged_cycles / vmm.exit.total). 0 disables the check.
+  double max_cycles_per_exit = 0.0;
+  /// Relative exit-rate check: sick when a machine's exits per million
+  /// simulated cycles exceed `exit_rate_factor` times the fleet median.
+  /// 0 disables the check.
+  double exit_rate_factor = 0.0;
+  /// Machines with fewer total exits than this are never judged (too
+  /// little data shortly after boot).
+  u64 min_exits = 256;
+  /// Arm (and immediately dump) a FlightRecorder on each sick machine.
+  bool arm_flight_recorder = true;
+  /// Directory sick-machine bundles are written into.
+  std::string flight_dir = ".";
+};
+
+struct HealthEvent {
+  unsigned machine = 0;
+  std::string reason;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(Fleet& fleet) : fleet_(fleet) {}
+  ~HealthMonitor() { stop(); }
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Starts the polling thread (no-op when already running).
+  void start();
+  /// Stops and joins the polling thread (no-op when not running).
+  void stop();
+
+  /// One synchronous evaluation pass over the fleet's published snapshots;
+  /// returns the machines freshly flagged by this pass. Usable with or
+  /// without the polling thread (tests use it for deterministic checks).
+  std::vector<HealthEvent> check_now();
+
+  /// Polling passes completed by the background thread.
+  u64 polls() const { return polls_.load(); }
+  /// Every event recorded so far (copy; thread-safe).
+  std::vector<HealthEvent> events() const;
+
+ private:
+  void loop();
+  /// Scans published state and flags newly sick machines via the fleet.
+  std::vector<HealthEvent> evaluate();
+
+  Fleet& fleet_;
+  std::thread thread_;
+  mutable std::mutex mu_;  // guards events_, stopping_, cv_
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::vector<HealthEvent> events_;
+  std::atomic<u64> polls_{0};
+};
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,117 @@
+// One fully self-contained simulated machine: the target, its monitor (when
+// any), the RSP debug stub, a private MetricsRegistry and an optional
+// FlightRecorder — everything harness::Platform used to wire inline, pulled
+// out so a fleet can own M of them with zero shared mutable state.
+//
+// Ownership rule (DESIGN.md §10): every pointer a MachineUnit hands out
+// points into state the unit itself owns. Two units never share an object,
+// so any number of them can run on different host threads with no locking
+// inside the simulation. The only process-wide state a run touches is the
+// log sink, which is thread-safe and machine-tagged (common/log.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "fullvmm/hosted_vmm.h"
+#include "guest/minitactix.h"
+#include "hw/machine.h"
+#include "net/packet_sink.h"
+#include "vmm/flight_recorder.h"
+#include "vmm/lvmm.h"
+#include "vmm/stub.h"
+#include "vmm/trace.h"
+
+namespace vdbg::fleet {
+
+/// The three systems of the paper's evaluation (see harness::platform_name
+/// for the paper-facing names).
+enum class UnitKind : u8 { kNative, kLvmm, kHosted };
+
+std::string_view unit_kind_name(UnitKind k);
+
+struct UnitOptions {
+  hw::MachineConfig machine{};
+  guest::BuildConfig build{};
+  vmm::LvmmCosts lvmm_costs = vmm::LvmmCosts::defaults();
+  fullvmm::HostedCosts hosted_costs = fullvmm::HostedCosts::defaults();
+  /// Ablation knob: disable the LVMM's device passthrough (trap-all I/O).
+  bool lvmm_device_passthrough = true;
+  /// Ablation knob: skip metrics registration entirely — the "no registry"
+  /// leg of ablation_trace_overhead.
+  bool metrics_registration = true;
+  /// When set, the unit copies this prebuilt image instead of assembling
+  /// its own — a fleet builds the guest once and stamps out M machines.
+  /// The pointee is only read during construction.
+  const guest::GuestImage* prebuilt_image = nullptr;
+};
+
+class MachineUnit {
+ public:
+  MachineUnit(UnitKind kind, const UnitOptions& opts, int id = 0);
+
+  /// Loads the guest, writes the run configuration, installs the monitor
+  /// (when any) and wires the NIC to the sink. Must be called exactly once
+  /// before running.
+  void prepare(const guest::RunConfig& rc);
+  bool prepared() const { return prepared_; }
+
+  UnitKind kind() const { return kind_; }
+  /// Machine id within a fleet (0 for a solo unit); used for log tagging
+  /// and the fleet.machine<id>.* rollup prefix.
+  int id() const { return id_; }
+  hw::Machine& machine() { return *machine_; }
+  net::PacketSink& sink() { return sink_; }
+  /// Monitor, when the unit has one (kLvmm and kHosted); else nullptr.
+  vmm::Lvmm* monitor() { return monitor_.get(); }
+  fullvmm::HostedVmm* hosted() {
+    return kind_ == UnitKind::kHosted
+               ? static_cast<fullvmm::HostedVmm*>(monitor_.get())
+               : nullptr;
+  }
+  const guest::GuestImage& image() const { return image_; }
+  const guest::RunConfig& run_config() const { return rc_; }
+
+  guest::MailboxStats mailbox() const {
+    return guest::read_mailbox(machine_->mem());
+  }
+
+  /// Every machine/monitor counter under one roof, populated by prepare().
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Constructs and attaches the RSP debug stub on the machine's UART.
+  /// Idempotent; requires a monitor (returns nullptr for kNative). Attach
+  /// happens through guest-visible UART register writes, so do it before
+  /// running (and identically on every machine you intend to compare).
+  vmm::DebugStub* attach_stub();
+  vmm::DebugStub* stub() { return stub_.get(); }
+
+  /// Arms a FlightRecorder writing into `dir` (creates the tracer and the
+  /// recorder on first call; later calls return the existing one). Used by
+  /// the harness VDBG_FLIGHT_DIR hook and by the fleet health monitor when
+  /// it quarantines a sick machine. Returns nullptr when the unit has no
+  /// monitor.
+  vmm::FlightRecorder* arm_flight_recorder(const std::string& dir,
+                                           const std::string& file_prefix);
+  vmm::FlightRecorder* flight_recorder() { return flight_.get(); }
+
+ private:
+  UnitKind kind_;
+  UnitOptions opts_;
+  int id_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<vmm::Lvmm> monitor_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<vmm::DebugStub> stub_;
+  std::unique_ptr<vmm::ExitTracer> flight_tracer_;
+  std::unique_ptr<vmm::FlightRecorder> flight_;
+  guest::GuestImage image_;
+  guest::RunConfig rc_;
+  net::PacketSink sink_;
+  bool prepared_ = false;
+};
+
+}  // namespace vdbg::fleet

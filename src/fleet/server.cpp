@@ -1,0 +1,223 @@
+#include "fleet/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "fleet/fleet.h"
+
+namespace vdbg::fleet {
+
+namespace {
+
+const Logger kLog("fleet.server");
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+FleetServer::FleetServer(Fleet& fleet) : FleetServer(fleet, Config{}) {}
+
+FleetServer::FleetServer(Fleet& fleet, Config cfg)
+    : fleet_(fleet), cfg_(cfg), machine_attached_(fleet.size(), false) {}
+
+FleetServer::~FleetServer() { stop(); }
+
+bool FleetServer::start() {
+  if (started_) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  stop_.store(false);
+  thread_ = std::thread([this] { loop(); });
+  started_ = true;
+  kLog.info("listening on 127.0.0.1:", port_, " for ", fleet_.size(),
+            " machines");
+  return true;
+}
+
+void FleetServer::stop() {
+  if (!started_) return;
+  stop_.store(true);
+  thread_.join();
+  for (Session& s : sessions_) {
+    if (s.fd >= 0) ::close(s.fd);
+  }
+  sessions_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void FleetServer::loop() {
+  std::vector<pollfd> pfds;
+  while (!stop_.load()) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (Session& s : sessions_) {
+      short events = POLLIN;
+      if (!s.outbuf.empty()) events |= POLLOUT;
+      pfds.push_back({s.fd, events, 0});
+    }
+    ::poll(pfds.data(), pfds.size(), static_cast<int>(cfg_.poll_ms));
+    if (stop_.load()) return;
+
+    if (pfds[0].revents & POLLIN) accept_pending();
+
+    // Service sessions: read client bytes, relay pending machine TX.
+    for (std::size_t i = 0; i < sessions_.size();) {
+      Session& s = sessions_[i];
+      bool alive = read_session(s);
+      if (alive && s.machine >= 0) {
+        s.outbuf += fleet_.drain_tx(static_cast<unsigned>(s.machine));
+      }
+      while (alive && !s.outbuf.empty()) {
+        const ssize_t n = ::send(s.fd, s.outbuf.data(), s.outbuf.size(),
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          bytes_out_.fetch_add(static_cast<u64>(n));
+          s.outbuf.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;  // POLLOUT will wake us
+        } else {
+          alive = false;
+        }
+      }
+      if (!alive) {
+        close_session(s);
+        sessions_.erase(sessions_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void FleetServer::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Session s;
+    s.fd = fd;
+    sessions_.push_back(std::move(s));
+    accepted_.fetch_add(1);
+  }
+}
+
+bool FleetServer::read_session(Session& s) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(s.fd, buf, sizeof buf, 0);
+    if (n == 0) return false;  // orderly close
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    bytes_in_.fetch_add(static_cast<u64>(n));
+    std::size_t off = 0;
+    if (s.machine < 0) {
+      s.line.append(buf, static_cast<std::size_t>(n));
+      const auto nl = s.line.find('\n');
+      if (nl == std::string::npos) {
+        if (s.line.size() > 256) return false;  // junk preamble
+        continue;
+      }
+      // Bytes after the newline already belong to the RSP stream.
+      const std::string tail = s.line.substr(nl + 1);
+      s.line.erase(nl);
+      handle_attach_line(s);
+      if (s.machine < 0) return false;
+      if (!tail.empty()) {
+        fleet_.enqueue_rx(static_cast<unsigned>(s.machine), tail);
+      }
+      continue;
+    }
+    fleet_.enqueue_rx(static_cast<unsigned>(s.machine),
+                      std::string_view(buf + off,
+                                       static_cast<std::size_t>(n) - off));
+  }
+}
+
+void FleetServer::handle_attach_line(Session& s) {
+  // Expected: "attach <decimal machine id>" (optional trailing \r).
+  std::string line = s.line;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  unsigned id = 0;
+  bool ok = line.rfind("attach ", 0) == 0 && line.size() > 7;
+  if (ok) {
+    for (std::size_t i = 7; i < line.size(); ++i) {
+      if (line[i] < '0' || line[i] > '9') {
+        ok = false;
+        break;
+      }
+      id = id * 10 + static_cast<unsigned>(line[i] - '0');
+    }
+  }
+  if (!ok || id >= fleet_.size()) {
+    s.outbuf += "ERR bad attach (want: attach <0.." +
+                std::to_string(fleet_.size() - 1) + ">)\n";
+    s.machine = -1;
+    kLog.warn("rejected attach line: ", line);
+    // Leave machine at -1; caller closes after flushing outbuf is not
+    // guaranteed, so flush best-effort here.
+    ::send(s.fd, s.outbuf.data(), s.outbuf.size(), MSG_NOSIGNAL);
+    s.outbuf.clear();
+    return;
+  }
+  if (machine_attached_[id]) {
+    s.outbuf += "ERR machine busy\n";
+    s.machine = -1;
+    ::send(s.fd, s.outbuf.data(), s.outbuf.size(), MSG_NOSIGNAL);
+    s.outbuf.clear();
+    return;
+  }
+  machine_attached_[id] = true;
+  s.machine = static_cast<int>(id);
+  s.line.clear();
+  s.outbuf += "OK " + std::to_string(id) + "\n";
+  kLog.info("session attached to machine ", id);
+}
+
+void FleetServer::close_session(Session& s) {
+  if (s.machine >= 0) {
+    machine_attached_[static_cast<std::size_t>(s.machine)] = false;
+  }
+  if (s.fd >= 0) ::close(s.fd);
+  s.fd = -1;
+}
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,88 @@
+// Multiplexed RSP front door: one TCP listener for a whole fleet, with
+// per-machine session routing.
+//
+// A debugger connects to the single loopback port and sends one text line,
+//   attach <machine-id>\n
+// The server answers "OK <id>\n" (or "ERR <why>\n" and closes the session),
+// after which the connection is a transparent byte pipe to that machine's
+// monitor debug stub: client bytes are queued on the fleet's per-machine RX
+// channel (injected into the stub UART by the owning worker at the next
+// slice boundary) and the stub's UART transmissions are relayed back. One
+// session per machine at a time; any number of machines can have a session
+// concurrently behind the one listener.
+//
+// The server is a single poll()-driven host thread. It only ever touches
+// the fleet's mutex-guarded host channels — never live simulation state —
+// so sessions cannot perturb any machine's deterministic timeline beyond
+// the bytes the debugger deliberately sends it.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vdbg::fleet {
+
+class Fleet;
+
+class FleetServer {
+ public:
+  struct Config {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    u16 port = 0;
+    /// poll() tick in milliseconds; bounds TX relay latency when no
+    /// socket activity wakes the loop.
+    unsigned poll_ms = 5;
+  };
+
+  explicit FleetServer(Fleet& fleet);
+  FleetServer(Fleet& fleet, Config cfg);
+  ~FleetServer();
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Opens the listener and spawns the server thread. False when the
+  /// socket could not be created/bound (port() stays 0).
+  bool start();
+  void stop();
+
+  /// Bound TCP port (valid after a successful start()).
+  u16 port() const { return port_; }
+
+  u64 sessions_accepted() const { return accepted_.load(); }
+  u64 bytes_in() const { return bytes_in_.load(); }
+  u64 bytes_out() const { return bytes_out_.load(); }
+
+ private:
+  struct Session {
+    int fd = -1;
+    int machine = -1;     // -1 until attached
+    std::string line;     // pre-attach line buffer
+    std::string outbuf;   // bytes pending write to the client
+  };
+
+  void loop();
+  void accept_pending();
+  /// Reads whatever the client sent; false when the session closed.
+  bool read_session(Session& s);
+  void handle_attach_line(Session& s);
+  void close_session(Session& s);
+
+  Fleet& fleet_;
+  Config cfg_;
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::vector<Session> sessions_;
+  std::vector<bool> machine_attached_;
+  std::atomic<u64> accepted_{0};
+  std::atomic<u64> bytes_in_{0};
+  std::atomic<u64> bytes_out_{0};
+};
+
+}  // namespace vdbg::fleet

@@ -3,9 +3,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
-#include <stdexcept>
-
-#include "guest/layout.h"
+#include <string>
 
 namespace vdbg::harness {
 
@@ -21,64 +19,15 @@ std::string_view platform_name(PlatformKind k) {
 Platform::Platform(PlatformKind kind) : Platform(kind, PlatformOptions{}) {}
 
 Platform::Platform(PlatformKind kind, const PlatformOptions& opts)
-    : kind_(kind), opts_(opts) {
-  machine_ = std::make_unique<hw::Machine>(opts_.machine);
-  image_ = guest::build_minitactix(opts_.build);
-}
+    : unit_(kind, opts) {}
 
 void Platform::prepare(const guest::RunConfig& rc) {
-  if (prepared_) throw std::logic_error("Platform::prepare called twice");
-  prepared_ = true;
-  rc_ = rc;
-
-  image_.load(machine_->mem());
-  machine_->cpu().state().pc = *image_.kernel.symbol("entry");
-  guest::write_run_config(machine_->mem(), rc);
-  machine_->nic().set_wire_sink(
-      [this](std::span<const u8> f, Cycles now) { sink_.on_frame(f, now); });
-
-  if (kind_ == PlatformKind::kNative) {
-    if (opts_.metrics_registration) machine_->register_metrics(metrics_);
-    return;
-  }
-
-  vmm::Lvmm::Config mc;
-  mc.costs = opts_.lvmm_costs;
-  mc.device_passthrough = opts_.lvmm_device_passthrough;
-  mc.monitor_base = guest::kMonitorBase;
-  mc.monitor_len = opts_.machine.mem_bytes - guest::kMonitorBase;
-  mc.guest_mem_limit = guest::kGuestMemBytes;
-  if (mc.monitor_len == 0 || opts_.machine.mem_bytes <= guest::kMonitorBase) {
-    throw std::invalid_argument("machine too small for the monitor region");
-  }
-  if (kind_ == PlatformKind::kLvmm) {
-    monitor_ = std::make_unique<vmm::Lvmm>(*machine_, mc);
-  } else {
-    monitor_ = std::make_unique<fullvmm::HostedVmm>(*machine_, mc,
-                                                    opts_.hosted_costs);
-  }
-  monitor_->install();
-  if (opts_.metrics_registration) {
-    machine_->register_metrics(metrics_);
-    monitor_->register_metrics(metrics_);
-  }
+  unit_.prepare(rc);
 
   // CI post-mortem hook: with VDBG_FLIGHT_DIR set, every guest crash under
-  // the monitor writes a flight-recorder bundle into that directory. The
-  // tracer and recorder are host-side observers — they charge nothing, so
-  // the simulated timeline is identical with or without them.
+  // the monitor writes a flight-recorder bundle into that directory.
   if (const char* dir = std::getenv("VDBG_FLIGHT_DIR")) {
-    if (!monitor_->tracer()) {
-      flight_tracer_ = std::make_unique<vmm::ExitTracer>();
-      flight_tracer_->set_enabled(true);
-      monitor_->set_tracer(flight_tracer_.get());
-    }
-    vmm::FlightRecorder::Config fc;
-    fc.out_dir = dir;
-    fc.file_prefix = "flight-" + std::to_string(getpid());
-    flight_ = std::make_unique<vmm::FlightRecorder>(*monitor_, fc);
-    flight_->set_metrics(&metrics_);
-    flight_->arm();
+    unit_.arm_flight_recorder(dir, "flight-" + std::to_string(getpid()));
   }
 }
 

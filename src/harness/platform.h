@@ -2,40 +2,24 @@
 //   kNative — MiniTactix directly on the simulated hardware ("real hardware")
 //   kLvmm   — under the lightweight virtual machine monitor
 //   kHosted — under the hosted full VMM (the VMware WS4 baseline)
-// A Platform owns the machine, the guest image, the monitor (if any) and the
-// receiving packet sink, and knows how to boot the same guest binary on any
-// of the three.
+//
+// Platform is a thin harness-facing wrapper over fleet::MachineUnit, which
+// owns the actual machine/monitor/metrics lifecycle (one PR 7 refactor:
+// the same unit a fleet shards across worker threads). The only behaviour
+// Platform adds on top is the VDBG_FLIGHT_DIR environment hook for CI
+// post-mortem bundles.
 #pragma once
 
-#include <memory>
 #include <string_view>
 
-#include "common/metrics.h"
-#include "fullvmm/hosted_vmm.h"
-#include "guest/minitactix.h"
-#include "hw/machine.h"
-#include "net/packet_sink.h"
-#include "vmm/flight_recorder.h"
-#include "vmm/lvmm.h"
-#include "vmm/trace.h"
+#include "fleet/machine_unit.h"
 
 namespace vdbg::harness {
 
-enum class PlatformKind : u8 { kNative, kLvmm, kHosted };
+using PlatformKind = fleet::UnitKind;
+using PlatformOptions = fleet::UnitOptions;
 
 std::string_view platform_name(PlatformKind k);
-
-struct PlatformOptions {
-  hw::MachineConfig machine{};
-  guest::BuildConfig build{};
-  vmm::LvmmCosts lvmm_costs = vmm::LvmmCosts::defaults();
-  fullvmm::HostedCosts hosted_costs = fullvmm::HostedCosts::defaults();
-  /// Ablation knob: disable the LVMM's device passthrough (trap-all I/O).
-  bool lvmm_device_passthrough = true;
-  /// Ablation knob: skip metrics registration entirely — the "no registry"
-  /// leg of ablation_trace_overhead.
-  bool metrics_registration = true;
-};
 
 class Platform {
  public:
@@ -47,42 +31,29 @@ class Platform {
   /// before running.
   void prepare(const guest::RunConfig& rc);
 
-  PlatformKind kind() const { return kind_; }
-  hw::Machine& machine() { return *machine_; }
-  net::PacketSink& sink() { return sink_; }
+  PlatformKind kind() const { return unit_.kind(); }
+  hw::Machine& machine() { return unit_.machine(); }
+  net::PacketSink& sink() { return unit_.sink(); }
   /// Monitor, when the platform has one (kLvmm and kHosted); else nullptr.
-  vmm::Lvmm* monitor() { return monitor_.get(); }
-  fullvmm::HostedVmm* hosted() {
-    return kind_ == PlatformKind::kHosted
-               ? static_cast<fullvmm::HostedVmm*>(monitor_.get())
-               : nullptr;
-  }
-  const guest::GuestImage& image() const { return image_; }
-  const guest::RunConfig& run_config() const { return rc_; }
+  vmm::Lvmm* monitor() { return unit_.monitor(); }
+  fullvmm::HostedVmm* hosted() { return unit_.hosted(); }
+  const guest::GuestImage& image() const { return unit_.image(); }
+  const guest::RunConfig& run_config() const { return unit_.run_config(); }
 
-  guest::MailboxStats mailbox() const {
-    return guest::read_mailbox(machine_->mem());
-  }
+  guest::MailboxStats mailbox() const { return unit_.mailbox(); }
 
   /// Every machine/monitor counter under one roof, populated by prepare().
-  MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return unit_.metrics(); }
+  const MetricsRegistry& metrics() const { return unit_.metrics(); }
   /// Flight recorder, when VDBG_FLIGHT_DIR was set at prepare() time (the
   /// CI failure path sets it to collect post-mortem bundles); else nullptr.
-  vmm::FlightRecorder* flight_recorder() { return flight_.get(); }
+  vmm::FlightRecorder* flight_recorder() { return unit_.flight_recorder(); }
+
+  /// The underlying per-machine unit (fleet-shaped access).
+  fleet::MachineUnit& unit() { return unit_; }
 
  private:
-  PlatformKind kind_;
-  PlatformOptions opts_;
-  std::unique_ptr<hw::Machine> machine_;
-  std::unique_ptr<vmm::Lvmm> monitor_;
-  MetricsRegistry metrics_;
-  std::unique_ptr<vmm::ExitTracer> flight_tracer_;
-  std::unique_ptr<vmm::FlightRecorder> flight_;
-  guest::GuestImage image_;
-  guest::RunConfig rc_;
-  net::PacketSink sink_;
-  bool prepared_ = false;
+  fleet::MachineUnit unit_;
 };
 
 }  // namespace vdbg::harness

@@ -369,8 +369,8 @@ void check_charge_discipline(const Repo& repo, std::vector<Diag>& out) {
 
 void check_layer_dag(const Repo& repo, std::vector<Diag>& out) {
   // common <- {net, cpu} <- asm <- hw <- vmm <- {fullvmm, debug, guest}
-  // <- harness. Every edge is explicit: a new cross-layer include is a
-  // deliberate architecture change, not a drive-by.
+  // <- fleet <- harness. Every edge is explicit: a new cross-layer include
+  // is a deliberate architecture change, not a drive-by.
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"common", {"common"}},
       {"net", {"net", "common"}},
@@ -381,9 +381,12 @@ void check_layer_dag(const Repo& repo, std::vector<Diag>& out) {
       {"fullvmm", {"fullvmm", "common", "cpu", "hw", "vmm"}},
       {"debug", {"debug", "common", "cpu", "asm", "hw", "vmm"}},
       {"guest", {"guest", "common", "cpu", "asm", "net", "hw"}},
+      {"fleet",
+       {"fleet", "common", "cpu", "asm", "net", "hw", "vmm", "fullvmm",
+        "debug", "guest"}},
       {"harness",
        {"harness", "common", "cpu", "asm", "net", "hw", "vmm", "fullvmm",
-        "debug", "guest"}},
+        "debug", "guest", "fleet"}},
   };
 
   for (const auto& fp : repo.files) {
@@ -402,7 +405,7 @@ void check_layer_dag(const Repo& repo, std::vector<Diag>& out) {
                          "\": '" + target +
                          "' is not below it in the layer DAG (common <- "
                          "{net, cpu} <- asm <- hw <- vmm <- {fullvmm, "
-                         "debug, guest} <- harness)"});
+                         "debug, guest} <- fleet <- harness)"});
     }
   }
 }

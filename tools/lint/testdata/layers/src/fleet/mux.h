@@ -1,0 +1,10 @@
+// Fixture: fleet sits below harness and must not include it; reaching
+// down into debug is fine.
+#pragma once
+
+#include "debug/probe.h"
+#include "harness/opts.h"
+
+namespace fix {
+struct Mux {};
+}  // namespace fix
