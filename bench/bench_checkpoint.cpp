@@ -25,17 +25,24 @@ using namespace vdbg::harness;
 struct RunResult {
   u64 instructions = 0;
   u64 checkpoints = 0;
+  u64 stored_bytes = 0;  // marginal bytes actually kept (delta-aware)
   double mean_snapshot_kb = 0.0;
 };
 
-RunResult run_with_interval(u64 interval) {
+struct RunOpts {
+  u64 interval = 0;
+  bool cow_delta = true;
+};
+
+RunResult run_with_interval(RunOpts opts) {
   Platform p(PlatformKind::kLvmm);
   p.prepare(guest::RunConfig::for_rate_mbps(40.0));
   std::optional<vmm::TimeTravel> tt;
-  if (interval != 0) {
+  if (opts.interval != 0) {
     vmm::TimeTravel::Config cfg;
-    cfg.interval = interval;
+    cfg.interval = opts.interval;
     cfg.ring = 4;
+    cfg.cow_delta = opts.cow_delta;
     tt.emplace(*p.monitor(), cfg);
     tt->enable();
   }
@@ -45,6 +52,7 @@ RunResult run_with_interval(u64 interval) {
   r.instructions = p.machine().cpu().stats().instructions;
   if (tt) {
     r.checkpoints = tt->stats().checkpoints;
+    r.stored_bytes = tt->stats().checkpoint_bytes;
     u64 bytes = 0;
     for (const auto& c : tt->checkpoints()) bytes += c.bytes.size();
     if (!tt->checkpoints().empty()) {
@@ -53,6 +61,10 @@ RunResult run_with_interval(u64 interval) {
     }
   }
   return r;
+}
+
+RunResult run_with_interval(u64 interval) {
+  return run_with_interval(RunOpts{interval, /*cow_delta=*/true});
 }
 
 void BM_CheckpointOverhead(benchmark::State& state) {
@@ -72,6 +84,37 @@ BENCHMARK(BM_CheckpointOverhead)
     ->Arg(10'000)
     ->Arg(50'000)
     ->Arg(200'000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// COW delta ablation: identical workload, identical checkpoint cadence,
+// with delta encoding on vs off. The gated counter is marginal bytes kept
+// per checkpoint — the CI baseline requires the delta mode itself to stay
+// cheap (direction: lower) and the relative drop against full-stream
+// snapshots to stay >= 40% (cow_bytes_drop_pct, direction: higher).
+void BM_CheckpointDelta(benchmark::State& state) {
+  const u64 interval = static_cast<u64>(state.range(0));
+  for (auto _ : state) {
+    const RunResult full =
+        run_with_interval(RunOpts{interval, /*cow_delta=*/false});
+    const RunResult delta =
+        run_with_interval(RunOpts{interval, /*cow_delta=*/true});
+    const double full_per =
+        full.checkpoints ? double(full.stored_bytes) / double(full.checkpoints)
+                         : 0.0;
+    const double delta_per =
+        delta.checkpoints
+            ? double(delta.stored_bytes) / double(delta.checkpoints)
+            : 0.0;
+    state.counters["checkpoints"] = double(delta.checkpoints);
+    state.counters["full_bytes_per_ckpt"] = full_per;
+    state.counters["checkpoint_bytes_per_ckpt"] = delta_per;
+    state.counters["cow_bytes_drop_pct"] =
+        full_per > 0.0 ? 100.0 * (1.0 - delta_per / full_per) : 0.0;
+  }
+}
+BENCHMARK(BM_CheckpointDelta)
+    ->Arg(50'000)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

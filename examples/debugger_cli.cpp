@@ -14,6 +14,7 @@
 
 #include "common/units.h"
 #include "debug/cli.h"
+#include "fleet/multiverse.h"
 #include "guest/minitactix.h"
 #include "harness/platform.h"
 #include "vmm/flight_recorder.h"
@@ -37,6 +38,12 @@ int main(int argc, char** argv) {
   vmm::TimeTravel tt(*platform.monitor());
   stub.set_time_travel(&tt);
   tt.enable();
+
+  // `multiverse <k>` / `bugtrap <pred>` fork perturbed COW timelines from
+  // a checkpoint taken at the current stop and run them on fleet workers.
+  fleet::MultiverseConfig mvcfg;
+  mvcfg.run = guest::RunConfig::for_rate_mbps(60.0);
+  vmm::MultiverseService multiverse(stub, tt, mvcfg);
 
   // `metrics [prefix]` and `dump` route through these over the wire.
   stub.set_metrics(&platform.metrics());

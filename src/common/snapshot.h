@@ -45,6 +45,7 @@ enum class SnapTag : u32 {
   kLvmm = 13,
   kVpic = 14,
   kTimeTravel = 15,
+  kIrqPerturb = 16,
 };
 
 /// Appends primitives to a growing byte buffer, little-endian.
@@ -52,7 +53,9 @@ class SnapshotWriter {
  public:
   static constexpr char kMagic[8] = {'V', 'D', 'B', 'G', 'S', 'N', 'A', 'P'};
   // v2: PIC ack counters, UART byte counters, Lvmm interrupt-delivery spans.
-  static constexpr u32 kVersion = 2;
+  // v3: IRQ-perturbation section (kIrqPerturb), external-contents PhysMem
+  //     framing for COW delta checkpoints.
+  static constexpr u32 kVersion = 3;
 
   SnapshotWriter();
 

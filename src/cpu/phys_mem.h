@@ -1,4 +1,17 @@
-// Flat physical memory of the simulated machine, with protected ranges.
+// Physical memory of the simulated machine: page-granular copy-on-write
+// frames, per-page write versions, and protected ranges.
+//
+// Pages live in refcounted CowPage frames. A machine normally owns its
+// frames exclusively (refs == 1) and writes go straight through; capturing
+// a CowPages table (capture_cow) or adopting one (adopt_cow) shares frames
+// between a machine and its checkpoints / forked sibling timelines, and the
+// first write to a shared frame copies it (cow_fault). All-zero pages that
+// were never written are a null-frame sentinel backed by one static zero
+// page, so a 64 MiB machine that touches 2 MiB costs 2 MiB.
+//
+// COW faults are host-side bookkeeping only: they charge no simulated
+// cycles and bump no versions beyond the write itself, so a timeline forked
+// from a checkpoint replays bit-identically to the original run.
 //
 // Protected ranges model the monitor's private frames: CPU stores reach them
 // only when the access is flagged privileged-host (the monitor itself), and
@@ -12,12 +25,18 @@
 // code can never execute no matter which agent wrote the page.
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/snapshot.h"
 #include "common/types.h"
+
+namespace vdbg {
+class MetricsRegistry;
+}
 
 namespace vdbg::cpu {
 
@@ -27,57 +46,190 @@ inline constexpr u32 kPageBits = 12;
 inline constexpr u32 kPageSize = 1u << kPageBits;
 inline constexpr u32 kPageMask = kPageSize - 1;
 
+/// One refcounted physical page frame. The refcount is atomic because
+/// forked sibling timelines holding references run on fleet worker threads;
+/// frame *contents* are only ever written while exclusively owned.
+struct CowPage {
+  std::atomic<u32> refs{1};
+  u8 data[kPageSize];
+};
+
+namespace cow_detail {
+inline void retain(CowPage* p) {
+  if (p) p->refs.fetch_add(1, std::memory_order_relaxed);
+}
+inline void release(CowPage* p) {
+  if (p && p->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete p;
+}
+}  // namespace cow_detail
+
+/// A retained capture of one PhysMem's contents: shared refcounted frames
+/// for every resident (non-sentinel) page plus the sparse nonzero slice of
+/// the version table. Copyable (copies retain the frames) and cheap to take:
+/// O(pages) pointer work, no byte copies. `fresh_pages()` counts frames the
+/// captured machine still owned exclusively at capture time — exactly the
+/// pages dirtied since the previous capture, i.e. the bytes a delta
+/// checkpoint newly pays for.
+class CowPages {
+ public:
+  CowPages() = default;
+  CowPages(const CowPages& o) { *this = o; }
+  CowPages& operator=(const CowPages& o) {
+    if (this == &o) return *this;
+    release_all();
+    size_bytes_ = o.size_bytes_;
+    fresh_pages_ = o.fresh_pages_;
+    pages_ = o.pages_;
+    versions_ = o.versions_;
+    for (auto& [page, node] : pages_) cow_detail::retain(node);
+    return *this;
+  }
+  CowPages(CowPages&& o) noexcept { swap(o); }
+  CowPages& operator=(CowPages&& o) noexcept {
+    if (this != &o) {
+      release_all();
+      swap(o);
+    }
+    return *this;
+  }
+  ~CowPages() { release_all(); }
+
+  bool empty() const { return size_bytes_ == 0; }
+  u32 size_bytes() const { return size_bytes_; }
+  /// Resident (non-zero-sentinel) pages this capture references.
+  u64 resident_pages() const { return pages_.size(); }
+  /// Pages exclusively owned by the machine at capture time (dirtied since
+  /// the previous capture) — the frames this capture alone keeps alive.
+  u64 fresh_pages() const { return fresh_pages_; }
+  /// Bytes this capture retains beyond what it shares with older captures:
+  /// fresh frames plus the sparse index entries. This is the honest
+  /// marginal memory cost of keeping the capture in a checkpoint ring.
+  u64 retained_bytes() const {
+    return fresh_pages_ * kPageSize +
+           pages_.size() * (sizeof(u32) + sizeof(CowPage*)) +
+           versions_.size() * (sizeof(u32) + sizeof(u64));
+  }
+
+ private:
+  friend class PhysMem;
+  void release_all() {
+    for (auto& [page, node] : pages_) cow_detail::release(node);
+    pages_.clear();
+    versions_.clear();
+    size_bytes_ = 0;
+    fresh_pages_ = 0;
+  }
+  void swap(CowPages& o) {
+    std::swap(size_bytes_, o.size_bytes_);
+    std::swap(fresh_pages_, o.fresh_pages_);
+    pages_.swap(o.pages_);
+    versions_.swap(o.versions_);
+  }
+
+  u32 size_bytes_ = 0;
+  u64 fresh_pages_ = 0;
+  std::vector<std::pair<u32, CowPage*>> pages_;  // sorted by page index
+  std::vector<std::pair<u32, u64>> versions_;    // nonzero versions only
+};
+
 class PhysMem {
  public:
   explicit PhysMem(u32 size_bytes)
-      : bytes_(size_bytes, 0),
+      : size_bytes_(size_bytes),
+        nodes_((size_bytes + kPageMask) >> kPageBits, nullptr),
+        read_((size_bytes + kPageMask) >> kPageBits, zero_page()),
         versions_((size_bytes >> kPageBits) + 1, 0) {}
+  ~PhysMem();
+  // Copying would need frame-refcount bookkeeping nothing wants; forks go
+  // through capture_cow/adopt_cow instead. Move keeps by-value holders
+  // (CpuHarness, Machine under NRVO) working: vector moves leave the
+  // source's frame table empty, so no double-release.
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+  PhysMem(PhysMem&&) noexcept = default;
+  PhysMem& operator=(PhysMem&&) = delete;
 
-  u32 size() const { return static_cast<u32>(bytes_.size()); }
+  u32 size() const { return size_bytes_; }
   bool contains(PAddr addr, u32 len) const {
     return addr <= size() && len <= size() - addr;
   }
 
   // --- raw accessors (no protection checks; used by the CPU after the MMU
   // has authorised the access, and by host-side tooling) ---
-  u8 read8(PAddr a) const { return bytes_[a]; }
+  u8 read8(PAddr a) const { return read_[a >> kPageBits][a & kPageMask]; }
   u16 read16(PAddr a) const {
-    return u16(bytes_[a]) | (u16(bytes_[a + 1]) << 8);
+    const u32 off = a & kPageMask;
+    if (off <= kPageSize - 2) [[likely]] {
+      const u8* p = read_[a >> kPageBits] + off;
+      return u16(p[0]) | (u16(p[1]) << 8);
+    }
+    return u16(read8(a)) | (u16(read8(a + 1)) << 8);
   }
   u32 read32(PAddr a) const {
-    return u32(bytes_[a]) | (u32(bytes_[a + 1]) << 8) |
-           (u32(bytes_[a + 2]) << 16) | (u32(bytes_[a + 3]) << 24);
+    const u32 off = a & kPageMask;
+    if (off <= kPageSize - 4) [[likely]] {
+      const u8* p = read_[a >> kPageBits] + off;
+      return u32(p[0]) | (u32(p[1]) << 8) | (u32(p[2]) << 16) |
+             (u32(p[3]) << 24);
+    }
+    return u32(read8(a)) | (u32(read8(a + 1)) << 8) |
+           (u32(read8(a + 2)) << 16) | (u32(read8(a + 3)) << 24);
   }
   void write8(PAddr a, u8 v) {
     ++versions_[a >> kPageBits];
-    bytes_[a] = v;
+    wpage(a >> kPageBits)[a & kPageMask] = v;
   }
   void write16(PAddr a, u16 v) {
     touch(a, 2);
-    bytes_[a] = static_cast<u8>(v);
-    bytes_[a + 1] = static_cast<u8>(v >> 8);
+    const u32 off = a & kPageMask;
+    if (off <= kPageSize - 2) [[likely]] {
+      u8* p = wpage(a >> kPageBits) + off;
+      p[0] = static_cast<u8>(v);
+      p[1] = static_cast<u8>(v >> 8);
+      return;
+    }
+    put8(a, static_cast<u8>(v));
+    put8(a + 1, static_cast<u8>(v >> 8));
   }
   void write32(PAddr a, u32 v) {
     touch(a, 4);
-    bytes_[a] = static_cast<u8>(v);
-    bytes_[a + 1] = static_cast<u8>(v >> 8);
-    bytes_[a + 2] = static_cast<u8>(v >> 16);
-    bytes_[a + 3] = static_cast<u8>(v >> 24);
+    const u32 off = a & kPageMask;
+    if (off <= kPageSize - 4) [[likely]] {
+      u8* p = wpage(a >> kPageBits) + off;
+      p[0] = static_cast<u8>(v);
+      p[1] = static_cast<u8>(v >> 8);
+      p[2] = static_cast<u8>(v >> 16);
+      p[3] = static_cast<u8>(v >> 24);
+      return;
+    }
+    for (u32 i = 0; i < 4; ++i) put8(a + i, static_cast<u8>(v >> (8 * i)));
   }
 
   /// Bulk copy out of memory. Caller must check contains().
   void read_block(PAddr a, std::span<u8> out) const {
-    std::memcpy(out.data(), bytes_.data() + a, out.size());
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const PAddr cur = a + static_cast<u32>(done);
+      const u32 off = cur & kPageMask;
+      const std::size_t n =
+          std::min<std::size_t>(out.size() - done, kPageSize - off);
+      std::memcpy(out.data() + done, read_[cur >> kPageBits] + off, n);
+      done += n;
+    }
   }
   /// Bulk copy into memory. Caller must check contains().
   void write_block(PAddr a, std::span<const u8> in) {
     if (in.empty()) return;
     touch(a, static_cast<u32>(in.size()));
-    std::memcpy(bytes_.data() + a, in.data(), in.size());
-  }
-
-  std::span<const u8> span(PAddr a, u32 len) const {
-    return {bytes_.data() + a, len};
+    std::size_t done = 0;
+    while (done < in.size()) {
+      const PAddr cur = a + static_cast<u32>(done);
+      const u32 off = cur & kPageMask;
+      const std::size_t n =
+          std::min<std::size_t>(in.size() - done, kPageSize - off);
+      std::memcpy(wpage(cur >> kPageBits) + off, in.data() + done, n);
+      done += n;
+    }
   }
 
   /// Write-version of physical page `page` (= pa >> kPageBits). Monotonic;
@@ -85,7 +237,9 @@ class PhysMem {
   u64 page_version(u32 page) const { return versions_[page]; }
   /// Stable pointer to a page's version word (versions_ never reallocates
   /// after construction). Lets the block dispatcher poll one page's version
-  /// in its inner loop without re-deriving the vector slot.
+  /// in its inner loop without re-deriving the vector slot. COW relocates
+  /// page *frames*, never the version table, so these stay valid across
+  /// capture/adopt/fault.
   const u64* page_version_ptr(u32 page) const { return &versions_[page]; }
 
   // --- protected (monitor-owned) ranges ---
@@ -113,6 +267,26 @@ class PhysMem {
     return n;
   }
 
+  // --- copy-on-write capture / adopt ---
+  /// Retain the current contents as a shared page table. After capture the
+  /// machine's resident frames are shared (refs >= 2); its next write to
+  /// each one copies the frame first. Charge-free and version-neutral.
+  CowPages capture_cow();
+  /// Replace the current contents (frames and versions) with a previously
+  /// captured table. Frames become shared with the capture; writes after
+  /// adoption copy-on-write. False on size mismatch. Self-adoption safe.
+  bool adopt_cow(const CowPages& t);
+
+  // --- host-side accounting (never serialized; mem.cow.* metrics) ---
+  u64 cow_faults() const { return cow_faults_; }
+  u64 cow_captures() const { return cow_captures_; }
+  u64 cow_adopts() const { return cow_adopts_; }
+  /// Page census for gauges: zero-sentinel / shared / exclusively owned.
+  void cow_census(u64* zero, u64* shared, u64* owned) const;
+  /// mem.cow.* metrics — all host-side (fork/debugger activity), so
+  /// replay_exact=false.
+  void register_metrics(MetricsRegistry& reg);
+
   // --- snapshot support ---
   /// Sparse save: only pages with at least one nonzero byte are stored, plus
   /// the full per-page version table. Versions roll back together with the
@@ -120,44 +294,49 @@ class PhysMem {
   /// did (snapshot byte-identity); the CPU invalidates its whole block
   /// cache on restore, so blocks decoded before the rollback can never
   /// match a rolled-back version.
-  void save(SnapshotWriter& w) const {
-    w.put_u32(size());
-    const u32 pages = size() >> kPageBits;
-    u32 nonzero = 0;
-    for (u32 p = 0; p < pages; ++p) {
-      if (!page_is_zero(p)) ++nonzero;
-    }
-    w.put_u32(nonzero);
-    for (u32 p = 0; p < pages; ++p) {
-      if (page_is_zero(p)) continue;
-      w.put_u32(p);
-      w.put_bytes(bytes_.data() + (std::size_t{p} << kPageBits), kPageSize);
-    }
-    for (u64 v : versions_) w.put_u64(v);
-  }
+  void save(SnapshotWriter& w) const;
+  /// External-contents save: writes only the size echo and a sentinel page
+  /// count. The matching restore() leaves memory untouched — the caller
+  /// carries the contents out-of-band as a CowPages (adopt_cow *before*
+  /// restoring the stream). This is what makes delta checkpoints cheap:
+  /// the stream no longer embeds a full memory image.
+  void save_external(SnapshotWriter& w) const;
   /// Returns false (and restores nothing) on a size mismatch; the snapshot
   /// was taken from a differently configured machine.
-  bool restore(SnapshotReader& r) {
-    if (r.get_u32() != size()) return false;
-    std::memset(bytes_.data(), 0, bytes_.size());
-    const u32 nonzero = r.get_u32();
-    for (u32 i = 0; i < nonzero; ++i) {
-      const u32 p = r.get_u32();
-      if (std::size_t{p} << kPageBits >= bytes_.size()) return false;
-      r.get_bytes(bytes_.data() + (std::size_t{p} << kPageBits), kPageSize);
+  bool restore(SnapshotReader& r);
+
+ private:
+  /// Sentinel "page count" marking an external-contents stream; impossible
+  /// as a real count (a 4 GiB machine has 2^20 pages).
+  static constexpr u32 kExternalPages = 0xFFFFFFFFu;
+
+  static const u8* zero_page();
+
+  bool page_is_zero(u32 page) const {
+    const CowPage* n = nodes_[page];
+    if (n == nullptr) return true;
+    for (u32 i = 0; i < kPageSize; ++i) {
+      if (n->data[i] != 0) return false;
     }
-    for (u64& v : versions_) v = r.get_u64();
     return true;
   }
 
- private:
-  bool page_is_zero(u32 page) const {
-    const u8* p = bytes_.data() + (std::size_t{page} << kPageBits);
-    for (u32 i = 0; i < kPageSize; ++i) {
-      if (p[i] != 0) return false;
+  /// Writable frame for `page`: owned fast path, else copy-on-write fault.
+  u8* wpage(u32 page) {
+    CowPage* n = nodes_[page];
+    if (n && n->refs.load(std::memory_order_acquire) == 1) [[likely]] {
+      return n->data;
     }
-    return true;
+    return cow_fault(page);
   }
+  /// Raw byte store without a version bump (callers already touch()ed).
+  void put8(PAddr a, u8 v) { wpage(a >> kPageBits)[a & kPageMask] = v; }
+  u8* cow_fault(u32 page);
+  /// Release `page` back to the all-zero sentinel.
+  void drop_page(u32 page);
+  /// Exclusively-owned frame for `page` whose prior contents the caller
+  /// will fully overwrite (no copy of shared contents).
+  u8* own_page_nocopy(u32 page);
 
   /// Bumps the version of every page touched by a write of `len` bytes.
   void touch(PAddr a, u32 len) {
@@ -170,11 +349,20 @@ class PhysMem {
     PAddr begin;
     u32 len;
   };
-  std::vector<u8> bytes_;
+  u32 size_bytes_ = 0;
+  std::vector<CowPage*> nodes_;
+  // Read-pointer mirror of nodes_ (static zero page for null slots); purely
+  // derived, rebuilt by every nodes_ mutation. snap:skip(derived from nodes_)
+  std::vector<const u8*> read_;
   std::vector<u64> versions_;
   // Install-time monitor ranges; restore targets an installed machine
   // where they are already in place. snap:skip(install-time)
   std::vector<Range> protected_;
+  // Host-side COW accounting: fault/capture/adopt counts are a function of
+  // debugger and fork activity, not guest state. snap:skip(host-side stats)
+  u64 cow_faults_ = 0;
+  u64 cow_captures_ = 0;  // snap:skip(host-side stats)
+  u64 cow_adopts_ = 0;    // snap:skip(host-side stats)
 };
 
 }  // namespace vdbg::cpu

@@ -65,6 +65,8 @@ void DebuggerCli::cmd_help() {
   out_ << "commands:\n"
           "  run <ms> | int | c [ms] | s [n]\n"
           "  reverse-continue|rc | reverse-step|rs [n] | checkpoint\n"
+          "  multiverse <k> [seed] [pred] | bugtrap <pred> [k] [seed] [rounds]\n"
+          "    pred: crash | frozen | exit | mailbox:<hexaddr>=<hexval>\n"
           "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
           "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
           "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
@@ -187,6 +189,49 @@ bool DebuggerCli::execute(const std::string& line) {
       out_ << "checkpoint taken (" << (count ? *count : 0) << " in ring)\n";
     } else {
       out_ << "error: no time-travel controller\n";
+    }
+  } else if (cmd == "multiverse") {
+    const auto k = tok.size() >= 2 ? parse_dec(tok[1]) : std::nullopt;
+    if (!k || *k == 0) {
+      out_ << "error: multiverse <k> [seed] [pred]\n";
+      return true;
+    }
+    const unsigned seed =
+        tok.size() >= 3 ? parse_dec(tok[2]).value_or(1) : 1;
+    const std::string pred = tok.size() >= 4 ? tok[3] : "";
+    const auto timelines = dbg_.fork_timelines(*k, seed, pred);
+    if (!timelines) {
+      out_ << "error: no multiverse service attached\n";
+      return true;
+    }
+    for (const auto& t : *timelines) {
+      out_ << "  timeline " << t.index << ": " << (t.hit ? "HIT " : "ok  ")
+           << t.stop << " icount=" << t.icount << " perturb=" << t.perturb
+           << "\n";
+    }
+  } else if (cmd == "bugtrap") {
+    if (tok.size() < 2) {
+      out_ << "error: bugtrap <pred> [k] [seed] [rounds]\n";
+      return true;
+    }
+    const unsigned k =
+        tok.size() >= 3 ? parse_dec(tok[2]).value_or(8) : 8;
+    const unsigned seed =
+        tok.size() >= 4 ? parse_dec(tok[3]).value_or(1) : 1;
+    const unsigned rounds =
+        tok.size() >= 5 ? parse_dec(tok[4]).value_or(0) : 0;
+    const auto report = dbg_.bug_trap(tok[1], k, seed, rounds);
+    if (!report) {
+      out_ << "error: no multiverse service attached\n";
+    } else if (report->baseline_hit) {
+      out_ << "bug fires without perturbation: nothing to isolate\n";
+    } else if (!report->found) {
+      out_ << "no failing timeline in " << report->rounds << " round(s)\n";
+    } else {
+      out_ << "minimal failure-flipping delta: " << report->minimal << "\n"
+           << "  rounds=" << report->rounds << " verified="
+           << (report->verified ? "yes (bit-identical replay)" : "NO")
+           << "\n";
     }
   } else if (cmd == "break" || cmd == "b") {
     const auto a = arg_addr(1);

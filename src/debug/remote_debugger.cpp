@@ -403,6 +403,86 @@ RemoteDebugger::flight_dump() {
   return std::make_pair(r->substr(0, sep), r->substr(sep + 1));
 }
 
+std::optional<std::vector<RemoteTimeline>> RemoteDebugger::fork_timelines(
+    unsigned k, u64 seed, const std::string& predicate) {
+  std::string cmd = predicate.empty()
+                        ? "Vdbg.Fork,"
+                        : "Vdbg.Multiverse," + predicate + ",";
+  cmd += std::to_string(k) + "," + std::to_string(seed);
+  const auto r = query(cmd);
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  // "<i>:<hit>:<stop>:<icount>:<perturb>|..."
+  std::vector<RemoteTimeline> out;
+  std::size_t start = 0;
+  while (start <= r->size()) {
+    const auto sep = r->find('|', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    const auto c1 = item.find(':');
+    const auto c2 = item.find(':', c1 + 1);
+    const auto c3 = item.find(':', c2 + 1);
+    const auto c4 = item.find(':', c3 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        c3 == std::string::npos || c4 == std::string::npos) {
+      return std::nullopt;
+    }
+    RemoteTimeline t;
+    try {
+      t.index = static_cast<unsigned>(std::stoul(item.substr(0, c1)));
+      t.hit = item.substr(c1 + 1, c2 - c1 - 1) == "1";
+      t.stop = item.substr(c2 + 1, c3 - c2 - 1);
+      t.icount = std::stoull(item.substr(c3 + 1, c4 - c3 - 1));
+      t.perturb = item.substr(c4 + 1);
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(t));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
+}
+
+std::optional<BugTrapReport> RemoteDebugger::bug_trap(
+    const std::string& predicate, unsigned k, u64 seed, unsigned rounds) {
+  std::string cmd = "Vdbg.BugTrap," + predicate + "," + std::to_string(k) +
+                    "," + std::to_string(seed);
+  if (rounds != 0) cmd += "," + std::to_string(rounds);
+  const auto r = query(cmd);
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  BugTrapReport report;
+  if (*r == "baseline-hit") {
+    report.baseline_hit = true;
+    return report;
+  }
+  // "found|rounds=<n>|minimal=<delta>|verified=<0/1>" or "none|rounds=<n>"
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= r->size()) {
+    const auto sep = r->find('|', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    if (first) {
+      if (item != "found" && item != "none") return std::nullopt;
+      report.found = item == "found";
+      first = false;
+    } else if (item.rfind("rounds=", 0) == 0) {
+      try {
+        report.rounds = static_cast<unsigned>(std::stoul(item.substr(7)));
+      } catch (...) {
+        return std::nullopt;
+      }
+    } else if (item.rfind("minimal=", 0) == 0) {
+      report.minimal = item.substr(8);
+    } else if (item.rfind("verified=", 0) == 0) {
+      report.verified = item.substr(9) == "1";
+    }
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return report;
+}
+
 void RemoteDebugger::add_symbols(const vasm::Program& image) {
   for (const auto& [name, addr] : image.symbols) symbols_[name] = addr;
 }

@@ -45,6 +45,26 @@ struct RemoteMetric {
   double value = 0.0;
 };
 
+/// One parsed qVdbg.Fork/Multiverse timeline entry: a COW fork of the
+/// stopped session's state, run forward under a deterministic perturbation.
+struct RemoteTimeline {
+  unsigned index = 0;
+  bool hit = false;      // outcome predicate fired
+  std::string stop;      // "budget"/"frozen"/"exit"/"shutdown"/...
+  u64 icount = 0;        // retired guest instructions at the end
+  std::string perturb;   // "irq0+120;nic+80" wire format, "none" = control
+};
+
+/// Parsed qVdbg.BugTrap reply: the minimal perturbation delta that flips
+/// the outcome predicate, if the trap found one.
+struct BugTrapReport {
+  bool found = false;
+  bool baseline_hit = false;  // bug fires unperturbed: nothing to isolate
+  bool verified = false;      // minimal delta replayed twice bit-identically
+  unsigned rounds = 0;
+  std::string minimal;        // perturbation wire format
+};
+
 class RemoteDebugger {
  public:
   /// Wires the debugger to the machine's UART. The monitor's stub must be
@@ -123,6 +143,20 @@ class RemoteDebugger {
   /// Asks the stub to write a flight-recorder bundle (qVdbg.FlightDump).
   /// Returns {summary_path, trace_path} on success.
   std::optional<std::pair<std::string, std::string>> flight_dump();
+
+  // --- multiverse (stub needs an attached fleet::MultiverseService) ---
+  /// Forks `k` perturbed timelines from the current stop and runs them in
+  /// parallel (qVdbg.Fork, or qVdbg.Multiverse when `predicate` is given,
+  /// e.g. "crash", "frozen", "exit", "mailbox:<hexaddr>=<hexvalue>").
+  /// Timeline 0 is the unperturbed control.
+  std::optional<std::vector<RemoteTimeline>> fork_timelines(
+      unsigned k, u64 seed, const std::string& predicate = "");
+  /// Runs the automatic bug trap: explore perturbed timelines until one
+  /// flips `predicate`, shrink to a minimal delta, verify determinism
+  /// (qVdbg.BugTrap). `rounds` 0 keeps the service default.
+  std::optional<BugTrapReport> bug_trap(const std::string& predicate,
+                                        unsigned k, u64 seed,
+                                        unsigned rounds = 0);
 
   // --- symbols ---
   void add_symbols(const vasm::Program& image);

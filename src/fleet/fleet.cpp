@@ -11,7 +11,8 @@ namespace vdbg::fleet {
 Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
   if (cfg_.machines == 0) throw std::invalid_argument("fleet of 0 machines");
   threads_ = std::max(1u, std::min(cfg_.threads, cfg_.machines));
-  image_ = guest::build_minitactix(cfg_.unit.build);
+  image_ = cfg_.prebuilt_image ? *cfg_.prebuilt_image
+                               : guest::build_minitactix(cfg_.unit.build);
 
   UnitOptions opts = cfg_.unit;
   opts.prebuilt_image = &image_;
@@ -21,6 +22,7 @@ Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
     slots_.push_back(std::make_unique<Slot>());
     units_[i]->prepare(cfg_.run);
     if (cfg_.attach_stubs) units_[i]->attach_stub();
+    if (cfg_.post_prepare) cfg_.post_prepare(*units_[i], i);
     // Capture UART transmissions into the slot so the multiplexed server
     // can relay them. Host wiring only: observing TX bytes has no effect
     // on the machine's timeline.
@@ -127,8 +129,9 @@ void Fleet::publish(unsigned i, bool final_done, hw::Machine::StopReason r) {
 }
 
 void Fleet::arm_flight_recorder_now(unsigned i) {
-  auto* fr = units_[i]->arm_flight_recorder(
-      cfg_.health.flight_dir, "fleet-m" + std::to_string(i));
+  // The machine id lands in the file name via Config::machine_id, so the
+  // prefix stays constant across the fleet.
+  auto* fr = units_[i]->arm_flight_recorder(cfg_.health.flight_dir, "fleet");
   // Dump immediately: the point of quarantining a sick machine is having
   // the evidence bundle on disk before anyone asks for it.
   if (fr != nullptr) fr->dump("fleet-health");

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,6 +58,14 @@ struct FleetConfig {
   /// write, so compare fleet machines only against solo runs that attach
   /// the stub too).
   bool attach_stubs = true;
+  /// When set, every unit copies this image instead of the fleet building
+  /// its own (the multiverse stamps many short-lived fleets from one
+  /// build). The pointee must outlive the Fleet constructor.
+  const guest::GuestImage* prebuilt_image = nullptr;
+  /// Called for each unit after prepare()/attach_stub(), before any worker
+  /// runs it. The multiverse uses this to restore a checkpoint over the
+  /// freshly prepared machine and apply its timeline's perturbation.
+  std::function<void(MachineUnit&, unsigned)> post_prepare;
   HealthPolicy health{};
 };
 

@@ -84,6 +84,7 @@ vmm::FlightRecorder* MachineUnit::arm_flight_recorder(
   vmm::FlightRecorder::Config fc;
   fc.out_dir = dir;
   fc.file_prefix = file_prefix;
+  fc.machine_id = id_;
   flight_ = std::make_unique<vmm::FlightRecorder>(*monitor_, fc);
   flight_->set_metrics(&metrics_);
   flight_->arm();

@@ -1,0 +1,104 @@
+#include "hw/irq_perturb.h"
+
+namespace vdbg::hw {
+
+void IrqPerturb::set_irq_level(unsigned irq, bool asserted) {
+  const Cycles d = irq < kLines ? delays_[irq] : 0;
+  if (d == 0) {
+    down_.set_irq_level(irq, asserted);
+    return;
+  }
+  enqueue(irq, clock_.now() + d, /*is_pulse=*/false, asserted);
+}
+
+void IrqPerturb::pulse_irq(unsigned irq) {
+  const Cycles d = irq < kLines ? delays_[irq] : 0;
+  if (d == 0) {
+    down_.pulse_irq(irq);
+    return;
+  }
+  enqueue(irq, clock_.now() + d, /*is_pulse=*/true, /*asserted=*/true);
+}
+
+void IrqPerturb::set_delay(unsigned irq, Cycles delay) {
+  delays_.at(irq) = delay;
+}
+
+bool IrqPerturb::any_delay() const {
+  for (Cycles d : delays_) {
+    if (d != 0) return true;
+  }
+  return false;
+}
+
+void IrqPerturb::clear_delays() { delays_.fill(0); }
+
+void IrqPerturb::fire_front() {
+  if (pending_.empty()) return;  // cancelled-under-restore race guard
+  const Pending p = pending_.front();
+  pending_.erase(pending_.begin());
+  if (p.is_pulse) {
+    down_.pulse_irq(p.irq);
+  } else {
+    down_.set_irq_level(p.irq, p.asserted);
+  }
+}
+
+void IrqPerturb::enqueue(unsigned irq, Cycles deadline, bool is_pulse,
+                         bool asserted) {
+  Pending p;
+  p.irq = static_cast<u8>(irq);
+  p.is_pulse = is_pulse;
+  p.asserted = asserted;
+  p.id = eq_.schedule_at(
+      deadline, [this](Cycles) { fire_front(); }, "irqperturb");
+  ++deferred_;
+  insert_sorted(p);
+}
+
+void IrqPerturb::insert_sorted(Pending p) {
+  const auto info = eq_.info(p.id);
+  auto key = [this](const Pending& e) {
+    const auto i = eq_.info(e.id);
+    return std::pair<Cycles, u64>(i->deadline, i->seq);
+  };
+  const auto k = std::pair<Cycles, u64>(info->deadline, info->seq);
+  auto it = pending_.end();
+  while (it != pending_.begin() && key(*(it - 1)) > k) --it;
+  pending_.insert(it, p);
+}
+
+void IrqPerturb::save(SnapshotWriter& w) const {
+  for (Cycles d : delays_) w.put_u64(d);
+  w.put_u64(deferred_);
+  w.put_u32(static_cast<u32>(pending_.size()));
+  for (const Pending& p : pending_) {
+    const auto info = eq_.info(p.id);
+    w.put_u64(info ? info->deadline : 0);
+    w.put_u64(info ? info->seq : 0);
+    w.put_u8(p.irq);
+    w.put_bool(p.is_pulse);
+    w.put_bool(p.asserted);
+  }
+}
+
+void IrqPerturb::restore(SnapshotReader& r) {
+  for (const Pending& p : pending_) eq_.cancel(p.id);
+  pending_.clear();
+  for (Cycles& d : delays_) d = r.get_u64();
+  deferred_ = r.get_u64();
+  const u32 n = r.get_u32();
+  for (u32 i = 0; i < n && r.ok(); ++i) {
+    Pending p;
+    const Cycles deadline = r.get_u64();
+    const u64 seq = r.get_u64();
+    p.irq = r.get_u8();
+    p.is_pulse = r.get_bool();
+    p.asserted = r.get_bool();
+    p.id = eq_.schedule_restored(
+        deadline, seq, [this](Cycles) { fire_front(); }, "irqperturb");
+    pending_.push_back(p);  // stream order is (deadline, seq) order
+  }
+}
+
+}  // namespace vdbg::hw

@@ -1,0 +1,78 @@
+// Deterministic interrupt-arrival perturbation shim.
+//
+// Sits between every device and the physical PIC as the machine's IrqSink.
+// With all per-line delays at zero (the default) it forwards transitions
+// synchronously and the machine is bit-identical to an unshimmed one. A
+// forked multiverse timeline sets a constant arrival delay on chosen lines:
+// every transition (level change or edge pulse) is then delivered through
+// the event queue exactly `delay` cycles later. A constant per-line delay
+// time-shifts the line faithfully — same-line transition order is preserved
+// (same delay, FIFO sequence numbers) — so each perturbed timeline is itself
+// a deterministic machine that replays bit-exactly under the same delays.
+//
+// Pending (in-flight) transitions serialize with their event deadline and
+// sequence number, like every other device's timeline state, so checkpoints
+// taken inside a perturbed timeline restore mid-flight deliveries exactly.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/snapshot.h"
+#include "hw/device.h"
+
+namespace vdbg::hw {
+
+class IrqPerturb final : public IrqSink {
+ public:
+  static constexpr unsigned kLines = 16;
+
+  IrqPerturb(EventQueue& eq, Clock& clock, IrqSink& downstream)
+      : eq_(eq), clock_(clock), down_(downstream) {}
+
+  // --- device lines (IrqSink) ---
+  void set_irq_level(unsigned irq, bool asserted) override;
+  void pulse_irq(unsigned irq) override;
+
+  // --- perturbation control (applied at fork time by the multiverse) ---
+  /// Arrival delay for `irq` in cycles; 0 restores synchronous passthrough.
+  void set_delay(unsigned irq, Cycles delay);
+  Cycles delay(unsigned irq) const { return delays_.at(irq); }
+  bool any_delay() const;
+  void clear_delays();
+
+  /// Transitions that went through the event queue instead of synchronously.
+  u64 deferred() const { return deferred_; }
+
+  // --- snapshot support ---
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
+ private:
+  struct Pending {
+    EventId id = 0;
+    u8 irq = 0;
+    bool is_pulse = false;
+    bool asserted = false;
+  };
+
+  /// Applies the perturbed transition that just fired. Events fire in
+  /// (deadline, seq) order and pending_ is kept in that same order, so the
+  /// firing event is always pending_.front().
+  void fire_front();
+  void enqueue(unsigned irq, Cycles deadline, bool is_pulse, bool asserted);
+  void insert_sorted(Pending p);
+
+  EventQueue& eq_;
+  Clock& clock_;
+  IrqSink& down_;
+  std::array<Cycles, kLines> delays_{};
+  // In-flight transitions, (deadline, seq)-ordered. Cancelled and cleared
+  // up front in restore, then re-armed entry by entry from the stream.
+  // snap:reorder(reset-before-read)
+  std::vector<Pending> pending_;
+  u64 deferred_ = 0;
+};
+
+}  // namespace vdbg::hw

@@ -4,14 +4,18 @@
 
 namespace vdbg::hw {
 
-Machine::Machine(MachineConfig cfg) : cfg_(cfg), mem_(cfg.mem_bytes) {
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg), mem_(cfg.mem_bytes), irq_perturb_(eq_, *this, pic_) {
+  // Devices raise interrupts through the perturbation shim; with all delays
+  // zero (default) it forwards synchronously and is wiring-invisible. The
+  // CPU's INTR/INTA line stays on the PIC itself.
   cpu_ = std::make_unique<cpu::Cpu>(mem_, router_, &pic_, cfg_.costs);
-  pit_ = std::make_unique<Pit>(eq_, *this, pic_);
-  uart_ = std::make_unique<Uart>(eq_, *this, pic_, cfg_.uart);
-  nic_ = std::make_unique<Nic>(eq_, *this, pic_, mem_, cfg_.nic);
+  pit_ = std::make_unique<Pit>(eq_, *this, irq_perturb_);
+  uart_ = std::make_unique<Uart>(eq_, *this, irq_perturb_, cfg_.uart);
+  nic_ = std::make_unique<Nic>(eq_, *this, irq_perturb_, mem_, cfg_.nic);
   for (unsigned i = 0; i < cfg_.num_disks; ++i) {
     disks_.push_back(std::make_unique<ScsiDisk>(
-        i, eq_, *this, pic_, kScsiIrq0 + i, mem_, cfg_.scsi));
+        i, eq_, *this, irq_perturb_, kScsiIrq0 + i, mem_, cfg_.scsi));
   }
 
   router_.map(kPicMasterBase, 2, &pic_.master_ports());
@@ -164,9 +168,10 @@ void Machine::register_metrics(MetricsRegistry& reg) {
     disks_[d]->register_metrics(reg, "hw.scsi" + std::to_string(d));
   }
   reg.add_counter("hw.machine.idle_cycles", &idle_cycles_);
+  mem_.register_metrics(reg);
 }
 
-void Machine::save(SnapshotWriter& w) const {
+void Machine::save(SnapshotWriter& w, bool external_mem) const {
   w.begin_section(SnapTag::kMachine);
   w.put_u32(cfg_.mem_bytes);
   w.put_u32(cfg_.num_disks);
@@ -184,10 +189,17 @@ void Machine::save(SnapshotWriter& w) const {
   cpu_->mmu().save(w);
   w.end_section();
   w.begin_section(SnapTag::kPhysMem);
-  mem_.save(w);
+  if (external_mem) {
+    mem_.save_external(w);
+  } else {
+    mem_.save(w);
+  }
   w.end_section();
   w.begin_section(SnapTag::kPic);
   pic_.save(w);
+  w.end_section();
+  w.begin_section(SnapTag::kIrqPerturb);
+  irq_perturb_.save(w);
   w.end_section();
   w.begin_section(SnapTag::kPit);
   pit_->save(w);
@@ -226,6 +238,8 @@ bool Machine::restore(SnapshotReader& r) {
   if (!mem_.restore(r)) return false;
   if (!r.open_section(SnapTag::kPic)) return false;
   pic_.restore(r);
+  if (!r.open_section(SnapTag::kIrqPerturb)) return false;
+  irq_perturb_.restore(r);
   if (!r.open_section(SnapTag::kPit)) return false;
   pit_->restore(r);
   if (!r.open_section(SnapTag::kUart)) return false;

@@ -18,6 +18,7 @@
 #include "cpu/cpu.h"
 #include "hw/diag_port.h"
 #include "hw/io_bus.h"
+#include "hw/irq_perturb.h"
 #include "hw/nic.h"
 #include "hw/pic.h"
 #include "hw/pit.h"
@@ -45,6 +46,10 @@ class Machine final : public Clock {
   EventQueue& events() { return eq_; }
   PortRouter& router() { return router_; }
   Pic& pic() { return pic_; }
+  /// The IRQ shim every device delivers through; all-zero delays by default
+  /// (synchronous passthrough). Multiverse timelines set per-line arrival
+  /// delays here at fork time.
+  IrqPerturb& irq_perturb() { return irq_perturb_; }
   Pit& pit() { return *pit_; }
   Uart& uart() { return *uart_; }
   Nic& nic() { return *nic_; }
@@ -101,8 +106,11 @@ class Machine final : public Clock {
   // --- snapshot support ---
   /// Serialises the whole machine: CPU+MMU, physical memory, and every
   /// device, each in its own tagged section. Monitor/VMM state on top is
-  /// saved separately by its owner (see vmm::Lvmm::save).
-  void save(SnapshotWriter& w) const;
+  /// saved separately by its owner (see vmm::Lvmm::save). With
+  /// `external_mem` the physical-memory section carries only a sentinel:
+  /// the caller keeps the contents out-of-band as a CowPages capture and
+  /// must adopt_cow() *before* restoring such a stream (delta checkpoints).
+  void save(SnapshotWriter& w, bool external_mem = false) const;
   /// Restores from a validated snapshot. Returns false (machine unchanged
   /// or partially restored — treat as fatal) when the stream is rejected or
   /// was taken from a differently configured machine.
@@ -141,6 +149,7 @@ class Machine final : public Clock {
   cpu::PhysMem mem_;
   PortRouter router_;  // snap:skip(port wiring rebuilt by the constructor)
   Pic pic_;
+  IrqPerturb irq_perturb_;
   DiagPort diag_;
   std::unique_ptr<cpu::Cpu> cpu_;
   std::unique_ptr<Pit> pit_;

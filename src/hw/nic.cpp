@@ -115,7 +115,8 @@ void Nic::transmit_next(Cycles from) {
   const u32 wire_bytes = len + cfg_.framing_overhead_bytes;
   const Cycles delay =
       bad ? 1
-          : transfer_cycles(wire_bytes, cfg_.line_bits_per_sec / 8.0);
+          : transfer_cycles(wire_bytes, cfg_.line_bits_per_sec / 8.0) +
+                wire_delay_extra_;
   tx_frame_ = std::move(frame);
   tx_desc_ = da;
   tx_flags_ = flags;
@@ -177,11 +178,28 @@ void Nic::frame_done(Cycles now) {
   } else {
     ++frames_;
     bytes_ += frame.size();
-    if (wire_ && !wire_muted_) wire_(frame, now);
+    if (wire_ && !wire_muted_) emit_wire(frame, now);
     if (tx_flags_ & NicDescFlags::kIrqOnComplete) isr_ |= 1;
   }
   update_irq();
   transmit_next(now);
+}
+
+void Nic::emit_wire(const std::vector<u8>& frame, Cycles now) {
+  if (tx_swap_pairs_ > 0) {
+    if (!held_wire_valid_) {
+      held_wire_frame_ = frame;
+      held_wire_valid_ = true;
+      return;
+    }
+    --tx_swap_pairs_;
+    wire_(frame, now);
+    wire_(held_wire_frame_, now);
+    held_wire_frame_.clear();
+    held_wire_valid_ = false;
+    return;
+  }
+  wire_(frame, now);
 }
 
 void Nic::save(SnapshotWriter& w) const {
@@ -201,6 +219,12 @@ void Nic::save(SnapshotWriter& w) const {
   w.put_u64(errors_);
   w.put_u64(rx_frames_);
   w.put_u64(rx_dropped_);
+  w.put_u64(wire_delay_extra_);
+  w.put_u64(tx_swap_pairs_);
+  w.put_bool(held_wire_valid_);
+  if (held_wire_valid_) {
+    w.put_blob(held_wire_frame_.data(), held_wire_frame_.size());
+  }
   const auto ev = tx_event_ != 0 ? eq_.info(tx_event_) : std::nullopt;
   w.put_bool(ev.has_value());
   if (ev) {
@@ -235,6 +259,11 @@ void Nic::restore(SnapshotReader& r) {
   errors_ = r.get_u64();
   rx_frames_ = r.get_u64();
   rx_dropped_ = r.get_u64();
+  wire_delay_extra_ = r.get_u64();
+  tx_swap_pairs_ = r.get_u64();
+  held_wire_valid_ = r.get_bool();
+  held_wire_frame_.clear();
+  if (held_wire_valid_) held_wire_frame_ = r.get_blob();
   if (r.get_bool()) {
     const Cycles deadline = r.get_u64();
     const u64 seq = r.get_u64();

@@ -108,6 +108,20 @@ class Nic final : public IoDevice {
   void set_wire_muted(bool muted) { wire_muted_ = muted; }
   bool wire_muted() const { return wire_muted_; }
 
+  // --- perturbation knobs (multiverse fork time; deterministic) ---
+  /// Constant extra serialisation cycles charged to every transmitted
+  /// frame: shifts each TX-complete interrupt by the same amount, i.e. a
+  /// guest-visible latency perturbation.
+  void set_wire_delay_extra(Cycles extra) { wire_delay_extra_ = extra; }
+  Cycles wire_delay_extra() const { return wire_delay_extra_; }
+  /// Swaps each of the next `pairs` adjacent completed-frame pairs on the
+  /// wire sink (bounded packet reordering). Guest-invisible; observers of
+  /// the wire see the reordered delivery. A frame held for a swap flushes
+  /// with its partner; if transmission stops for good mid-pair the held
+  /// frame is never delivered (the bound is in completed pairs).
+  void set_tx_swap_pairs(u64 pairs) { tx_swap_pairs_ = pairs; }
+  u64 tx_swap_pairs() const { return tx_swap_pairs_; }
+
   /// Snapshot support: registers, counters and the in-flight frame (the
   /// frame bytes themselves are saved because guest memory may have been
   /// rewritten after the DMA read).
@@ -117,6 +131,8 @@ class Nic final : public IoDevice {
  private:
   void kick();
   void transmit_next(Cycles from);
+  /// Hands a completed frame to the wire sink, applying the swap window.
+  void emit_wire(const std::vector<u8>& frame, Cycles now);
   /// Completes the in-flight frame held in tx_frame_/tx_desc_/tx_flags_/
   /// tx_bad_ (kept in members, not lambda captures, so snapshots can
   /// serialise an in-flight transmit).
@@ -154,6 +170,13 @@ class Nic final : public IoDevice {
   bool tx_bad_ = false;
   EventId tx_event_ = 0;  // snap:reorder(reset-before-read)
   bool wire_muted_ = false;  // snap:skip(replay-time mute, host policy)
+
+  // Perturbation state (set at fork time, serialized so checkpoints taken
+  // inside a perturbed timeline replay under the same perturbation).
+  Cycles wire_delay_extra_ = 0;
+  u64 tx_swap_pairs_ = 0;
+  std::vector<u8> held_wire_frame_;
+  bool held_wire_valid_ = false;
 
   u64 frames_ = 0;
   u64 bytes_ = 0;

@@ -131,7 +131,7 @@ void ScsiDisk::submit(bool is_write) {
   cur_req_ = req;
   cur_is_write_ = is_write;
   const Cycles delay =
-      cfg_.command_overhead +
+      cfg_.command_overhead + command_overhead_extra_ +
       transfer_cycles(bytes, cfg_.sustained_bytes_per_sec);
   event_ = eq_.schedule_in(
       clock_.now(), delay, [this](Cycles now) { complete(now); },
@@ -165,6 +165,7 @@ void ScsiDisk::save(SnapshotWriter& w) const {
   w.put_u32(last_status_);
   w.put_u64(completed_);
   w.put_u64(bytes_);
+  w.put_u64(command_overhead_extra_);
   w.put_u64(written_.size());
   for (const auto& [sector, data] : written_) {
     w.put_u32(sector);
@@ -194,6 +195,7 @@ void ScsiDisk::restore(SnapshotReader& r) {
   last_status_ = r.get_u32();
   completed_ = r.get_u64();
   bytes_ = r.get_u64();
+  command_overhead_extra_ = r.get_u64();
   written_.clear();
   const u64 n = r.get_u64();
   for (u64 i = 0; i < n && r.ok(); ++i) {

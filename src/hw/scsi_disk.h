@@ -80,6 +80,16 @@ class ScsiDisk final : public IoDevice {
   /// itself, by integrity tests and by the host-path SCSI emulation.
   static void fill_pattern(unsigned disk_id, u32 lba, std::span<u8> out);
 
+  // --- perturbation knob (multiverse fork time; deterministic) ---
+  /// Constant extra cycles added to every request's completion latency on
+  /// top of Config::command_overhead — a guest-visible disk-latency
+  /// perturbation. Serialized, so checkpoints taken inside a perturbed
+  /// timeline replay under the same latency.
+  void set_command_overhead_extra(Cycles extra) {
+    command_overhead_extra_ = extra;
+  }
+  Cycles command_overhead_extra() const { return command_overhead_extra_; }
+
   bool busy() const { return busy_; }
   u64 requests_completed() const { return completed_; }
   u64 bytes_transferred() const { return bytes_; }
@@ -131,6 +141,8 @@ class ScsiDisk final : public IoDevice {
   EventId event_ = 0;
   /// Sparse overlay of written sectors over the synthetic pattern.
   std::map<u32, std::array<u8, kSectorBytes>> written_;
+  /// Multiverse latency perturbation; see set_command_overhead_extra().
+  Cycles command_overhead_extra_ = 0;
 };
 
 }  // namespace vdbg::hw

@@ -1,5 +1,6 @@
 #include "vmm/flight_recorder.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -196,8 +197,13 @@ bool FlightRecorder::dump(std::string_view reason, std::string* summary_path,
   have_last_ = true;
   ++captures_;
 
-  const std::string stem =
-      cfg_.out_dir + "/" + cfg_.file_prefix + "-" + std::to_string(seq_);
+  // Process-wide sequence: recorders on different machines (or several
+  // recorders across fleets) sharing one directory never reuse a name.
+  static std::atomic<u64> g_dump_seq{0};
+  const u64 dump_no = g_dump_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string stem = cfg_.out_dir + "/" + cfg_.file_prefix + "-m" +
+                           std::to_string(cfg_.machine_id) + "-" +
+                           std::to_string(dump_no);
   const std::string spath = stem + "-summary.json";
   const std::string tpath = stem + "-trace.json";
   {

@@ -32,6 +32,11 @@ class FlightRecorder {
     /// File name prefix; the harness adds a pid so parallel test binaries
     /// sharing one directory (CI artifact collection) do not collide.
     std::string file_prefix = "flight";
+    /// Machine id baked into every dump file name. Together with the
+    /// process-wide dump sequence this keeps bundles from many machines
+    /// (several fleets, multiverse forks) in one directory collision-free
+    /// even when they share a prefix.
+    int machine_id = 0;
     /// Trace-ring events included in the bundle (newest N).
     std::size_t trace_tail = 2048;
     /// When armed via arm(): write files automatically on guest crash.

@@ -340,7 +340,15 @@ void Lvmm::forward_external_interrupt(u8 vector) {
   if (irq == int(hw::kUartIrq)) {
     // The monitor's own communication device: service the debug stub.
     physical_eoi(unsigned(irq));
-    if (debug_) debug_->on_uart_activity();
+    if (debug_) {
+      debug_->on_uart_activity();
+    } else {
+      // Nobody will drain the UART (a timeline forked from a debugged
+      // machine restores with the stub's interrupt enables latched but no
+      // delegate attached). The source is level-triggered: mask the line
+      // or the storm starves the guest forever.
+      physical_set_mask(unsigned(irq), true);
+    }
     return;
   }
 

@@ -131,7 +131,12 @@ class Lvmm : public cpu::TrapHook {
   bool guest_write32(VAddr va, u32 value) { return gmem_->write32(va, value); }
 
   // --- debugger support ---
-  void set_debug_delegate(DebugDelegate* d) { debug_ = d; }
+  void set_debug_delegate(DebugDelegate* d) {
+    debug_ = d;
+    // Undo the no-delegate storm guard (see forward_external_interrupt):
+    // with a stub attached the line is serviced again.
+    if (d != nullptr) physical_set_mask(hw::kUartIrq, false);
+  }
   DebugDelegate* debug_delegate() const { return debug_; }
   /// Freezes/unfreezes guest execution (devices and simulated time go on).
   void freeze_guest(DebugDelegate::StopReason reason);

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -65,6 +66,12 @@ class DebugStub final : public DebugDelegate {
 
   /// Attaches the metrics registry behind qVdbg.Metrics (nullptr detaches).
   void set_metrics(const MetricsRegistry* reg) { metrics_ = reg; }
+  /// Host-side extension hook for qVdbg.* queries the stub itself does not
+  /// implement (the fleet layer installs the multiverse commands here).
+  /// Return nullopt to fall through to the default empty reply.
+  using QueryHook =
+      std::function<std::optional<std::string>(const std::string&)>;
+  void set_query_hook(QueryHook fn) { query_hook_ = std::move(fn); }
   /// Attaches the flight recorder behind qVdbg.FlightDump (nullptr
   /// detaches).
   void set_flight_recorder(FlightRecorder* fr) { flight_ = fr; }
@@ -136,6 +143,7 @@ class DebugStub final : public DebugDelegate {
   TimeTravel* tt_ = nullptr;
   const MetricsRegistry* metrics_ = nullptr;
   FlightRecorder* flight_ = nullptr;
+  QueryHook query_hook_;
   /// Host-side slot for qVdbg.Snapshot.Save/Load.
   std::vector<u8> snapshot_slot_;
 

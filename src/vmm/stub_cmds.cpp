@@ -291,6 +291,9 @@ std::string DebugStub::cmd_query(const std::string& q) {
     }
     return out;
   }
+  if (query_hook_) {
+    if (auto reply = query_hook_(q)) return *reply;
+  }
   return "";
 }
 

@@ -48,21 +48,39 @@ std::vector<u8> TimeTravel::serialize() const {
   return w.finish();
 }
 
-void TimeTravel::store_checkpoint(u64 ic, std::vector<u8> bytes) {
+TimeTravel::Checkpoint TimeTravel::make_checkpoint(u64 ic) {
+  Checkpoint cp;
+  cp.icount = ic;
+  cp.cycles = machine().now();
+  SnapshotWriter w;
+  if (cfg_.cow_delta) {
+    // Share the current memory image copy-on-write; the stream then only
+    // carries device/CPU/monitor state plus an external-contents marker.
+    cp.mem = machine().mem().capture_cow();
+    machine().save(w, /*external_mem=*/true);
+  } else {
+    machine().save(w);
+  }
+  mon_.save(w);
+  cp.bytes = w.finish();
+  cp.stored_bytes = cp.bytes.size() + cp.mem.retained_bytes();
+  return cp;
+}
+
+void TimeTravel::store_checkpoint(Checkpoint cp) {
   auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), ic,
+      ring_.begin(), ring_.end(), cp.icount,
       [](const Checkpoint& c, u64 v) { return c.icount < v; });
-  if (it != ring_.end() && it->icount == ic) {
-    // A replay pass re-reached a boundary already in the ring; the stream
+  if (it != ring_.end() && it->icount == cp.icount) {
+    // A replay pass re-reached a boundary already in the ring; the state
     // is bit-identical by determinism, so just refresh it.
-    it->cycles = machine().now();
-    it->bytes = std::move(bytes);
+    *it = std::move(cp);
     return;
   }
-  auto inserted =
-      ring_.insert(it, Checkpoint{ic, machine().now(), std::move(bytes)});
+  auto inserted = ring_.insert(it, std::move(cp));
   ++stats_.checkpoints;
-  stats_.checkpoint_bytes += inserted->bytes.size();
+  stats_.checkpoint_bytes += inserted->stored_bytes;
+  stats_.cow_fresh_pages += inserted->mem.fresh_pages();
   while (ring_.size() > cfg_.ring) ring_.pop_front();
 }
 
@@ -70,15 +88,19 @@ void TimeTravel::on_boundary(u64 boundary_icount) {
   // Charge before serialising so the snapshot captures the post-charge
   // state: restoring a checkpoint then resumes *after* that boundary's
   // checkpoint work, and the next replayed boundary re-charges its own.
+  // The charge stays a function of *resident* pages even in delta mode —
+  // charging for fresh pages would make the cost depend on host-side
+  // capture history (e.g. a resume-anchored checkpoint resets freshness)
+  // and break replay cycle-identity.
   charge_checkpoint();
-  store_checkpoint(boundary_icount, serialize());
+  store_checkpoint(make_checkpoint(boundary_icount));
 }
 
 bool TimeTravel::checkpoint_now() {
   charge_checkpoint();
-  auto bytes = serialize();
-  if (bytes.empty()) return false;
-  store_checkpoint(icount(), std::move(bytes));
+  Checkpoint cp = make_checkpoint(icount());
+  if (cp.bytes.empty()) return false;
+  store_checkpoint(std::move(cp));
   return true;
 }
 
@@ -106,12 +128,25 @@ bool TimeTravel::load_state(const std::vector<u8>& bytes) {
 }
 
 bool TimeTravel::restore_bytes(const std::vector<u8>& bytes) {
+  return restore_state(bytes, nullptr);
+}
+
+bool TimeTravel::restore_checkpoint(const Checkpoint& cp) {
+  return restore_state(cp.bytes, cp.mem.empty() ? nullptr : &cp.mem);
+}
+
+bool TimeTravel::restore_state(const std::vector<u8>& bytes,
+                               const cpu::CowPages* mem) {
   // The debugger's current watch set is host truth; the snapshot carries
   // the set as of checkpoint time. Capture the desired set first, restore,
   // then reconcile — a no-op (no writes, no charges) when they match.
   const auto desired = mon_.watchpoint_list();
   SnapshotReader r(bytes);
   if (!r.ok()) return false;
+  // Adopt the COW image before walking the stream: the stream's PhysMem
+  // section is an external-contents sentinel, and the monitor's restore
+  // may consult guest memory.
+  if (mem && !machine().mem().adopt_cow(*mem)) return false;
   if (!machine().restore(r)) return false;
   if (!mon_.restore(r)) return false;
   ++stats_.restores;
@@ -273,6 +308,16 @@ void TimeTravel::transparent_resume(StopReason reason) {
   mon_.resume_guest();
 }
 
+bool TimeTravel::restore_checkpoint_into(hw::Machine& m, Lvmm* mon,
+                                         const Checkpoint& cp) {
+  SnapshotReader r(cp.bytes);
+  if (!r.ok()) return false;
+  if (!cp.mem.empty() && !m.mem().adopt_cow(cp.mem)) return false;
+  if (!m.restore(r)) return false;
+  if (mon && !mon->restore(r)) return false;
+  return true;
+}
+
 // --------------------------------------------------------------------------
 // Reverse execution
 // --------------------------------------------------------------------------
@@ -292,12 +337,12 @@ TimeTravel::ReverseStop TimeTravel::reverse_stepi() {
     out.icount = origin;
     return out;
   }
-  const std::vector<u8> bytes = cp->bytes;  // ring may mutate during replay
+  const Checkpoint snap = *cp;  // ring may mutate during replay
 
   begin_replay();
   mode_ = Mode::kLand;
   land_target_ = target;
-  if (restore_bytes(bytes)) {
+  if (restore_checkpoint(snap)) {
     const auto r = replay_to(target);
     if (held_) {
       out = {ReverseOutcome::kStopped, held_reason_, icount()};
@@ -343,7 +388,7 @@ TimeTravel::ReverseStop TimeTravel::reverse_continue() {
     hits_.clear();
     held_ = false;
     step_over_.reset();
-    if (!restore_bytes(cp.bytes)) {
+    if (!restore_checkpoint(cp)) {
       done = true;
       break;
     }
@@ -360,7 +405,7 @@ TimeTravel::ReverseStop TimeTravel::reverse_continue() {
       land_target_ = target.icount;
       held_ = false;
       step_over_.reset();
-      if (restore_bytes(cp.bytes)) {
+      if (restore_checkpoint(cp)) {
         replay_to(target.icount);
         if (held_) {
           out = {ReverseOutcome::kStopped, held_reason_, icount()};
@@ -374,7 +419,7 @@ TimeTravel::ReverseStop TimeTravel::reverse_continue() {
   if (!done) {
     // No hit anywhere in recorded history: land on the oldest checkpoint.
     mode_ = Mode::kIdle;
-    if (restore_bytes(cands.back().bytes)) {
+    if (restore_checkpoint(cands.back())) {
       freeze_quietly(StopReason::kStep);
       out = {ReverseOutcome::kAtCheckpoint, StopReason::kStep, icount()};
     }

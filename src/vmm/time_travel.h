@@ -60,12 +60,26 @@ class TimeTravel final : public DebugDelegate {
     std::size_t ring = 8;
     /// Simulated-cycle budget for one replay pass.
     Cycles replay_budget = 4'000'000'000ULL;
+    /// Delta checkpoints: memory is captured as a shared copy-on-write page
+    /// table instead of being serialized into the stream, so a checkpoint
+    /// only pays for pages dirtied since the previous capture. Kill switch
+    /// for ablation (bench_checkpoint gates the byte drop).
+    bool cow_delta = true;
   };
 
   struct Checkpoint {
     u64 icount = 0;      // retired instructions at save time
     Cycles cycles = 0;   // simulated time at save time
+    /// Snapshot stream. In cow_delta mode the PhysMem section is an
+    /// external-contents sentinel and `mem` carries the actual pages.
     std::vector<u8> bytes;
+    /// COW page-table capture (empty in full-stream mode). Copying a
+    /// Checkpoint retains the shared frames — cheap.
+    cpu::CowPages mem;
+    /// Marginal bytes this checkpoint keeps alive: stream size plus, in
+    /// delta mode, freshly-dirtied frames and the sparse index (frames
+    /// shared with older ring entries are not re-counted).
+    u64 stored_bytes = 0;
   };
 
   struct Stats {
@@ -73,7 +87,8 @@ class TimeTravel final : public DebugDelegate {
     u64 restores = 0;              // successful snapshot restores
     u64 replay_passes = 0;         // forward re-execution passes
     u64 replayed_instructions = 0; // instructions re-executed across passes
-    u64 checkpoint_bytes = 0;      // serialized bytes across all checkpoints
+    u64 checkpoint_bytes = 0;      // marginal stored bytes across checkpoints
+    u64 cow_fresh_pages = 0;       // freshly-dirtied frames across checkpoints
     Cycles checkpoint_charged_cycles = 0;  // simulated cost billed for them
   };
 
@@ -120,6 +135,8 @@ class TimeTravel final : public DebugDelegate {
                     &stats_.replayed_instructions, /*replay_exact=*/false);
     reg.add_counter("vmm.tt.checkpoint_bytes", &stats_.checkpoint_bytes,
                     /*replay_exact=*/false);
+    reg.add_counter("vmm.tt.cow_fresh_pages", &stats_.cow_fresh_pages,
+                    /*replay_exact=*/false);
     reg.add_counter("vmm.tt.checkpoint_charged_cycles",
                     &stats_.checkpoint_charged_cycles,
                     /*replay_exact=*/false);
@@ -139,6 +156,12 @@ class TimeTravel final : public DebugDelegate {
   /// is untouched.
   ReverseStop reverse_stepi();
   ReverseStop reverse_continue();
+
+  /// Restores `cp` into an arbitrary identically-configured machine (+
+  /// monitor when non-null) — a forked timeline adopting the checkpoint's
+  /// COW pages. Static so fork targets need not own a TimeTravel.
+  static bool restore_checkpoint_into(hw::Machine& m, Lvmm* mon,
+                                      const Checkpoint& cp);
 
   /// Breakpoint-patch table lookup (addr -> original byte), owned by the
   /// stub. Used for transparent step-over during replay and to classify
@@ -170,9 +193,15 @@ class TimeTravel final : public DebugDelegate {
   void on_boundary(u64 boundary_icount);
   void charge_checkpoint();
   std::vector<u8> serialize() const;
-  void store_checkpoint(u64 ic, std::vector<u8> bytes);
+  /// Captures the machine+monitor at the current position (delta or full
+  /// per cfg_.cow_delta) without storing it in the ring.
+  Checkpoint make_checkpoint(u64 ic);
+  void store_checkpoint(Checkpoint cp);
   const Checkpoint* newest_at_or_below(u64 ic) const;
   bool restore_bytes(const std::vector<u8>& bytes);
+  bool restore_checkpoint(const Checkpoint& cp);
+  /// Shared restore core: adopt `mem` (when non-null) before the stream.
+  bool restore_state(const std::vector<u8>& bytes, const cpu::CowPages* mem);
   void begin_replay();
   void end_replay();
   /// Re-runs forward to `target` retired instructions, clearing guest-exit

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/rng.h"
@@ -29,6 +30,14 @@ namespace {
 using namespace vasm;
 using cpu::Instr;
 using cpu::Opcode;
+
+/// Full byte image of a machine's physical memory (COW pages are not
+/// contiguous, so whole-memory compares go through read_block).
+std::vector<u8> dump_mem(const cpu::PhysMem& m) {
+  std::vector<u8> out(m.size());
+  m.read_block(0, out);
+  return out;
+}
 
 /// Minimal independent model of the ALU/memory subset (written from the ISA
 /// spec in isa.h, deliberately NOT sharing code with the interpreter).
@@ -353,11 +362,23 @@ void expect_rigs_identical(DiffRig& a, DiffRig& b, int trial, int slice,
   ASSERT_EQ(a.cpu.mmu().tlb_misses(), b.cpu.mmu().tlb_misses());
 }
 
+/// Environment override for the nightly extended fuzz (VDBG_FUZZ_TRIALS /
+/// VDBG_FUZZ_SEED); the checked-in defaults keep the tier-1 run fast and
+/// fully deterministic.
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
 TEST(CpuDifferential, ThreeTierLockstepFuzz) {
-  Rng rng(20260806);
+  const int trials = static_cast<int>(env_u64("VDBG_FUZZ_TRIALS", 30));
+  Rng rng(env_u64("VDBG_FUZZ_SEED", 20260806));
   u64 total_hits = 0, total_builds = 0, total_invals = 0;
   cpu::SbcStats sb_totals;
-  for (int trial = 0; trial < 30; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     // One program image, loaded into three rigs: tier 0 (slow interpreter),
     // tier 1 (block cache only) and tier 2 (superblocks on top).
     Assembler a(0x1000);
@@ -400,21 +421,16 @@ TEST(CpuDifferential, ThreeTierLockstepFuzz) {
       // Periodic full-memory compare (self-modifying stores and stack
       // traffic must land identically).
       if (slice % 7 == 0) {
-        const auto ma = interp.mem.span(0, interp.mem.size());
-        const auto mb = block.mem.span(0, block.mem.size());
-        const auto mc = super.mem.span(0, super.mem.size());
-        ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
-            << "trial " << trial << " slice " << slice;
-        ASSERT_EQ(0, std::memcmp(ma.data(), mc.data(), ma.size()))
-            << "trial " << trial << " slice " << slice;
+        const auto ma = dump_mem(interp.mem);
+        const auto mb = dump_mem(block.mem);
+        const auto mc = dump_mem(super.mem);
+        ASSERT_EQ(ma, mb) << "trial " << trial << " slice " << slice;
+        ASSERT_EQ(ma, mc) << "trial " << trial << " slice " << slice;
       }
       if (interp.cpu.shutdown()) break;  // triple fault: all dead (checked)
     }
     for (DiffRig* r : {&block, &super}) {
-      const auto ma = interp.mem.span(0, interp.mem.size());
-      const auto mb = r->mem.span(0, r->mem.size());
-      ASSERT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()))
-          << "trial " << trial;
+      ASSERT_EQ(dump_mem(interp.mem), dump_mem(r->mem)) << "trial " << trial;
     }
     total_hits += block.cpu.stats().block_hits;
     total_builds += block.cpu.stats().block_builds;
@@ -432,7 +448,11 @@ TEST(CpuDifferential, ThreeTierLockstepFuzz) {
     EXPECT_EQ(0u, block.cpu.sbc_stats().hits);
   }
   // The fuzz must actually have exercised the fast paths and both
-  // invalidation mechanisms, or the whole comparison is vacuous.
+  // invalidation mechanisms, or the whole comparison is vacuous. The rare
+  // events (self-modifying stores, superblock drops) need a full-size run
+  // to be guaranteed; a shrunk VDBG_FUZZ_TRIALS repro run skips the
+  // coverage audit.
+  if (trials < 30) return;
   EXPECT_GT(total_hits, 0u);
   EXPECT_GT(total_builds, 0u);
   EXPECT_GT(total_invals, 0u) << "no self-modifying store invalidated a "
@@ -721,9 +741,7 @@ TEST(CpuDifferential, GenericTailSelfCallNeverSkipsTheChainGuard) {
   EXPECT_EQ(super.cpu.stats().mem_accesses, interp.cpu.stats().mem_accesses);
   EXPECT_EQ(super.cpu.mmu().tlb_hits(), interp.cpu.mmu().tlb_hits());
   EXPECT_EQ(super.cpu.shutdown(), interp.cpu.shutdown());
-  const auto ma = super.mem.span(0, super.mem.size());
-  const auto mb = interp.mem.span(0, interp.mem.size());
-  EXPECT_EQ(0, std::memcmp(ma.data(), mb.data(), ma.size()));
+  EXPECT_EQ(dump_mem(super.mem), dump_mem(interp.mem));
 
   EXPECT_GT(super.cpu.sbc_stats().chains, 0u)
       << "the call-to-self edge was never followed; the guarded path was "

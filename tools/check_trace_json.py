@@ -14,17 +14,33 @@ Checks the structural rules Perfetto / chrome://tracing rely on:
 Usage:
     check_trace_json.py trace.json [trace2.json ...]
     check_trace_json.py --run <flight_dump_demo> <out_dir>
+    check_trace_json.py --dir <dump_dir>
 
 --run executes the demo binary (passing out_dir), parses the
 "summary=<path>" / "trace=<path>" lines it prints, validates the trace file
 and additionally requires the summary to be valid JSON with a "metrics"
-object. Exit code 0 when everything validates, 1 on violations, 2 on I/O
-or usage errors.
+object.
+
+--dir validates a multi-machine dump directory (a fleet or multiverse run
+where every machine's FlightRecorder writes into one place). Dump files are
+named <prefix>-m<machine>-<seq>-summary.json / -trace.json; the mode checks
+that every dump stem has BOTH halves (a missing twin means a torn dump),
+that every file validates individually, and that (prefix, machine, seq)
+never collides — the exact regression the machine-id + sequence filename
+scheme exists to prevent.
+
+Exit code 0 when everything validates, 1 on violations, 2 on I/O or usage
+errors.
 """
 
 import json
+import os
+import re
 import subprocess
 import sys
+
+DUMP_RE = re.compile(r"^(?P<prefix>.+)-m(?P<machine>\d+)-(?P<seq>\d+)"
+                     r"-(?P<half>summary|trace)\.json$")
 
 SUPPORTED_PH = {"B", "E", "X", "i", "I", "M", "b", "e", "n", "C"}
 
@@ -149,11 +165,62 @@ def run_demo(binary, out_dir):
     return summary, trace
 
 
+def validate_dump_dir(dump_dir):
+    """Validates every multi-machine flight-recorder dump in a directory.
+
+    Returns (errors, checked_paths). Files not matching the dump naming
+    scheme are ignored (the directory may hold bench JSON etc.)."""
+    try:
+        names = sorted(os.listdir(dump_dir))
+    except OSError as e:
+        die(f"cannot list {dump_dir}: {e.strerror}")
+
+    errors = []
+    checked = []
+    halves = {}  # (prefix, machine, seq) -> set of halves seen
+    machines = set()
+    for name in names:
+        m = DUMP_RE.match(name)
+        if not m:
+            continue
+        key = (m.group("prefix"), int(m.group("machine")),
+               int(m.group("seq")))
+        seen = halves.setdefault(key, set())
+        if m.group("half") in seen:
+            # One (prefix, machine, seq) stem must map to exactly one dump;
+            # the filesystem makes literal collisions overwrite silently, so
+            # this only fires on case-mangled duplicates — still a bug.
+            errors.append(f"{dump_dir}/{name}: duplicate "
+                          f"{m.group('half')} for stem {key}")
+        seen.add(m.group("half"))
+        machines.add(key[1])
+
+        path = os.path.join(dump_dir, name)
+        checked.append(path)
+        if m.group("half") == "trace":
+            errors += validate_trace(path)
+        else:
+            errors += validate_summary(path)
+
+    for key, seen in sorted(halves.items()):
+        for half in ("summary", "trace"):
+            if half not in seen:
+                errors.append(f"{dump_dir}: dump stem {key} is torn — "
+                              f"missing its {half} half")
+    if not halves:
+        errors.append(f"{dump_dir}: no flight-recorder dumps found "
+                      "(expected <prefix>-m<machine>-<seq>-*.json)")
+    else:
+        print(f"{dump_dir}: {len(halves)} dump(s) across "
+              f"{len(machines)} machine(s)")
+    return errors, checked
+
+
 def main():
     args = sys.argv[1:]
     if not args:
         die("usage: check_trace_json.py <trace.json ...> | "
-            "--run <demo> <out_dir>")
+            "--run <demo> <out_dir> | --dir <dump_dir>")
 
     errors = []
     if args[0] == "--run":
@@ -163,6 +230,10 @@ def main():
         errors += validate_summary(summary)
         errors += validate_trace(trace)
         checked = [trace, summary]
+    elif args[0] == "--dir":
+        if len(args) != 2:
+            die("--dir needs <dump_dir>")
+        errors, checked = validate_dump_dir(args[1])
     else:
         checked = args
         for path in args:
