@@ -2,15 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace vdbg {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
-LogSink g_sink;  // guarded by g_sink_mutex; empty => default stderr sink
+vdbg::Mutex g_sink_mutex;
+// Empty sink => default stderr sink.
+LogSink g_sink VDBG_GUARDED_BY(g_sink_mutex);
 
 /// Machine attribution for fleet runs; thread-local because one worker
 /// thread simulates one machine at a time.
@@ -30,19 +32,25 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
+// thread:any(atomic)
 void set_log_level(LogLevel level) { g_level.store(level); }
+// thread:any(atomic)
 LogLevel log_level() { return g_level.load(); }
 
+// thread:any(the sink swap and every emit serialize on g_sink_mutex)
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  vdbg::MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 
+// thread:any(thread-local)
 void set_log_machine(int id) { t_machine = id; }
+// thread:any(thread-local)
 int log_machine() { return t_machine; }
 
 namespace detail {
 
+// thread:any(g_level is atomic, t_machine thread-local, g_sink under g_sink_mutex)
 void emit(LogLevel level, std::string_view component, std::string_view msg) {
   std::string tagged;
   if (t_machine >= 0) {
@@ -50,7 +58,7 @@ void emit(LogLevel level, std::string_view component, std::string_view msg) {
     tagged.append(component);
     component = tagged;
   }
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  vdbg::MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, component, msg);
     return;

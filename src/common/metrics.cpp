@@ -24,6 +24,7 @@ bool valid_metric_name(std::string_view name) {
   return segments + 1 >= 3;
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 bool MetricsRegistry::add_entry(Entry e) {
   if (!valid_metric_name(e.name)) return false;
   for (const Entry& existing : metrics_) {
@@ -33,6 +34,7 @@ bool MetricsRegistry::add_entry(Entry e) {
   return true;
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 bool MetricsRegistry::add_counter(std::string name, const u64* slot,
                                   bool replay_exact) {
   if (slot == nullptr) return false;
@@ -44,6 +46,7 @@ bool MetricsRegistry::add_counter(std::string name, const u64* slot,
   return add_entry(std::move(e));
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 bool MetricsRegistry::add_gauge(std::string name, GaugeFn fn,
                                 bool replay_exact) {
   if (!fn) return false;
@@ -55,6 +58,7 @@ bool MetricsRegistry::add_gauge(std::string name, GaugeFn fn,
   return add_entry(std::move(e));
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 bool MetricsRegistry::add_histogram(std::string name, const u32* buckets,
                                     std::size_t n, bool replay_exact) {
   if (buckets == nullptr || n == 0) return false;
@@ -67,6 +71,7 @@ bool MetricsRegistry::add_histogram(std::string name, const u32* buckets,
   return add_entry(std::move(e));
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot(
     bool replay_exact_only) const {
   std::vector<Sample> out;
@@ -94,6 +99,7 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot(
   return out;
 }
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 std::optional<double> MetricsRegistry::value(std::string_view name) const {
   if (!enabled_) return std::nullopt;
   for (const Entry& e : metrics_) {
@@ -116,6 +122,7 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
+// thread:any(externally synchronized - each registry is owned by one machine and only touched by the thread driving it)
 std::string MetricsRegistry::to_json() const {
   std::string out = "{";
   bool first = true;

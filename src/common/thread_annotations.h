@@ -1,0 +1,83 @@
+// Clang thread-safety-analysis attributes and the annotated mutex wrapper
+// the fleet layer locks with (DESIGN.md §8, "Concurrency checking").
+//
+// The macros wire Clang's native -Wthread-safety capability analysis onto
+// the same mutexes vdbg_lint's lock-guard checker reads, so the two
+// analyses cross-check each other from one set of annotations: the custom
+// checker parses the VDBG_GUARDED_BY / VDBG_REQUIRES tokens (and the
+// equivalent // guard:by(...) / // guard:held(...) comments) syntactically,
+// while clang type-checks them against real control flow. Under gcc every
+// macro expands to nothing and Mutex/MutexLock behave exactly like
+// std::mutex/std::lock_guard.
+//
+// libstdc++'s std::mutex is not capability-annotated, so GUARDED_BY on it
+// is inert under clang; the Mutex wrapper below is what makes the analysis
+// real. Wait on it with std::condition_variable_any (it is a Lockable, not
+// a std::mutex).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define VDBG_TSA(x) __attribute__((x))
+#else
+#define VDBG_TSA(x)
+#endif
+
+#define VDBG_CAPABILITY(x) VDBG_TSA(capability(x))
+#define VDBG_SCOPED_CAPABILITY VDBG_TSA(scoped_lockable)
+#define VDBG_GUARDED_BY(x) VDBG_TSA(guarded_by(x))
+#define VDBG_PT_GUARDED_BY(x) VDBG_TSA(pt_guarded_by(x))
+#define VDBG_REQUIRES(...) VDBG_TSA(requires_capability(__VA_ARGS__))
+#define VDBG_ACQUIRE(...) VDBG_TSA(acquire_capability(__VA_ARGS__))
+#define VDBG_RELEASE(...) VDBG_TSA(release_capability(__VA_ARGS__))
+#define VDBG_TRY_ACQUIRE(...) VDBG_TSA(try_acquire_capability(__VA_ARGS__))
+#define VDBG_EXCLUDES(...) VDBG_TSA(locks_excluded(__VA_ARGS__))
+#define VDBG_NO_TSA VDBG_TSA(no_thread_safety_analysis)
+
+namespace vdbg {
+
+/// std::mutex with clang capability annotations. Lock it through MutexLock
+/// (or std::condition_variable_any for waits); both analyses treat a bare
+/// .lock()/.unlock() pair as a manual acquire/release.
+class VDBG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VDBG_ACQUIRE() { mu_.lock(); }
+  void unlock() VDBG_RELEASE() { mu_.unlock(); }
+  bool try_lock() VDBG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock on a Mutex, with the unlock()/lock() pair condition-variable
+/// waits and drop-the-lock-while-working sections need (the owner must
+/// re-lock before the scope ends or destruction unlocks nothing).
+class VDBG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VDBG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VDBG_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() VDBG_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() VDBG_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+}  // namespace vdbg

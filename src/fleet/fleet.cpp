@@ -8,6 +8,7 @@
 
 namespace vdbg::fleet {
 
+// thread:init-only(runs before any worker/monitor/server thread exists)
 Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
   if (cfg_.machines == 0) throw std::invalid_argument("fleet of 0 machines");
   threads_ = std::max(1u, std::min(cfg_.threads, cfg_.machines));
@@ -28,7 +29,7 @@ Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
     // on the machine's timeline.
     Slot* slot = slots_[i].get();
     units_[i]->machine().uart().set_tx_sink([slot](u8 b) {
-      std::lock_guard<std::mutex> lk(slot->mu);
+      vdbg::MutexLock lk(slot->mu);
       slot->tx.push_back(static_cast<char>(b));
     });
   }
@@ -36,6 +37,7 @@ Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
 
 Fleet::~Fleet() { health_.stop(); }
 
+// thread:handoff(spawns workers and the health monitor; their bodies are checked under their own roles)
 std::vector<MachineStatus> Fleet::run() {
   if (ran_) throw std::logic_error("Fleet::run called twice");
   ran_ = true;
@@ -58,6 +60,7 @@ std::vector<MachineStatus> Fleet::run() {
   return out;
 }
 
+// thread:worker(body of every fleet worker thread)
 void Fleet::worker_loop() {
   for (;;) {
     const unsigned i = next_machine_.fetch_add(1);
@@ -66,6 +69,7 @@ void Fleet::worker_loop() {
   }
 }
 
+// thread:worker(only the worker that pulled machine i runs it)
 void Fleet::run_machine(unsigned i) {
   MachineUnit& u = *units_[i];
   // Tag every log line from any layer with this machine's id while the
@@ -89,13 +93,14 @@ void Fleet::run_machine(unsigned i) {
   publish(i, /*final_done=*/true, r);
 }
 
+// thread:worker(touches live machine state; owning worker only)
 bool Fleet::pump_host_channels(unsigned i) {
   Slot& slot = *slots_[i];
   std::string rx;
   bool arm = false;
   bool stop = false;
   {
-    std::lock_guard<std::mutex> lk(slot.mu);
+    vdbg::MutexLock lk(slot.mu);
     rx.swap(slot.rx);
     stop = slot.stop_requested;
     if (slot.arm_requested && !slot.arm_done) {
@@ -110,6 +115,7 @@ bool Fleet::pump_host_channels(unsigned i) {
   return true;
 }
 
+// thread:worker(reads live machine state before copying it under the lock)
 void Fleet::publish(unsigned i, bool final_done, hw::Machine::StopReason r) {
   MachineUnit& u = *units_[i];
   auto snap = u.metrics().snapshot();
@@ -122,12 +128,13 @@ void Fleet::publish(unsigned i, bool final_done, hw::Machine::StopReason r) {
   st.cycles = u.machine().now();
 
   Slot& slot = *slots_[i];
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   st.sick = slot.status.sick;  // preserve the health monitor's latch
   slot.status = st;
   slot.snapshot = std::move(snap);
 }
 
+// thread:handoff(owning worker, or any thread once status.done - the final publish under slot.mu ordered all unit accesses)
 void Fleet::arm_flight_recorder_now(unsigned i) {
   // The machine id lands in the file name via Config::machine_id, so the
   // prefix stays constant across the fleet.
@@ -139,39 +146,45 @@ void Fleet::arm_flight_recorder_now(unsigned i) {
 
 // ---------------------------------------------------------------- channels
 
+// thread:any(slot channel; everything it touches is under slot.mu)
 void Fleet::enqueue_rx(unsigned machine, std::string_view bytes) {
   Slot& slot = *slots_.at(machine);
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   slot.rx.append(bytes);
 }
 
+// thread:any(slot channel; everything it touches is under slot.mu)
 std::string Fleet::drain_tx(unsigned machine) {
   Slot& slot = *slots_.at(machine);
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   std::string out;
   out.swap(slot.tx);
   return out;
 }
 
+// thread:any(slot channel; everything it touches is under slot.mu)
 void Fleet::request_stop(unsigned machine) {
   Slot& slot = *slots_.at(machine);
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   slot.stop_requested = true;
 }
 
+// thread:any(loops over the thread-safe per-machine request)
 void Fleet::request_stop_all() {
   for (unsigned i = 0; i < size(); ++i) request_stop(i);
 }
 
+// thread:any(returns the published copy from under slot.mu)
 MachineStatus Fleet::status(unsigned machine) const {
   const Slot& slot = *slots_.at(machine);
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   return slot.status;
 }
 
+// thread:any(returns the published copy from under slot.mu)
 std::vector<MetricsRegistry::Sample> Fleet::published(unsigned machine) const {
   const Slot& slot = *slots_.at(machine);
-  std::lock_guard<std::mutex> lk(slot.mu);
+  vdbg::MutexLock lk(slot.mu);
   return slot.snapshot;
 }
 
@@ -194,6 +207,7 @@ const MetricsRegistry::Sample* find_sample(
 
 }  // namespace
 
+// thread:any(reads only published copies via status/published)
 std::vector<MetricsRegistry::Sample> Fleet::rollup() const {
   using Sample = MetricsRegistry::Sample;
   const unsigned n = size();
@@ -270,11 +284,12 @@ std::vector<MetricsRegistry::Sample> Fleet::rollup() const {
 
 // ----------------------------------------------------------------- health
 
+// thread:any(health monitor calls it mid-run, tests after; slot.mu only)
 bool Fleet::mark_sick(unsigned machine, const std::string& reason) {
   Slot& slot = *slots_.at(machine);
   bool arm_directly = false;
   {
-    std::lock_guard<std::mutex> lk(slot.mu);
+    vdbg::MutexLock lk(slot.mu);
     if (slot.status.sick) return false;
     slot.status.sick = true;
     if (cfg_.health.arm_flight_recorder && !slot.arm_done) {

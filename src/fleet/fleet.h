@@ -17,12 +17,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "fleet/health.h"
 #include "fleet/machine_unit.h"
 
@@ -123,17 +123,21 @@ class Fleet {
  private:
   friend class HealthMonitor;
 
-  /// Per-machine host-side channel state. Everything here is guarded by
-  /// mu; the worker copies in, other threads copy out.
+  /// Per-machine host-side channel state: the worker copies in, other
+  /// threads copy out. The annotations are the protocol — vdbg_lint's
+  /// lock-guard checker and clang's -Wthread-safety both enforce them.
   struct Slot {
-    mutable std::mutex mu;
-    std::string rx;  // host -> machine UART bytes, pending injection
-    std::string tx;  // machine UART -> host bytes, pending drain
-    bool stop_requested = false;
-    bool arm_requested = false;  // health monitor wants a FlightRecorder
-    bool arm_done = false;
-    MachineStatus status{};
-    std::vector<MetricsRegistry::Sample> snapshot;
+    mutable vdbg::Mutex mu;
+    /// Host -> machine UART bytes, pending injection.
+    std::string rx VDBG_GUARDED_BY(mu);
+    /// Machine UART -> host bytes, pending drain.
+    std::string tx VDBG_GUARDED_BY(mu);
+    bool stop_requested VDBG_GUARDED_BY(mu) = false;
+    /// Health monitor wants a FlightRecorder armed on this machine.
+    bool arm_requested VDBG_GUARDED_BY(mu) = false;
+    bool arm_done VDBG_GUARDED_BY(mu) = false;
+    MachineStatus status VDBG_GUARDED_BY(mu){};
+    std::vector<MetricsRegistry::Sample> snapshot VDBG_GUARDED_BY(mu);
   };
 
   void worker_loop();
@@ -145,14 +149,15 @@ class Fleet {
   /// owning worker, or for a machine whose published status is done.
   void arm_flight_recorder_now(unsigned i);
 
+  // thread:init-only(ctor-written; frozen before run spawns any thread)
   FleetConfig cfg_;
-  unsigned threads_ = 1;
-  guest::GuestImage image_;  // built once, stamped into every unit
-  std::vector<std::unique_ptr<MachineUnit>> units_;
-  std::vector<std::unique_ptr<Slot>> slots_;
+  unsigned threads_ = 1;     // thread:init-only(see cfg_)
+  guest::GuestImage image_;  // thread:init-only(built once, stamped into every unit)
+  std::vector<std::unique_ptr<MachineUnit>> units_;  // thread:init-only(see cfg_)
+  std::vector<std::unique_ptr<Slot>> slots_;         // thread:init-only(see cfg_)
   std::atomic<unsigned> next_machine_{0};
   std::atomic<bool> running_{false};
-  bool ran_ = false;
+  bool ran_ = false;  // thread:init-only(written only by run(), before any thread spawns)
   HealthMonitor health_;
 };
 

@@ -8,32 +8,37 @@
 
 namespace vdbg::fleet {
 
+// thread:handoff(spawns the monitor thread; its body is checked as thread:monitor)
 void HealthMonitor::start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  vdbg::MutexLock lk(mu_);
   if (running_) return;
   stopping_ = false;
   running_ = true;
   thread_ = std::thread([this] { loop(); });
 }
 
+// thread:handoff(joins the monitor thread; the join orders its writes before ours)
 void HealthMonitor::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vdbg::MutexLock lk(mu_);
     if (!running_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  vdbg::MutexLock lk(mu_);
   running_ = false;
 }
 
+// thread:monitor(body of the watchdog thread)
 void HealthMonitor::loop() {
   const auto period =
       std::chrono::milliseconds(std::max(1u, fleet_.config().health.poll_interval_ms));
-  std::unique_lock<std::mutex> lk(mu_);
+  vdbg::MutexLock lk(mu_);
   for (;;) {
-    cv_.wait_for(lk, period, [this] { return stopping_; });
+    // Plain timed wait, no predicate: a spurious wakeup just runs one extra
+    // evaluation pass, and a stop() is seen on the very next check.
+    cv_.wait_for(lk, period);
     if (stopping_) return;
     lk.unlock();
     std::vector<HealthEvent> fresh = evaluate();
@@ -43,15 +48,17 @@ void HealthMonitor::loop() {
   }
 }
 
+// thread:any(evaluate only reads published copies; events_ is taken under mu_)
 std::vector<HealthEvent> HealthMonitor::check_now() {
   std::vector<HealthEvent> fresh = evaluate();
-  std::lock_guard<std::mutex> lk(mu_);
+  vdbg::MutexLock lk(mu_);
   for (const auto& e : fresh) events_.push_back(e);
   return fresh;
 }
 
+// thread:any(returns a copy taken under mu_)
 std::vector<HealthEvent> HealthMonitor::events() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vdbg::MutexLock lk(mu_);
   return events_;
 }
 

@@ -14,11 +14,11 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace vdbg::fleet {
@@ -81,12 +81,13 @@ class HealthMonitor {
   std::vector<HealthEvent> evaluate();
 
   Fleet& fleet_;
-  std::thread thread_;
-  mutable std::mutex mu_;  // guards events_, stopping_, cv_
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool running_ = false;
-  std::vector<HealthEvent> events_;
+  std::thread thread_;  // start()/stop() only; joined outside the lock
+  mutable vdbg::Mutex mu_;
+  /// Waits on vdbg::Mutex (a Lockable, not std::mutex), hence _any.
+  std::condition_variable_any cv_;
+  bool stopping_ VDBG_GUARDED_BY(mu_) = false;
+  bool running_ VDBG_GUARDED_BY(mu_) = false;
+  std::vector<HealthEvent> events_ VDBG_GUARDED_BY(mu_);
   std::atomic<u64> polls_{0};
 };
 

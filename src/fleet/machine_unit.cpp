@@ -15,6 +15,7 @@ std::string_view unit_kind_name(UnitKind k) {
   return "?";
 }
 
+// thread:init-only(runs before the unit is handed to any worker)
 MachineUnit::MachineUnit(UnitKind kind, const UnitOptions& opts, int id)
     : kind_(kind), opts_(opts), id_(id) {
   machine_ = std::make_unique<hw::Machine>(opts_.machine);
@@ -23,6 +24,7 @@ MachineUnit::MachineUnit(UnitKind kind, const UnitOptions& opts, int id)
   opts_.prebuilt_image = nullptr;  // consumed; the pointee may not outlive us
 }
 
+// thread:init-only(runs before the unit is handed to any worker)
 void MachineUnit::prepare(const guest::RunConfig& rc) {
   if (prepared_) throw std::logic_error("MachineUnit::prepare called twice");
   prepared_ = true;
@@ -61,6 +63,7 @@ void MachineUnit::prepare(const guest::RunConfig& rc) {
   }
 }
 
+// thread:init-only(runs before the unit is handed to any worker)
 vmm::DebugStub* MachineUnit::attach_stub() {
   if (stub_) return stub_.get();
   if (!monitor_) return nullptr;
@@ -70,6 +73,7 @@ vmm::DebugStub* MachineUnit::attach_stub() {
   return stub_.get();
 }
 
+// thread:handoff(owning worker via the slot.mu arm_requested protocol, or harness init before the run)
 vmm::FlightRecorder* MachineUnit::arm_flight_recorder(
     const std::string& dir, const std::string& file_prefix) {
   if (flight_) return flight_.get();

@@ -99,19 +99,23 @@ class MachineUnit {
   vmm::FlightRecorder* flight_recorder() { return flight_.get(); }
 
  private:
-  UnitKind kind_;
-  UnitOptions opts_;
-  int id_;
-  std::unique_ptr<hw::Machine> machine_;
-  std::unique_ptr<vmm::Lvmm> monitor_;
-  MetricsRegistry metrics_;
-  std::unique_ptr<vmm::DebugStub> stub_;
+  // thread:init-only(written by the ctor / prepare / attach_stub before the
+  // unit is handed to a worker; afterwards the owning worker reads freely)
+  UnitKind kind_;       // thread:init-only(see above)
+  UnitOptions opts_;    // thread:init-only(see above)
+  int id_;              // thread:init-only(see above)
+  std::unique_ptr<hw::Machine> machine_;   // thread:init-only(see above)
+  std::unique_ptr<vmm::Lvmm> monitor_;     // thread:init-only(see above)
+  MetricsRegistry metrics_;                // thread:init-only(registered once; counters mutate behind pointers the owning worker drives)
+  std::unique_ptr<vmm::DebugStub> stub_;   // thread:init-only(see above)
+  // Armed mid-run through the slot.mu arm_requested handoff, so not
+  // init-only: arm_flight_recorder is a thread:handoff function.
   std::unique_ptr<vmm::ExitTracer> flight_tracer_;
   std::unique_ptr<vmm::FlightRecorder> flight_;
-  guest::GuestImage image_;
-  guest::RunConfig rc_;
-  net::PacketSink sink_;
-  bool prepared_ = false;
+  guest::GuestImage image_;  // thread:init-only(see above)
+  guest::RunConfig rc_;      // thread:init-only(see above)
+  net::PacketSink sink_;     // owning worker only (NIC wire callback)
+  bool prepared_ = false;    // thread:init-only(see above)
 };
 
 }  // namespace vdbg::fleet

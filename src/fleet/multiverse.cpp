@@ -243,6 +243,7 @@ void Multiverse::Stats::add(const Stats& o) {
   verify_passes += o.verify_passes;
 }
 
+// thread:init-only(constructed on the coordinating thread before any exploration)
 Multiverse::Multiverse(const vmm::TimeTravel::Checkpoint& cp,
                        MultiverseConfig cfg)
     : cp_(cp), cfg_(std::move(cfg)) {
@@ -255,6 +256,7 @@ Multiverse::Multiverse(const vmm::TimeTravel::Checkpoint& cp,
   image_ = guest::build_minitactix(cfg_.unit.build);
 }
 
+// thread:any(pure function of the rng and config)
 Perturbation Multiverse::draw(Rng& rng) const {
   // Candidate knobs: the IRQ lines the machine actually wires (timer,
   // UART, NIC, the three SCSI controllers), per-disk latency, NIC timing.
@@ -285,6 +287,7 @@ Perturbation Multiverse::draw(Rng& rng) const {
   return p;
 }
 
+// thread:any(each call builds a private Fleet; nothing outlives the call)
 std::vector<TimelineResult> Multiverse::run_batch(
     const std::vector<Perturbation>& perturbs, const OutcomePredicate& pred) {
   if (perturbs.empty()) return {};
@@ -333,6 +336,7 @@ std::vector<TimelineResult> Multiverse::run_batch(
   return out;
 }
 
+// thread:any(runs batches on the calling thread)
 std::vector<TimelineResult> Multiverse::explore(const OutcomePredicate& pred) {
   Rng rng(cfg_.seed);
   std::vector<Perturbation> perturbs;
@@ -343,6 +347,7 @@ std::vector<TimelineResult> Multiverse::explore(const OutcomePredicate& pred) {
   return run_batch(perturbs, pred);
 }
 
+// thread:any(runs batches on the calling thread)
 Multiverse::TrapResult Multiverse::bug_trap(const OutcomePredicate& pred) {
   TrapResult out;
   Rng rng(cfg_.seed);
@@ -414,6 +419,7 @@ Multiverse::TrapResult Multiverse::bug_trap(const OutcomePredicate& pred) {
   return out;
 }
 
+// thread:any(registry externally synchronized - owned by the caller)
 void Multiverse::register_metrics(MetricsRegistry& reg) {
   reg.add_counter("vmm.multiverse.forks", &stats_.forks,
                   /*replay_exact=*/false);
@@ -440,6 +446,7 @@ MultiverseService::MultiverseService(vmm::DebugStub& stub, vmm::TimeTravel& tt,
 
 MultiverseService::~MultiverseService() { stub_.set_query_hook(nullptr); }
 
+// thread:any(registry externally synchronized - owned by the caller)
 void MultiverseService::register_metrics(MetricsRegistry& reg) {
   reg.add_counter("vmm.multiverse.forks", &stats_.forks,
                   /*replay_exact=*/false);
@@ -486,6 +493,7 @@ std::string format_timelines(const std::vector<TimelineResult>& results) {
 
 }  // namespace
 
+// thread:any(runs on whichever thread drives the debug stub; the service is single-client by construction)
 std::optional<std::string> MultiverseService::handle(const std::string& q) {
   const bool is_fork = q.rfind("Vdbg.Fork,", 0) == 0;
   const bool is_multi = q.rfind("Vdbg.Multiverse,", 0) == 0;

@@ -27,13 +27,16 @@ bool set_nonblocking(int fd) {
 
 }  // namespace
 
+// thread:init-only(constructed before the server thread exists)
 FleetServer::FleetServer(Fleet& fleet) : FleetServer(fleet, Config{}) {}
 
+// thread:init-only(constructed before the server thread exists)
 FleetServer::FleetServer(Fleet& fleet, Config cfg)
     : fleet_(fleet), cfg_(cfg), machine_attached_(fleet.size(), false) {}
 
 FleetServer::~FleetServer() { stop(); }
 
+// thread:handoff(opens the listener, then spawns the server thread; callers serialize start/stop)
 bool FleetServer::start() {
   if (started_) return true;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -65,6 +68,7 @@ bool FleetServer::start() {
   return true;
 }
 
+// thread:handoff(the join orders the server thread writes before the cleanup)
 void FleetServer::stop() {
   if (!started_) return;
   stop_.store(true);
@@ -78,6 +82,7 @@ void FleetServer::stop() {
   started_ = false;
 }
 
+// thread:server(body of the single poll-driven server thread)
 void FleetServer::loop() {
   std::vector<pollfd> pfds;
   while (!stop_.load()) {
@@ -122,6 +127,7 @@ void FleetServer::loop() {
   }
 }
 
+// thread:server(called from loop only)
 void FleetServer::accept_pending() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -139,6 +145,7 @@ void FleetServer::accept_pending() {
   }
 }
 
+// thread:server(called from loop only)
 bool FleetServer::read_session(Session& s) {
   char buf[4096];
   for (;;) {
@@ -172,6 +179,7 @@ bool FleetServer::read_session(Session& s) {
   }
 }
 
+// thread:server(called from read_session only)
 void FleetServer::handle_attach_line(Session& s) {
   // Expected: "attach <decimal machine id>" (optional trailing \r).
   std::string line = s.line;
@@ -212,6 +220,7 @@ void FleetServer::handle_attach_line(Session& s) {
   kLog.info("session attached to machine ", id);
 }
 
+// thread:server(called from loop only)
 void FleetServer::close_session(Session& s) {
   if (s.machine >= 0) {
     machine_attached_[static_cast<std::size_t>(s.machine)] = false;

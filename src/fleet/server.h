@@ -72,14 +72,14 @@ class FleetServer {
   void close_session(Session& s);
 
   Fleet& fleet_;
-  Config cfg_;
-  int listen_fd_ = -1;
-  u16 port_ = 0;
-  std::thread thread_;
+  Config cfg_;  // thread:init-only(ctor-written, frozen before start)
+  int listen_fd_ = -1;  // thread:server(start opens it before the spawn, stop closes it after the join)
+  u16 port_ = 0;        // written by start() before the thread spawns
+  std::thread thread_;  // start()/stop() only; joined outside the loop
   std::atomic<bool> stop_{false};
-  bool started_ = false;
-  std::vector<Session> sessions_;
-  std::vector<bool> machine_attached_;
+  bool started_ = false;  // start()/stop() caller's thread only
+  std::vector<Session> sessions_;       // thread:server(single poll loop owns all sessions)
+  std::vector<bool> machine_attached_;  // thread:server(attach bookkeeping, loop only)
   std::atomic<u64> accepted_{0};
   std::atomic<u64> bytes_in_{0};
   std::atomic<u64> bytes_out_{0};

@@ -26,7 +26,8 @@ void Platform::prepare(const guest::RunConfig& rc) {
 
   // CI post-mortem hook: with VDBG_FLIGHT_DIR set, every guest crash under
   // the monitor writes a flight-recorder bundle into that directory.
-  if (const char* dir = std::getenv("VDBG_FLIGHT_DIR")) {
+  // Read once during single-threaded harness setup; nothing ever setenvs.
+  if (const char* dir = std::getenv("VDBG_FLIGHT_DIR")) {  // NOLINT(concurrency-mt-unsafe)
     unit_.arm_flight_recorder(dir, "flight-" + std::to_string(getpid()));
   }
 }

@@ -42,6 +42,7 @@ std::string ts_us(Cycles c) {
 FlightRecorder::FlightRecorder(Lvmm& mon, Config cfg)
     : mon_(mon), cfg_(std::move(cfg)) {}
 
+// thread:any(armed by harness init or through the fleet slot.mu handoff; observers run on the owning worker afterwards)
 void FlightRecorder::arm() {
   mon_.set_stop_observer([this](DebugDelegate::StopReason reason) {
     const bool crash = reason == DebugDelegate::StopReason::kCrash;
@@ -181,6 +182,7 @@ std::string FlightRecorder::trace_event_json() const {
   return out;
 }
 
+// thread:any(reads monitor state; callers order themselves against the owning worker - see Fleet::arm_flight_recorder_now)
 FlightRecorder::Bundle FlightRecorder::capture(std::string_view reason) const {
   Bundle b;
   b.reason = std::string(reason);
@@ -190,6 +192,7 @@ FlightRecorder::Bundle FlightRecorder::capture(std::string_view reason) const {
   return b;
 }
 
+// thread:any(see capture)
 bool FlightRecorder::dump(std::string_view reason, std::string* summary_path,
                           std::string* trace_path) {
   ++seq_;

@@ -14,7 +14,7 @@ namespace vlint {
 
 struct Diag {
   // "snap-complete" | "det-pure" | "charge-path" | "layer-dag" |
-  // "metric-name"
+  // "metric-name" | "lock-guard" | "thread-role"
   std::string check;
   std::string path;
   int line = 0;
@@ -23,8 +23,9 @@ struct Diag {
 
 struct Repo {
   std::vector<std::unique_ptr<LexedFile>> files;
-  std::vector<ClassInfo> classes;  // all classes from all files
-  std::vector<FuncDef> funcs;      // all out-of-line member definitions
+  std::vector<ClassInfo> classes;   // all classes from all files
+  std::vector<FuncDef> funcs;       // all out-of-line member definitions
+  std::vector<FuncDef> all_funcs;   // + free functions and inline methods
 };
 
 /// (1) Snapshot completeness: every data member of a class with both
@@ -57,5 +58,28 @@ void check_layer_dag(const Repo& repo, std::vector<Diag>& out);
 /// segments of [a-z0-9_]. Dynamically built names (prefix + "...") are
 /// skipped here; the registry validates them at registration time.
 void check_metric_names(const Repo& repo, std::vector<Diag>& out);
+
+/// (6) Lock discipline: a field annotated `// guard:by(<mutex>)` (or
+/// `VDBG_GUARDED_BY(<mutex>)`) may only be accessed in a scope that holds
+/// the named mutex — a vdbg::MutexLock / std::lock_guard / unique_lock /
+/// scoped_lock naming it, a manual `<mutex>.lock()`, or a
+/// `// guard:held(<mutex>)` / VDBG_REQUIRES precondition on the enclosing
+/// function. Lambda bodies start with nothing held (they usually run on
+/// another thread). `// guard:exempt(<reason>)` waives one access (on its
+/// line) or a whole function (above the signature); a waiver that never
+/// fires is itself a diagnostic.
+void check_lock_guard(const Repo& repo, std::vector<Diag>& out);
+
+/// (7) Thread roles: functions and fields in src/fleet (plus the flight
+/// recorder, log and metrics files) tagged `// thread:worker(..)`,
+/// `thread:monitor(..)`, `thread:server(..)`, `thread:init-only(..)` or
+/// `thread:any(..)`. Walks the call graph from every tagged function and
+/// reports paths that reach a function or field of a *different* exclusive
+/// role without passing a `// thread:handoff(<reason>)` function.
+/// std::atomic, thread_local and guard:by fields are the only sanctioned
+/// data crossings; init-only fields additionally allow reads from any role
+/// (writes only from init-only). Untagged functions inherit the caller's
+/// role; thread:any bodies are checked once, as callable from anywhere.
+void check_thread_role(const Repo& repo, std::vector<Diag>& out);
 
 }  // namespace vlint

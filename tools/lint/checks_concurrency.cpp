@@ -1,0 +1,826 @@
+// The two concurrency checkers: (6) lock-guard — annotation-driven lock
+// discipline — and (7) thread-role — call-graph thread-role consistency for
+// the fleet layer. Both read the same annotations clang's -Wthread-safety
+// consumes through src/common/thread_annotations.h, plus the comment forms
+// documented in model.h; DESIGN.md §8 "Concurrency checking" has the model.
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+#include "model.h"
+
+namespace vlint {
+
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "else",   "for",     "while",    "do",       "switch",
+      "return", "sizeof", "catch",   "new",      "delete",   "throw",
+      "case",   "goto",   "static_assert",       "decltype", "alignof",
+      "noexcept"};
+  return kw.count(s) != 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!trim(cur).empty()) out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+// One past the matching '>' for toks[open] == "<"; `open` itself if the run
+// to the matching bracket leaves the statement (malformed / not a template
+// argument list after all).
+int match_angle(const std::vector<Tok>& t, int open) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(t.size()); ++k) {
+    const std::string& s = t[k].text;
+    if (s == "<") ++depth;
+    else if (s == ">") {
+      if (--depth == 0) return k + 1;
+    } else if (s == ";" || s == "{" || s == "}") {
+      return open;
+    }
+  }
+  return open;
+}
+
+// ---------------------------------------------------------------------------
+// Shared annotation/field model
+// ---------------------------------------------------------------------------
+
+struct FieldFacts {
+  std::string mutex;  // guard:by / VDBG_GUARDED_BY target, "" if unguarded
+  std::string role;   // worker|monitor|server|init-only, "" if untagged
+  bool atomic = false;
+  bool is_thread_local = false;
+  int line = 0;
+  const LexedFile* file = nullptr;
+};
+
+struct ConcurrencyModel {
+  // "Cls::field" -> facts, for every field carrying any concurrency fact.
+  std::map<std::string, FieldFacts> fields;
+  // Namespace-scope guarded variables (macro form only): per file path,
+  // var name -> mutex.
+  std::map<std::string, std::map<std::string, std::string>> file_guards;
+  // Names of mutex-typed members plus every annotation's mutex target —
+  // what a manual `<name>.lock()` is allowed to toggle.
+  std::set<std::string> mutex_names;
+  // Classes owning at least one guard:by field (typed-base resolution).
+  std::set<std::string> guarded_classes;
+  // Every class name seen anywhere (constructor-call suppression and
+  // typed-base resolution for the role checker).
+  std::set<std::string> class_names;
+};
+
+const char* kExclusiveRoles[] = {"worker", "monitor", "server", "init-only"};
+
+// Scans one class body for field declarations carrying guard:/thread:
+// annotations (comment or VDBG_ macro form) and for sync-primitive members.
+void scan_class_fields(const LexedFile& f, const ClassInfo& ci,
+                       ConcurrencyModel& m) {
+  if (ci.body_begin < 0 || ci.body_end <= ci.body_begin) return;
+  const auto& t = f.toks;
+  int depth = 0, paren = 0;
+  bool in_init = false;  // between a default-member-init '=' and its ';'
+  int decl_start = ci.body_begin + 1;
+  for (int k = ci.body_begin + 1; k < ci.body_end - 1; ++k) {
+    const Tok& tok = t[k];
+    const std::string& s = tok.text;
+    if (s == "{") { ++depth; continue; }
+    if (s == "}") { if (depth > 0) --depth; if (depth == 0 && paren == 0) { decl_start = k + 1; in_init = false; } continue; }
+    if (depth > 0) continue;
+    if (s == "(") { ++paren; continue; }
+    if (s == ")") { if (paren > 0) --paren; continue; }
+    if (paren > 0) continue;
+    if (s == ";" || s == ":") { decl_start = k + 1; in_init = false; continue; }
+    if (s == "=") { in_init = true; continue; }
+    if (in_init || tok.kind != TokKind::kIdent) continue;
+    // Candidate field: ident followed by a declarator terminator or the
+    // guard macro, not preceded by a scope/type keyword or '::'.
+    const std::string next = k + 1 < ci.body_end ? t[k + 1].text : "";
+    const std::string prev = k > 0 ? t[k - 1].text : "";
+    const bool macro_follows = next == "VDBG_GUARDED_BY";
+    if (!macro_follows && next != ";" && next != "=" && next != "{" &&
+        next != "," && next != "[") {
+      continue;
+    }
+    if (prev == "::" || prev == "struct" || prev == "class" ||
+        prev == "enum" || prev == "union" || prev == "namespace") {
+      continue;
+    }
+    // Decl-specifier scan: atomic / thread_local / sync-primitive types.
+    bool atomic = false, tls = false, sync = false;
+    for (int j = decl_start; j < k; ++j) {
+      if (t[j].kind != TokKind::kIdent) continue;
+      const std::string& w = t[j].text;
+      if (w == "atomic" || w == "atomic_bool" || w == "atomic_int" ||
+          w == "atomic_flag") {
+        atomic = true;
+      } else if (w == "thread_local") {
+        tls = true;
+      } else if (w == "Mutex" || w == "mutex" || w == "shared_mutex" ||
+                 w == "condition_variable" || w == "condition_variable_any" ||
+                 w == "thread" || w == "jthread") {
+        sync = true;
+      }
+    }
+    if (sync) {
+      m.mutex_names.insert(s);
+      continue;  // sync primitives are the protection, not the data
+    }
+    FieldFacts facts;
+    facts.atomic = atomic;
+    facts.is_thread_local = tls;
+    facts.line = tok.line;
+    facts.file = &f;
+    if (macro_follows && k + 2 < ci.body_end && t[k + 2].text == "(") {
+      const int close = [&] {
+        int d = 0;
+        for (int j = k + 2; j < ci.body_end; ++j) {
+          if (t[j].text == "(") ++d;
+          else if (t[j].text == ")" && --d == 0) return j;
+        }
+        return ci.body_end - 1;
+      }();
+      for (int j = k + 3; j < close; ++j) {
+        if (t[j].kind == TokKind::kIdent) facts.mutex = t[j].text;
+      }
+    }
+    if (facts.mutex.empty()) {
+      if (auto g = find_annotation(f, tok.line, "guard:by")) facts.mutex = trim(*g);
+    }
+    for (const char* r : kExclusiveRoles) {
+      if (find_annotation(f, tok.line, std::string("thread:") + r)) {
+        facts.role = r;
+        break;
+      }
+    }
+    if (facts.mutex.empty() && facts.role.empty() && !atomic && !tls) continue;
+    if (!facts.mutex.empty()) {
+      m.mutex_names.insert(facts.mutex);
+      m.guarded_classes.insert(ci.name);
+    }
+    m.fields[ci.name + "::" + s] = facts;
+  }
+}
+
+ConcurrencyModel build_model(const Repo& repo) {
+  ConcurrencyModel m;
+  for (const auto& ci : repo.classes) m.class_names.insert(ci.name);
+  for (const auto& ci : repo.classes) {
+    if (ci.file) scan_class_fields(*ci.file, ci, m);
+  }
+  // Namespace-scope guarded variables, macro form: `Type name
+  // VDBG_GUARDED_BY(mu);` outside every class body.
+  for (const auto& fp : repo.files) {
+    const LexedFile& f = *fp;
+    std::vector<std::pair<int, int>> class_ranges;
+    for (const auto& ci : repo.classes) {
+      if (ci.file == &f && ci.body_begin >= 0) {
+        class_ranges.emplace_back(ci.body_begin, ci.body_end);
+      }
+    }
+    const auto& t = f.toks;
+    for (int k = 1; k + 1 < static_cast<int>(t.size()); ++k) {
+      if (t[k].text != "VDBG_GUARDED_BY" || t[k + 1].text != "(") continue;
+      bool in_class = false;
+      for (const auto& r : class_ranges) {
+        if (k > r.first && k < r.second) { in_class = true; break; }
+      }
+      if (in_class || t[k - 1].kind != TokKind::kIdent) continue;
+      std::string mutex;
+      for (int j = k + 2; j < static_cast<int>(t.size()) && t[j].text != ")"; ++j) {
+        if (t[j].kind == TokKind::kIdent) mutex = t[j].text;
+      }
+      if (mutex.empty()) continue;
+      m.file_guards[f.path][t[k - 1].text] = mutex;
+      m.mutex_names.insert(mutex);
+    }
+  }
+  return m;
+}
+
+// Start of the signature token range for a function definition: walk back
+// from the body '{' while tokens stay on/after the annotated line.
+int signature_start(const LexedFile& f, const FuncDef& fd) {
+  int k = fd.body_begin - 1;
+  while (k >= 0 && f.toks[k].line >= fd.line) --k;
+  return k + 1;
+}
+
+// `T [&*]* name <terminator>` declarations for the given set of class
+// names, over [from, to) — parameters and locals both match.
+void collect_var_types(const LexedFile& f, int from, int to,
+                       const std::set<std::string>& classes,
+                       std::map<std::string, std::string>& out) {
+  const auto& t = f.toks;
+  for (int k = from; k < to - 1; ++k) {
+    if (t[k].kind != TokKind::kIdent || !classes.count(t[k].text)) continue;
+    int j = k + 1;
+    while (j < to && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j >= to - 1 || t[j].kind != TokKind::kIdent || is_keyword(t[j].text)) continue;
+    const std::string& after = t[j + 1].text;
+    if (after == "=" || after == "(" || after == "{" || after == ";" ||
+        after == "," || after == ")") {
+      out[t[j].text] = t[k].text;
+    }
+  }
+}
+
+// True when toks[k] begins a lambda introducer: '[' not preceded by an
+// expression (same heuristic charge-path uses).
+bool lambda_at(const std::vector<Tok>& t, int k, int begin) {
+  if (t[k].text != "[") return false;
+  if (k == begin) return true;
+  const Tok& p = t[k - 1];
+  if (p.kind == TokKind::kIdent && !is_keyword(p.text)) return false;
+  return p.text != "]" && p.text != ")";
+}
+
+// Given a lambda introducer at `k`, returns the token index of the body '{'
+// (or -1 when none is found nearby — not a lambda after all).
+int lambda_body(const std::vector<Tok>& t, int k, int end) {
+  int d = 0, j = k;
+  for (; j < end; ++j) {
+    if (t[j].text == "[") ++d;
+    else if (t[j].text == "]" && --d == 0) break;
+  }
+  if (j >= end) return -1;
+  ++j;
+  if (j < end && t[j].text == "(") {  // parameter list
+    int pd = 0;
+    for (; j < end; ++j) {
+      if (t[j].text == "(") ++pd;
+      else if (t[j].text == ")" && --pd == 0) { ++j; break; }
+    }
+  }
+  for (int hops = 0; j < end && hops < 16; ++j, ++hops) {
+    if (t[j].text == "{") return j;
+    if (t[j].text == ";" || t[j].text == ")") return -1;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// (6) lock-guard
+// ---------------------------------------------------------------------------
+
+struct LockCtx {
+  const LexedFile* f = nullptr;
+  const FuncDef* fd = nullptr;
+  const ConcurrencyModel* m = nullptr;
+  const std::map<std::string, std::string>* fguards = nullptr;  // this file
+  std::map<std::string, std::string> vartypes;
+  std::optional<Annotation> fn_exempt;
+  bool fn_exempt_used = false;
+  std::set<int>* used_waivers = nullptr;   // comment lines whose exempt fired
+  std::set<std::string>* emitted = nullptr;
+  std::vector<Diag>* out = nullptr;
+};
+
+const std::set<std::string> kLockTypes = {"lock_guard", "unique_lock",
+                                          "scoped_lock", "MutexLock"};
+
+void report_unguarded(LockCtx& cx, const std::string& key,
+                      const std::string& mutex, int line) {
+  // Waivers: on the access line itself, else on the whole function.
+  if (auto w = find_annotation_at(*cx.f, line, "guard:exempt")) {
+    if (trim(w->value).empty()) {
+      const std::string dk = cx.f->path + ":" + std::to_string(w->line) + ":!";
+      if (cx.emitted->insert(dk).second) {
+        cx.out->push_back(Diag{"lock-guard", cx.f->path, w->line,
+                               "guard:exempt requires a reason"});
+      }
+    }
+    cx.used_waivers->insert(w->line);
+    return;
+  }
+  if (cx.fn_exempt) {
+    if (trim(cx.fn_exempt->value).empty()) {
+      const std::string dk =
+          cx.f->path + ":" + std::to_string(cx.fn_exempt->line) + ":!";
+      if (cx.emitted->insert(dk).second) {
+        cx.out->push_back(Diag{"lock-guard", cx.f->path, cx.fn_exempt->line,
+                               "guard:exempt requires a reason"});
+      }
+    }
+    cx.used_waivers->insert(cx.fn_exempt->line);
+    cx.fn_exempt_used = true;
+    return;
+  }
+  const std::string dk = cx.f->path + ":" + std::to_string(line) + ":" + key;
+  if (!cx.emitted->insert(dk).second) return;
+  cx.out->push_back(
+      Diag{"lock-guard", cx.f->path, line,
+           "'" + key + "' is guarded by '" + mutex + "' but '" + mutex +
+               "' is not held here; take a vdbg::MutexLock (or declare "
+               "guard:held(" + mutex + ") / guard:exempt(<reason>))"});
+}
+
+// Walks [begin, end) with the given held-set seed. Lambda bodies recurse
+// with an empty held set (they typically run on another thread later).
+void walk_lock(LockCtx& cx, int begin, int end, std::set<std::string> seed) {
+  const auto& t = cx.f->toks;
+  std::vector<std::set<std::string>> held;
+  held.push_back(std::move(seed));
+  std::map<std::string, std::vector<std::string>> lockvars;
+  for (int k = begin; k < end; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "{") { held.push_back(held.back()); continue; }
+    if (s == "}") { if (held.size() > 1) held.pop_back(); continue; }
+    if (lambda_at(t, k, begin)) {
+      const int body = lambda_body(t, k, end);
+      if (body >= 0) {
+        const int close = match_brace(t, body);
+        walk_lock(cx, body + 1, close - 1, {});
+        k = close - 1;
+        continue;
+      }
+    }
+    if (t[k].kind != TokKind::kIdent) continue;
+
+    // RAII lock declaration: Type[<...>] var(args...).
+    if (kLockTypes.count(s)) {
+      int j = k + 1;
+      if (j < end && t[j].text == "<") j = match_angle(t, j);
+      if (j + 1 < end && t[j].kind == TokKind::kIdent &&
+          t[j + 1].text == "(") {
+        const std::string var = t[j].text;
+        int d = 0, argb = j + 2;
+        std::vector<std::string> mutexes;
+        bool deferred = false;
+        int p = j + 1;
+        for (; p < end; ++p) {
+          if (t[p].text == "(") { ++d; continue; }
+          if (t[p].text == ")" && --d == 0) break;
+          if (d == 1 && t[p].text == ",") {
+            std::string last;
+            for (int q = argb; q < p; ++q) {
+              if (t[q].kind == TokKind::kIdent) last = t[q].text;
+            }
+            if (last == "defer_lock") deferred = true;
+            else if (!last.empty()) mutexes.push_back(last);
+            argb = p + 1;
+          }
+        }
+        std::string last;
+        for (int q = argb; q < p; ++q) {
+          if (t[q].kind == TokKind::kIdent) last = t[q].text;
+        }
+        if (last == "defer_lock") deferred = true;
+        else if (!last.empty()) mutexes.push_back(last);
+        lockvars[var] = mutexes;
+        if (!deferred) {
+          for (const auto& mu : mutexes) held.back().insert(mu);
+        }
+        k = p;
+        continue;
+      }
+    }
+
+    // Manual toggles: lockvar.lock()/unlock() or <mutex>.lock()/unlock().
+    if (k + 3 < end && (t[k + 1].text == "." || t[k + 1].text == "->") &&
+        (t[k + 2].text == "lock" || t[k + 2].text == "unlock") &&
+        t[k + 3].text == "(") {
+      const bool acquire = t[k + 2].text == "lock";
+      std::vector<std::string> mutexes;
+      if (auto it = lockvars.find(s); it != lockvars.end()) {
+        mutexes = it->second;
+      } else if (cx.m->mutex_names.count(s)) {
+        mutexes.push_back(s);
+      }
+      if (!mutexes.empty()) {
+        for (const auto& mu : mutexes) {
+          if (acquire) held.back().insert(mu);
+          else held.back().erase(mu);
+        }
+        k += 3;
+        continue;
+      }
+    }
+
+    // Guarded-field access.
+    if (s == "this" || is_keyword(s)) continue;
+    const std::string prev = k > 0 ? t[k - 1].text : "";
+    if (prev == "::") continue;  // qualified name, not a member access
+    std::string owner;
+    if (prev == "." || prev == "->") {
+      if (k < 2) continue;
+      const Tok& base = t[k - 2];
+      if (base.text == "this") owner = cx.fd->cls;
+      else if (base.kind == TokKind::kIdent) {
+        auto it = cx.vartypes.find(base.text);
+        if (it == cx.vartypes.end()) continue;  // unknown base: skip
+        owner = it->second;
+      } else {
+        continue;
+      }
+    } else {
+      owner = cx.fd->cls;
+      // Namespace-scope guarded variables are matched by bare name.
+      if (cx.fguards) {
+        auto it = cx.fguards->find(s);
+        if (it != cx.fguards->end() && !held.back().count(it->second)) {
+          report_unguarded(cx, s, it->second, t[k].line);
+          continue;
+        }
+        if (it != cx.fguards->end()) continue;
+      }
+      if (owner.empty()) continue;
+    }
+    auto it = cx.m->fields.find(owner + "::" + s);
+    if (it == cx.m->fields.end() || it->second.mutex.empty()) continue;
+    if (!held.back().count(it->second.mutex)) {
+      report_unguarded(cx, owner + "::" + s, it->second.mutex, t[k].line);
+    }
+  }
+}
+
+}  // namespace
+
+void check_lock_guard(const Repo& repo, std::vector<Diag>& out) {
+  const ConcurrencyModel m = build_model(repo);
+  std::map<const LexedFile*, std::set<int>> used_waivers;
+  std::set<std::string> emitted;
+
+  for (const auto& fd : repo.all_funcs) {
+    const LexedFile& f = *fd.file;
+    LockCtx cx;
+    cx.f = &f;
+    cx.fd = &fd;
+    cx.m = &m;
+    auto fit = m.file_guards.find(f.path);
+    cx.fguards = fit == m.file_guards.end() ? nullptr : &fit->second;
+    cx.fn_exempt = find_annotation_at(f, fd.line, "guard:exempt");
+    cx.used_waivers = &used_waivers[&f];
+    cx.emitted = &emitted;
+    cx.out = &out;
+
+    const int sig = signature_start(f, fd);
+    collect_var_types(f, sig, fd.body_end, m.guarded_classes, cx.vartypes);
+
+    // Held-set seed: guard:held(<mutexes>) comment and/or VDBG_REQUIRES in
+    // the signature.
+    std::set<std::string> seed;
+    if (auto h = find_annotation(f, fd.line, "guard:held")) {
+      for (const auto& mu : split_commas(*h)) seed.insert(mu);
+    }
+    for (int k = sig; k < fd.body_begin; ++k) {
+      if (f.toks[k].text != "VDBG_REQUIRES" || k + 1 >= fd.body_begin ||
+          f.toks[k + 1].text != "(") {
+        continue;
+      }
+      for (int j = k + 2;
+           j < fd.body_begin && f.toks[j].text != ")"; ++j) {
+        if (f.toks[j].kind == TokKind::kIdent) seed.insert(f.toks[j].text);
+      }
+    }
+    walk_lock(cx, fd.body_begin + 1, fd.body_end - 1, std::move(seed));
+  }
+
+  // Stale waivers: a guard:exempt that never fired. Consecutive comment
+  // lines carrying the same body (one spliced/block comment attached to
+  // every line it spans) count as a single waiver site.
+  for (const auto& fp : repo.files) {
+    const LexedFile& f = *fp;
+    const auto& used = used_waivers[&f];
+    int prev_line = -2;
+    std::string prev_body;
+    int run_start = -1;
+    bool run_used = false;
+    auto flush = [&](void) {
+      if (run_start >= 0 && !run_used) {
+        out.push_back(Diag{"lock-guard", f.path, run_start,
+                           "stale waiver: guard:exempt matched no unguarded "
+                           "access; delete it or re-justify"});
+      }
+      run_start = -1;
+      run_used = false;
+    };
+    for (const auto& [line, body] : f.comments) {
+      const bool has = body.find("guard:exempt(") != std::string::npos;
+      const bool contiguous = line == prev_line + 1 && body == prev_body;
+      if (has && contiguous && run_start >= 0) {
+        run_used = run_used || used.count(line);
+      } else {
+        flush();
+        if (has) {
+          run_start = line;
+          run_used = used.count(line) != 0;
+        }
+      }
+      prev_line = line;
+      prev_body = body;
+    }
+    flush();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (7) thread-role
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The checked surface: the fleet layer plus the flight recorder, log and
+// metrics files its threads share.
+bool role_scope_file(const std::string& path) {
+  if (path.rfind("src/fleet/", 0) == 0) return true;
+  static const char* kExtra[] = {
+      "src/vmm/flight_recorder.h", "src/vmm/flight_recorder.cpp",
+      "src/common/log.h",          "src/common/log.cpp",
+      "src/common/metrics.h",      "src/common/metrics.cpp"};
+  for (const char* p : kExtra) {
+    if (path == p) return true;
+  }
+  return false;
+}
+
+struct RoleNode {
+  const FuncDef* fd = nullptr;
+  std::string role;  // "", worker, monitor, server, init-only, any, handoff
+  std::string qual;  // "Cls::name" or "name"
+  struct Edge {
+    int callee;
+    int line;
+  };
+  std::vector<Edge> edges;
+  struct FieldAccess {
+    std::string key;  // "Cls::field"
+    int line;
+    bool write;
+  };
+  std::vector<FieldAccess> faccesses;
+};
+
+std::string node_role(const LexedFile& f, const FuncDef& fd,
+                      std::vector<Diag>& out, std::set<std::string>& emitted) {
+  static const char* kAll[] = {"worker",    "monitor", "server",
+                               "init-only", "any",     "handoff"};
+  for (const char* r : kAll) {
+    auto a = find_annotation_at(f, fd.line, std::string("thread:") + r);
+    if (!a) continue;
+    if (std::string(r) == "handoff" && trim(a->value).empty()) {
+      const std::string dk = f.path + ":" + std::to_string(a->line) + ":h!";
+      if (emitted.insert(dk).second) {
+        out.push_back(Diag{"thread-role", f.path, a->line,
+                           "thread:handoff requires a reason"});
+      }
+    }
+    return r;
+  }
+  return "";
+}
+
+// True when toks[k] is an assignment-style write to the ident at k
+// (=, op=, ++, --). Reads through method calls are not modelled.
+bool write_at(const std::vector<Tok>& t, int k, int end) {
+  if (k + 1 >= end) return false;
+  const std::string& a = t[k + 1].text;
+  if (a == "=") return k + 2 >= end || t[k + 2].text != "=";
+  if (k + 2 < end &&
+      (a == "+" || a == "-" || a == "*" || a == "/" || a == "%" ||
+       a == "&" || a == "|" || a == "^")) {
+    if (t[k + 2].text == "=") return true;
+    if ((a == "+" || a == "-") && t[k + 2].text == a) return true;  // x++/x--
+  }
+  if (k >= 2 && ((t[k - 1].text == "+" && t[k - 2].text == "+") ||
+                 (t[k - 1].text == "-" && t[k - 2].text == "-"))) {
+    return true;  // ++x/--x
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_thread_role(const Repo& repo, std::vector<Diag>& out) {
+  const ConcurrencyModel m = build_model(repo);
+  std::set<std::string> emitted;
+
+  // Nodes: every function body in a scope file.
+  std::vector<RoleNode> nodes;
+  std::map<std::string, std::vector<int>> by_name;  // name -> node indices
+  for (const auto& fd : repo.all_funcs) {
+    if (!role_scope_file(fd.file->path)) continue;
+    RoleNode n;
+    n.fd = &fd;
+    n.role = node_role(*fd.file, fd, out, emitted);
+    n.qual = fd.cls.empty() ? fd.name : fd.cls + "::" + fd.name;
+    by_name[fd.name].push_back(static_cast<int>(nodes.size()));
+    nodes.push_back(std::move(n));
+  }
+
+  // Role-tagged fields inside the scope only.
+  auto field_role = [&](const std::string& key) -> const FieldFacts* {
+    auto it = m.fields.find(key);
+    if (it == m.fields.end() || it->second.role.empty()) return nullptr;
+    if (!it->second.file || !role_scope_file(it->second.file->path)) return nullptr;
+    return &it->second;
+  };
+
+  // Edges and field accesses (lambda bodies excluded: handing a callable to
+  // another thread IS the crossing, and the lambda runs under that thread's
+  // role, which the receiving function's annotations cover).
+  auto resolve = [&](const std::string& cls,
+                     const std::string& name) -> int {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) return -1;
+    int hit = -1;
+    for (int idx : it->second) {
+      if (nodes[idx].fd->cls == cls) {
+        if (hit >= 0) return -1;  // ambiguous
+        hit = idx;
+      }
+    }
+    return hit;
+  };
+  auto resolve_member_fallback = [&](const std::string& name) -> int {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) return -1;
+    int hit = -1;
+    for (int idx : it->second) {
+      if (!nodes[idx].fd->cls.empty()) {
+        if (hit >= 0) return -1;
+        hit = idx;
+      }
+    }
+    return hit;
+  };
+  auto resolve_any = [&](const std::string& name) -> int {
+    auto it = by_name.find(name);
+    if (it == by_name.end() || it->second.size() != 1) return -1;
+    return it->second[0];
+  };
+
+  for (auto& n : nodes) {
+    const FuncDef& fd = *n.fd;
+    const LexedFile& f = *fd.file;
+    const auto& t = f.toks;
+    std::map<std::string, std::string> vartypes;
+    const int sig = signature_start(f, fd);
+    collect_var_types(f, sig, fd.body_end, m.class_names, vartypes);
+
+    for (int k = fd.body_begin + 1; k < fd.body_end - 1; ++k) {
+      if (lambda_at(t, k, fd.body_begin + 1)) {
+        const int body = lambda_body(t, k, fd.body_end - 1);
+        if (body >= 0) {
+          k = match_brace(t, body) - 1;
+          continue;
+        }
+      }
+      if (t[k].kind != TokKind::kIdent || is_keyword(t[k].text) ||
+          t[k].text == "this") {
+        continue;
+      }
+      const std::string& s = t[k].text;
+      const std::string prev = k > 0 ? t[k - 1].text : "";
+      const bool call = k + 1 < fd.body_end && t[k + 1].text == "(";
+
+      if (call && !m.class_names.count(s)) {
+        int callee = -1;
+        if (prev == "::") {
+          const std::string base = k >= 2 ? t[k - 2].text : "";
+          callee = resolve(base, s);
+          if (callee < 0) callee = resolve("", s);
+        } else if (prev == "." || prev == "->") {
+          const std::string base = k >= 2 ? t[k - 2].text : "";
+          if (base == "this") {
+            callee = resolve(fd.cls, s);
+          } else if (auto it = vartypes.find(base); it != vartypes.end()) {
+            callee = resolve(it->second, s);
+          } else {
+            callee = resolve_member_fallback(s);
+          }
+        } else {
+          callee = resolve(fd.cls, s);
+          if (callee < 0) callee = resolve("", s);
+          if (callee < 0) callee = resolve_any(s);
+        }
+        if (callee >= 0 && nodes[callee].fd != n.fd) {
+          n.edges.push_back({callee, t[k].line});
+        }
+        continue;
+      }
+
+      // Field access.
+      if (prev == "::") continue;
+      std::string owner;
+      if (prev == "." || prev == "->") {
+        const std::string base = k >= 2 ? t[k - 2].text : "";
+        if (base == "this") owner = fd.cls;
+        else if (auto it = vartypes.find(base); it != vartypes.end()) owner = it->second;
+        else continue;
+      } else {
+        owner = fd.cls;
+      }
+      if (owner.empty()) continue;
+      const std::string key = owner + "::" + s;
+      if (field_role(key)) {
+        n.faccesses.push_back({key, t[k].line, write_at(t, k, fd.body_end)});
+      }
+    }
+    std::sort(n.edges.begin(), n.edges.end(),
+              [&](const RoleNode::Edge& a, const RoleNode::Edge& b) {
+                if (nodes[a.callee].qual != nodes[b.callee].qual)
+                  return nodes[a.callee].qual < nodes[b.callee].qual;
+                return a.line < b.line;
+              });
+  }
+
+  // BFS from every tagged root. Untagged callees inherit the root's role;
+  // thread:any and thread:handoff callees end the traversal (the former is
+  // independently checked, the latter is the sanctioned crossing).
+  for (int r = 0; r < static_cast<int>(nodes.size()); ++r) {
+    const std::string& rrole = nodes[r].role;
+    if (rrole.empty() || rrole == "handoff") continue;
+
+    std::map<int, int> parent;
+    std::vector<int> queue{r};
+    parent[r] = -1;
+    auto path_to = [&](int v) {
+      std::vector<int> chain;
+      for (int x = v; x >= 0; x = parent[x]) chain.push_back(x);
+      std::reverse(chain.begin(), chain.end());
+      std::string p;
+      for (int x : chain) {
+        if (!p.empty()) p += " -> ";
+        p += nodes[x].qual;
+      }
+      return p;
+    };
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int v = queue[qi];
+      for (const auto& fa : nodes[v].faccesses) {
+        const FieldFacts* ff = field_role(fa.key);
+        if (!ff || !ff->mutex.empty() || ff->atomic || ff->is_thread_local) {
+          continue;  // guard:by / atomic / thread_local are sanctioned
+        }
+        bool bad;
+        std::string why;
+        if (ff->role == "init-only") {
+          bad = fa.write && rrole != "init-only";
+          why = "init-only fields are writable only before the threads start";
+        } else {
+          bad = ff->role != rrole;
+          why = "only std::atomic and guard:by fields may cross thread roles";
+        }
+        if (!bad) continue;
+        const std::string dk = nodes[r].qual + "|" + fa.key;
+        if (!emitted.insert(dk).second) continue;
+        out.push_back(Diag{
+            "thread-role", nodes[v].fd->file->path, fa.line,
+            "thread:" + rrole + " function '" + nodes[r].qual +
+                (fa.write && ff->role == "init-only" ? "' writes thread:"
+                                                     : "' touches thread:") +
+                ff->role + " field '" + fa.key + "' (path: " + path_to(v) +
+                "); " + why});
+      }
+      for (const auto& e : nodes[v].edges) {
+        const std::string& crole = nodes[e.callee].role;
+        if (crole == "handoff" || crole == "any") continue;
+        if (crole.empty() || crole == rrole) {
+          if (!parent.count(e.callee)) {
+            parent[e.callee] = v;
+            queue.push_back(e.callee);
+          }
+          continue;
+        }
+        const std::string dk = nodes[r].qual + "|" + nodes[e.callee].qual;
+        if (!emitted.insert(dk).second) continue;
+        out.push_back(Diag{
+            "thread-role", nodes[v].fd->file->path, e.line,
+            "thread:" + rrole + " function '" + nodes[r].qual +
+                "' reaches thread:" + crole + " function '" +
+                nodes[e.callee].qual + "' (path: " + path_to(v) + " -> " +
+                nodes[e.callee].qual +
+                "); route the crossing through a thread:handoff(<reason>) "
+                "function"});
+      }
+    }
+  }
+}
+
+}  // namespace vlint

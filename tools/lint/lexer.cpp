@@ -51,11 +51,29 @@ LexedFile lex_file(const std::string& path, const std::string& text) {
       continue;
     }
 
-    // Line comment.
+    // Line comment. A backslash immediately before the newline splices the
+    // next physical line into the comment (C++ phase-2 line splicing — the
+    // same rule compilers apply, so code swallowed by a trailing '\' is
+    // invisible here exactly as it is to the build).
     if (c == '/' && peek(1) == '/') {
       std::size_t j = i + 2;
-      while (j < n && text[j] != '\n') ++j;
-      add_comment(out, line, text.substr(i + 2, j - i - 2));
+      std::string body;
+      const int first_line = line;
+      while (j < n) {
+        if (text[j] == '\\' && j + 1 < n &&
+            (text[j + 1] == '\n' ||
+             (text[j + 1] == '\r' && j + 2 < n && text[j + 2] == '\n'))) {
+          j += text[j + 1] == '\n' ? 2 : 3;
+          ++line;
+          body += ' ';
+          continue;
+        }
+        if (text[j] == '\n') break;
+        body += text[j++];
+      }
+      // Attach to every physical line the comment spans (like a block
+      // comment) so by-line annotation lookup works from any of them.
+      for (int l = first_line; l <= line; ++l) add_comment(out, l, body);
       i = j;
       continue;
     }

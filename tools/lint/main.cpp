@@ -1,24 +1,31 @@
 // vdbg_lint — repo-invariant static analyzer for the vdbg tree.
 //
-// Five checkers (see checks.h and DESIGN.md, "Static analysis"):
+// Seven checkers (see checks.h and DESIGN.md, "Static analysis"):
 //   snap-complete  snapshot save/restore completeness and order
 //   det-pure       replay-determinism purity of the simulated layers
 //   charge-path    cost-model charge discipline in VM-exit handlers
 //   layer-dag      include edges respect the layer DAG
 //   metric-name    registry metric names follow layer.component.metric
+//   lock-guard     guard:by fields only touched with their mutex held
+//   thread-role    thread:* call graph never crosses exclusive roles
 //
 // Usage:
-//   vdbg_lint [--root <dir>] [--suppressions <file>] [scan-dirs...]
+//   vdbg_lint [--root <dir>] [--suppressions <file>] [--stats] [scan-dirs...]
 //
 // Scan dirs default to "src", relative to --root (default "."). Emits
 // file:line diagnostics relative to the root; exit code 0 when clean,
 // 1 when any unsuppressed diagnostic remains, 2 on usage/IO errors.
+// --stats prints per-checker finding/suppression/waiver counts and turns
+// stale suppression entries (ones matching no diagnostic) into
+// diagnostics of their own.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "checks.h"
@@ -33,6 +40,8 @@ struct Suppression {
   std::string check;     // exact checker id, or "*"
   std::string path_sub;  // substring of the diagnostic path ("" = any)
   std::string msg_sub;   // substring of the message ("" = any)
+  int line = 0;          // line in the suppression file (staleness reports)
+  bool used = false;     // matched at least one diagnostic this run
 };
 
 std::vector<Suppression> load_suppressions(const std::string& path) {
@@ -43,20 +52,24 @@ std::vector<Suppression> load_suppressions(const std::string& path) {
     std::exit(2);
   }
   std::string line;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     Suppression s;
     std::istringstream ls(line);
     std::getline(ls, s.check, '|');
     std::getline(ls, s.path_sub, '|');
     std::getline(ls, s.msg_sub, '|');
+    s.line = lineno;
     if (!s.check.empty()) out.push_back(std::move(s));
   }
   return out;
 }
 
-bool suppressed(const vlint::Diag& d, const std::vector<Suppression>& sups) {
-  for (const Suppression& s : sups) {
+bool suppressed(const vlint::Diag& d, std::vector<Suppression>& sups) {
+  if (d.check == "stale-suppression") return false;  // not itself waivable
+  for (Suppression& s : sups) {
     if (s.check != "*" && s.check != d.check) continue;
     if (!s.path_sub.empty() && d.path.find(s.path_sub) == std::string::npos) {
       continue;
@@ -64,9 +77,49 @@ bool suppressed(const vlint::Diag& d, const std::vector<Suppression>& sups) {
     if (!s.msg_sub.empty() && d.message.find(s.msg_sub) == std::string::npos) {
       continue;
     }
+    s.used = true;
     return true;
   }
   return false;
+}
+
+// Waiver annotations per checker, for --stats accounting. Comment lines
+// spanned by one spliced/block comment carry identical bodies; such runs
+// count once.
+const std::vector<std::pair<std::string, std::vector<std::string>>>
+    kWaiverKeys = {
+        {"snap-complete", {"snap:skip", "snap:reorder"}},
+        {"det-pure", {"det:host-boundary"}},
+        {"charge-path", {"charge:exempt", "charge:covered"}},
+        {"layer-dag", {}},
+        {"metric-name", {}},
+        {"lock-guard", {"guard:exempt"}},
+        {"thread-role", {"thread:handoff"}},
+};
+
+std::map<std::string, int> count_waivers(const vlint::Repo& repo) {
+  std::map<std::string, int> out;
+  for (const auto& [check, keys] : kWaiverKeys) out[check] = 0;
+  for (const auto& f : repo.files) {
+    int prev_line = -2;
+    std::string prev_body;
+    for (const auto& [line, body] : f->comments) {
+      const bool continuation = line == prev_line + 1 && body == prev_body;
+      prev_line = line;
+      prev_body = body;
+      if (continuation) continue;
+      for (const auto& [check, keys] : kWaiverKeys) {
+        for (const auto& key : keys) {
+          const std::string needle = key + "(";
+          for (std::size_t at = body.find(needle); at != std::string::npos;
+               at = body.find(needle, at + needle.size())) {
+            ++out[check];
+          }
+        }
+      }
+    }
+  }
+  return out;
 }
 
 bool source_extension(const fs::path& p) {
@@ -84,6 +137,7 @@ std::string relative_slashed(const fs::path& p, const fs::path& root) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string suppressions_path;
+  bool stats = false;
   std::vector<std::string> scan_dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,9 +145,11 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--suppressions" && i + 1 < argc) {
       suppressions_path = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: vdbg_lint [--root <dir>] [--suppressions <file>] "
-                   "[scan-dirs...]\n";
+                   "[--stats] [scan-dirs...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "vdbg_lint: unknown option: " << arg << "\n";
@@ -142,6 +198,9 @@ int main(int argc, char** argv) {
     for (auto& fd : vlint::extract_funcs(*f)) {
       repo.funcs.push_back(std::move(fd));
     }
+    for (auto& fd : vlint::extract_all_funcs(*f)) {
+      repo.all_funcs.push_back(std::move(fd));
+    }
   }
 
   std::vector<vlint::Diag> diags;
@@ -150,6 +209,8 @@ int main(int argc, char** argv) {
   vlint::check_charge_discipline(repo, diags);
   vlint::check_layer_dag(repo, diags);
   vlint::check_metric_names(repo, diags);
+  vlint::check_lock_guard(repo, diags);
+  vlint::check_thread_role(repo, diags);
 
   std::vector<Suppression> sups;
   if (!suppressions_path.empty()) sups = load_suppressions(suppressions_path);
@@ -162,15 +223,49 @@ int main(int argc, char** argv) {
 
   int reported = 0;
   int hidden = 0;
+  std::map<std::string, int> reported_by, hidden_by;
   for (const vlint::Diag& d : diags) {
     if (suppressed(d, sups)) {
       ++hidden;
+      ++hidden_by[d.check];
       continue;
     }
     std::cout << d.path << ":" << d.line << ": error: [" << d.check << "] "
               << d.message << "\n";
     ++reported;
+    ++reported_by[d.check];
   }
+
+  if (stats) {
+    // Stale suppressions are findings in their own right: an entry that
+    // matches nothing either outlived its diagnostic or never matched.
+    std::string sup_path = suppressions_path;
+    if (!sup_path.empty()) {
+      std::error_code ec;
+      const fs::path rel = fs::relative(sup_path, root_path, ec);
+      if (!ec && !rel.empty()) sup_path = rel.generic_string();
+    }
+    for (const Suppression& s : sups) {
+      if (s.used) continue;
+      std::cout << sup_path << ":" << s.line
+                << ": error: [stale-suppression] entry '" << s.check << "|"
+                << s.path_sub << "|" << s.msg_sub
+                << "' matches no diagnostic; delete it\n";
+      ++reported;
+      ++reported_by["stale-suppression"];
+    }
+    const std::map<std::string, int> waivers = count_waivers(repo);
+    for (const auto& [check, keys] : kWaiverKeys) {
+      std::cout << "vdbg_lint: stats " << check << ": "
+                << reported_by[check] << " finding(s), " << hidden_by[check]
+                << " suppressed, " << waivers.at(check) << " waiver(s)\n";
+    }
+    if (reported_by.count("stale-suppression")) {
+      std::cout << "vdbg_lint: stats stale-suppression: "
+                << reported_by["stale-suppression"] << " finding(s)\n";
+    }
+  }
+
   std::cout << "vdbg_lint: " << repo.files.size() << " files, " << reported
             << " diagnostic(s)";
   if (hidden > 0) std::cout << " (" << hidden << " suppressed)";

@@ -120,9 +120,9 @@ int match_brace(const std::vector<Tok>& toks, int open) {
   return static_cast<int>(toks.size());
 }
 
-std::optional<std::string> find_annotation(const LexedFile& file, int line,
-                                           const std::string& key) {
-  const auto scan = [&](int l) -> std::optional<std::string> {
+std::optional<Annotation> find_annotation_at(const LexedFile& file, int line,
+                                             const std::string& key) {
+  const auto scan = [&](int l) -> std::optional<Annotation> {
     const auto it = file.comments.find(l);
     if (it == file.comments.end()) return std::nullopt;
     const std::string& c = it->second;
@@ -131,7 +131,7 @@ std::optional<std::string> find_annotation(const LexedFile& file, int line,
     const auto open = pos + key.size();
     const auto close = c.find(')', open);
     if (close == std::string::npos) return std::nullopt;
-    return c.substr(open + 1, close - open - 1);
+    return Annotation{c.substr(open + 1, close - open - 1), l};
   };
   const auto line_has_token = [&](int l) {
     for (const Tok& t : file.toks) {
@@ -151,6 +151,12 @@ std::optional<std::string> find_annotation(const LexedFile& file, int line,
   return std::nullopt;
 }
 
+std::optional<std::string> find_annotation(const LexedFile& file, int line,
+                                           const std::string& key) {
+  if (auto r = find_annotation_at(file, line, key)) return r->value;
+  return std::nullopt;
+}
+
 std::vector<ClassInfo> extract_classes(const LexedFile& f) {
   const auto& t = f.toks;
   std::vector<ClassInfo> out;
@@ -161,10 +167,22 @@ std::vector<ClassInfo> extract_classes(const LexedFile& f) {
                   t[i - 1].text == "<" || t[i - 1].text == ",")) {
       continue;  // enum class / friend decl / template parameter
     }
-    if (t[i + 1].kind != TokKind::kIdent) continue;
+    // An attribute macro between the keyword and the name
+    // (`class VDBG_CAPABILITY("mutex") Mutex {`) shifts the name token.
+    int name_at = i + 1;
+    if (t[name_at].kind == TokKind::kIdent &&
+        name_at + 1 < static_cast<int>(t.size()) &&
+        t[name_at + 1].text == "(") {
+      const int q = match_paren(t, name_at + 1);
+      if (q >= static_cast<int>(t.size()) || t[q].kind != TokKind::kIdent) {
+        continue;
+      }
+      name_at = q;
+    }
+    if (t[name_at].kind != TokKind::kIdent) continue;
     // Find the body '{', skipping "final" and the base clause; a ';' or
     // other structural token first means it was only a declaration.
-    int j = i + 2;
+    int j = name_at + 1;
     int angle = 0;
     bool has_body = false;
     for (; j < static_cast<int>(t.size()); ++j) {
@@ -180,10 +198,12 @@ std::vector<ClassInfo> extract_classes(const LexedFile& f) {
     }
     if (!has_body) continue;
     ClassInfo ci;
-    ci.name = t[i + 1].text;
+    ci.name = t[name_at].text;
     ci.file = &f;
     ci.line = t[i].line;
-    scan_class_body(f, j, match_brace(t, j), ci);
+    ci.body_begin = j;
+    ci.body_end = match_brace(t, j);
+    scan_class_body(f, ci.body_begin, ci.body_end, ci);
     out.push_back(std::move(ci));
     // Do not skip the body: nested classes are extracted as their own
     // entries by the continuing scan.
@@ -261,6 +281,151 @@ std::vector<FuncDef> extract_funcs(const LexedFile& f) {
     out.push_back(std::move(fd));
     i = resume - 1;  // never scan inside bodies (calls are not definitions)
   }
+  return out;
+}
+
+namespace {
+
+bool callable_keyword(const std::string& s) {
+  static const char* kKeywords[] = {
+      "if",     "else",    "for",      "while",         "do",
+      "switch", "return",  "sizeof",   "catch",         "new",
+      "delete", "throw",   "decltype", "static_assert", "alignof",
+      "case",   "goto",    "noexcept", "co_await",      "co_return",
+      "co_yield"};
+  for (const char* k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// From one past the parameter list's ')' to the body '{', tolerating only
+/// tokens that can legally sit between them (cv-qualifiers, attribute
+/// macros with their paren groups, ctor init lists, trailing return
+/// types). Returns the '{' token index, or -1 for declarations and
+/// anything else.
+int body_after_params(const std::vector<Tok>& t, int p, int end) {
+  bool in_init_list = false;
+  for (int k = p; k < end; ++k) {
+    const std::string& s = t[k].text;
+    if (s == ";" || s == "=") return -1;  // declaration / deleted / defaulted
+    if (s == "{") {
+      // In a ctor init list, `member{...}` braces follow an identifier or
+      // a template '>'; the body brace never does.
+      if (in_init_list && k > 0 &&
+          (t[k - 1].kind == TokKind::kIdent || t[k - 1].text == ">")) {
+        k = match_brace(t, k) - 1;
+        continue;
+      }
+      return k;
+    }
+    if (s == "(") {
+      k = match_paren(t, k) - 1;
+      continue;
+    }
+    if (s == ":") {
+      in_init_list = true;
+      continue;
+    }
+    if (t[k].kind == TokKind::kIdent || s == "::" || s == "&" || s == "*" ||
+        s == "<" || s == ">" || s == "," || s == "->") {
+      continue;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+/// Recursive function-body scan over one brace scope. Descends into class
+/// bodies (with their name as `cls`), skips enum bodies, and records every
+/// `[~]name(...) ... {` definition it can prove is one, then jumps past
+/// its body (function bodies are never scanned for more definitions).
+void scan_funcs_scope(const LexedFile& f, int begin, int end,
+                      const std::string& cls, std::vector<FuncDef>& out) {
+  const auto& t = f.toks;
+  for (int k = begin; k < end; ++k) {
+    const std::string& s = t[k].text;
+    if (t[k].kind == TokKind::kIdent && (s == "class" || s == "struct") &&
+        !(k > 0 && (is_ident(t[k - 1], "enum") || is_ident(t[k - 1], "friend") ||
+                    t[k - 1].text == "<" || t[k - 1].text == ","))) {
+      int name_at = k + 1;
+      if (name_at < end && t[name_at].kind == TokKind::kIdent &&
+          name_at + 1 < end && t[name_at + 1].text == "(") {
+        const int q = match_paren(t, name_at + 1);  // attribute macro
+        name_at = q < end && t[q].kind == TokKind::kIdent ? q : end;
+      }
+      if (name_at >= end || t[name_at].kind != TokKind::kIdent) continue;
+      int j = name_at + 1;
+      int angle = 0;
+      int body = -1;
+      for (; j < end; ++j) {
+        const std::string& u = t[j].text;
+        if (u == "<") ++angle;
+        if (u == ">") --angle;
+        if (angle > 0) continue;
+        if (u == "{") {
+          body = j;
+          break;
+        }
+        if (u == ";" || u == "(" || u == ")" || u == "=" || u == "}") break;
+      }
+      if (body >= 0) {
+        const int close = match_brace(t, body);
+        scan_funcs_scope(f, body + 1, close - 1, t[name_at].text, out);
+        k = close - 1;
+      }
+      continue;
+    }
+    if (t[k].kind == TokKind::kIdent && s == "enum") {
+      int j = k + 1;
+      while (j < end && t[j].text != "{" && t[j].text != ";") ++j;
+      if (j < end && t[j].text == "{") j = match_brace(t, j) - 1;
+      k = j;
+      continue;
+    }
+
+    bool dtor = false;
+    int name_at = k;
+    if (s == "~" && k + 1 < end && t[k + 1].kind == TokKind::kIdent) {
+      dtor = true;
+      name_at = k + 1;
+    } else if (t[k].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string& name = t[name_at].text;
+    if (callable_keyword(name) || name == "operator" || name == "namespace") {
+      continue;
+    }
+    if (name_at + 1 >= end || t[name_at + 1].text != "(") continue;
+    const int p = match_paren(t, name_at + 1);
+    const int body = body_after_params(t, p, end);
+    if (body < 0) {
+      k = p - 1;  // declaration or initializer: skip the paren group whole
+      continue;
+    }
+
+    FuncDef fd;
+    fd.cls = cls;
+    if (k >= 2 && t[k - 1].text == "::" && t[k - 2].kind == TokKind::kIdent) {
+      fd.cls = t[k - 2].text;  // out-of-line Cls::name definition
+    }
+    fd.name = (dtor ? "~" : "") + name;
+    fd.file = &f;
+    fd.line = t[name_at].line;
+    fd.returns_void = k > 0 && is_ident(t[k - 1], "void");
+    fd.body_begin = body;
+    fd.body_end = match_brace(t, body);
+    const int resume = fd.body_end;
+    out.push_back(std::move(fd));
+    k = resume - 1;
+  }
+}
+
+}  // namespace
+
+std::vector<FuncDef> extract_all_funcs(const LexedFile& f) {
+  std::vector<FuncDef> out;
+  scan_funcs_scope(f, 0, static_cast<int>(f.toks.size()), "", out);
   return out;
 }
 

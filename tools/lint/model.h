@@ -29,6 +29,16 @@ namespace vlint {
 std::optional<std::string> find_annotation(const LexedFile& file, int line,
                                            const std::string& key);
 
+/// An annotation value together with the comment line that supplied it
+/// (needed by waiver-staleness tracking: a waiver that never fires is
+/// itself a diagnostic).
+struct Annotation {
+  std::string value;
+  int line = 0;
+};
+std::optional<Annotation> find_annotation_at(const LexedFile& file, int line,
+                                             const std::string& key);
+
 struct Member {
   std::string name;
   int line = 0;
@@ -48,6 +58,11 @@ struct ClassInfo {
   // (-1 when the method is declared but defined out of line).
   int save_body_begin = -1, save_body_end = -1;
   int restore_body_begin = -1, restore_body_end = -1;
+  // The class body itself: token index of '{' and one past the matching
+  // '}'. The concurrency checkers rescan it for guard:/thread: field
+  // annotations (fields there follow no naming convention, unlike the
+  // trailing-underscore members above).
+  int body_begin = -1, body_end = -1;
 };
 
 struct FuncDef {
@@ -66,6 +81,13 @@ std::vector<ClassInfo> extract_classes(const LexedFile& file);
 
 /// Extracts out-of-line member function definitions (`Cls::name(...) {`).
 std::vector<FuncDef> extract_funcs(const LexedFile& file);
+
+/// Extracts every function body: out-of-line member definitions, free
+/// functions at namespace scope, and methods defined inline in class
+/// bodies (`cls` is the enclosing class, "" for free functions). The
+/// concurrency checkers walk these; charge-path keeps the narrower
+/// extract_funcs() view it was tuned on.
+std::vector<FuncDef> extract_all_funcs(const LexedFile& file);
 
 /// Index one past the brace that matches toks[open] (toks[open] == "{").
 int match_brace(const std::vector<Tok>& toks, int open);

@@ -6,6 +6,7 @@ A fixture directory holds a miniature repo tree (src/...) plus:
                        without the trailing summary line); empty or absent
                        means the fixture must lint clean
     suppressions.txt   optional; passed through when present
+    flags.txt          optional; extra CLI flags, one per line (e.g. --stats)
 
 The test fails on any diff between actual and expected diagnostics, or when
 the exit code disagrees with whether diagnostics were expected.
@@ -32,6 +33,11 @@ def main():
     sup = fixture / "suppressions.txt"
     if sup.is_file():
         cmd += ["--suppressions", str(sup)]
+    flags = fixture / "flags.txt"
+    if flags.is_file():
+        cmd += [
+            l.strip() for l in flags.read_text().splitlines() if l.strip()
+        ]
     cmd.append("src")
 
     proc = subprocess.run(cmd, capture_output=True, text=True)

@@ -1,0 +1,27 @@
+// CRLF exercise: every line of this file ends in \r\n. Annotations and
+// diagnostics must be immune to the carriage returns.
+#include <string>
+
+namespace vdbg::fleet {
+
+class CrlfBox {
+ public:
+  void ok_write();
+  std::string bad_read();
+
+ private:
+  mutable vdbg::Mutex mu;
+  std::string payload;  // guard:by(mu)
+};
+
+void CrlfBox::ok_write() {
+  vdbg::MutexLock lk(mu);
+  payload += "x";
+}
+
+// Seeded violation: unguarded read, on a CRLF line.
+std::string CrlfBox::bad_read() {
+  return payload;
+}
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,44 @@
+// Lexer edge cases: annotation-shaped text inside raw strings must be
+// inert, a backslash-continued line comment must swallow the next source
+// line, and a block comment carrying a waiver is a real (here: stale)
+// waiver.
+#include <string>
+
+namespace vdbg::fleet {
+
+class EdgeBox {
+ public:
+  void locked_write();
+  std::string docs();
+  void spliced();
+
+ private:
+  mutable vdbg::Mutex mu;
+  std::string data VDBG_GUARDED_BY(mu);
+};
+
+// Raw string: everything inside is data, not annotations. Neither the
+// waiver-shaped text nor the guard macro text may register.
+std::string EdgeBox::docs() {
+  return R"(example annotations:
+    // guard:exempt(not a waiver, just documentation text)
+    int x VDBG_GUARDED_BY(mu);
+  )";
+}
+
+// A backslash at the end of a line comment splices the next line into the
+// comment, so the unguarded-looking access below never becomes code: \
+  data += "swallowed by the comment splice";
+void EdgeBox::locked_write() {
+  vdbg::MutexLock lk(mu);
+  data += "ok";
+}
+
+/* Block comments are comments: guard:exempt(block-comment waiver) here is
+   parsed — and, matching no unguarded access, reported as stale. */
+void EdgeBox::spliced() {
+  vdbg::MutexLock lk(mu);
+  data.clear();
+}
+
+}  // namespace vdbg::fleet

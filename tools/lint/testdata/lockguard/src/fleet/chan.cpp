@@ -1,0 +1,69 @@
+#include "fleet/chan.h"
+
+namespace vdbg::fleet {
+
+// Correct: the RAII lock covers the whole body.
+void Channel::push(const std::string& bytes) {
+  vdbg::MutexLock lk(mu);
+  buf += bytes;
+  closed = false;
+}
+
+// Correct: std::lock_guard is recognized too.
+std::string Channel::drain() {
+  std::lock_guard<vdbg::Mutex> lk(mu);
+  std::string out;
+  out.swap(buf);
+  return out;
+}
+
+// Seeded violation: reads a guarded field with no lock held.
+std::string Channel::peek_unlocked() {
+  return buf;
+}
+
+// Correct: the precondition annotation transfers the obligation to callers.
+// guard:held(mu)
+void Channel::append_locked(const std::string& b) {
+  buf += b;
+}
+
+// Seeded violation: the lambda body may run on another thread after the
+// lock is gone, so the held set resets inside it.
+void Channel::push_async() {
+  vdbg::MutexLock lk(mu);
+  auto deferred = [this] { buf.clear(); };
+  deferred();
+}
+
+// Waived with a reason: fine.
+void Channel::clear_for_tests() {
+  buf.clear();  // guard:exempt(tests call this before any thread starts)
+}
+
+// unlock()/lock() toggling: the access between the two is a violation, the
+// one after the re-lock is not.
+void Channel::toggle_relock() {
+  vdbg::MutexLock lk(mu);
+  buf += "a";
+  lk.unlock();
+  buf += "b";
+  lk.lock();
+  buf += "c";
+}
+
+// Seeded violation: a waiver must carry a reason. The access itself stays
+// waived; only the empty-reason diagnostic fires.
+void Channel::empty_reason() {
+  closed = true;  // guard:exempt()
+}
+
+// Stale waiver: nothing in this function is unguarded, so the exemption
+// below matched no access and must be deleted or re-justified.
+// guard:exempt(left over from an older revision)
+std::size_t Channel::stale_waiver_fn() {
+  vdbg::MutexLock lk(mu);
+  return buf.size();
+}
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,28 @@
+// Miniature host channel mirroring the fleet Slot protocol: one mutex, two
+// guarded fields — one via the VDBG_GUARDED_BY macro, one via the comment
+// form — so the fixture exercises both annotation spellings.
+#pragma once
+
+#include <string>
+
+namespace vdbg::fleet {
+
+class Channel {
+ public:
+  void push(const std::string& bytes);
+  std::string drain();
+  std::string peek_unlocked();
+  void append_locked(const std::string& b);
+  void push_async();
+  void clear_for_tests();
+  void toggle_relock();
+  void empty_reason();
+  std::size_t stale_waiver_fn();
+
+ private:
+  mutable vdbg::Mutex mu;
+  std::string buf VDBG_GUARDED_BY(mu);
+  bool closed = false;  // guard:by(mu)
+};
+
+}  // namespace vdbg::fleet

@@ -1,0 +1,22 @@
+// Stats-mode fixture: one real finding hidden by a suppression entry, one
+// stale suppression entry that --stats converts into a finding of its own.
+#include <string>
+
+namespace vdbg::fleet {
+
+class StatsBox {
+ public:
+  void unlocked_touch();
+
+ private:
+  mutable vdbg::Mutex mu;
+  std::string inbox VDBG_GUARDED_BY(mu);
+};
+
+// The unguarded access below is suppressed by suppressions.txt, so the only
+// diagnostic left is the stale entry next to it in that file.
+void StatsBox::unlocked_touch() {
+  inbox.clear();
+}
+
+}  // namespace vdbg::fleet

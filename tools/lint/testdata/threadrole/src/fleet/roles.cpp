@@ -1,0 +1,65 @@
+// Miniature fleet engine exercising the thread-role checker: exclusive
+// role tags on functions and fields, an untagged helper the BFS walks
+// through, sanctioned crossings (atomic field, handoff function) and four
+// seeded violations.
+#include <atomic>
+#include <string>
+
+namespace vdbg::fleet {
+
+class Engine {
+ public:
+  void worker_body();
+  void worker_arm();
+  void monitor_body();
+  void server_poll();
+  void helper();
+  void spawn_all();
+  void bad_handoff();
+
+ private:
+  int ticks_ = 0;  // thread:monitor(watchdog bookkeeping)
+  int limit_ = 0;  // thread:init-only(ctor-written, frozen before run)
+  std::atomic<int> shared_{0};
+};
+
+// thread:worker(slice loop body)
+void Engine::worker_body() {
+  shared_.fetch_add(1);  // sanctioned: atomic crossing
+  int snapshot = limit_;  // sanctioned: init-only fields flag writes only
+  helper();
+  (void)snapshot;
+}
+
+void Engine::helper() {
+  ticks_ += 1;    // violation: worker root touches a monitor field
+  limit_ = 9;     // violation: worker root writes an init-only field
+  server_poll();  // violation: worker reaches server without a handoff
+}
+
+// thread:worker(arming path; the handoff call below is the sanctioned exit)
+void Engine::worker_arm() {
+  spawn_all();  // fine: handoff functions end the traversal
+}
+
+// thread:monitor(watchdog body; same-role field touch is fine)
+void Engine::monitor_body() {
+  ticks_ += 1;
+}
+
+// thread:server(poll loop body)
+void Engine::server_poll() {
+  shared_.load();
+}
+
+// thread:handoff(spawns the threads; the joins order their writes)
+void Engine::spawn_all() {
+  worker_body();
+  monitor_body();
+  server_poll();
+}
+
+// thread:handoff()
+void Engine::bad_handoff() {}
+
+}  // namespace vdbg::fleet
