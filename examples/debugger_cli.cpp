@@ -53,6 +53,13 @@ int main(int argc, char** argv) {
   flight.set_metrics(&platform.metrics());
   stub.set_flight_recorder(&flight);
 
+  // The VDBG_FLIGHT_LOOP env hook arms continuous capture on the unit
+  // during prepare(); wire it up so `profile` / `history` / `window`
+  // answer over this stub.
+  if (vmm::FlightLoop* fl = platform.unit().flight_loop()) {
+    stub.set_flight_loop(fl);
+  }
+
   debug::RemoteDebugger dbg(platform.machine());
   dbg.add_symbols(platform.image().kernel);
   dbg.add_symbols(platform.image().app);

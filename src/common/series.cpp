@@ -1,0 +1,37 @@
+#include "common/series.h"
+
+#include <algorithm>
+
+namespace vdbg {
+
+SeriesRing::SeriesRing(std::size_t capacity)
+    : cap_(std::max<std::size_t>(1, capacity)) {}
+
+void SeriesRing::push(Point p) {
+  ring_.push_back(std::move(p));
+  ++stats_.pushed;
+  while (ring_.size() > cap_) {
+    ring_.pop_front();
+    ++stats_.evicted;
+  }
+}
+
+void SeriesRing::clear() { ring_.clear(); }
+
+std::vector<std::pair<u64, MetricsRegistry::Sample>> SeriesRing::history(
+    const std::string& name, std::size_t max_points) const {
+  std::vector<std::pair<u64, MetricsRegistry::Sample>> out;
+  const std::size_t first =
+      ring_.size() > max_points ? ring_.size() - max_points : 0;
+  for (std::size_t i = first; i < ring_.size(); ++i) {
+    const Point& pt = ring_[i];
+    for (const auto& s : pt.samples) {
+      if (s.name != name) continue;
+      out.emplace_back(pt.icount, s);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vdbg

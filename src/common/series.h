@@ -1,0 +1,54 @@
+// Bounded metrics time-series ring: periodic MetricsRegistry snapshots
+// keyed by simulated position (retired instructions + cycles), oldest
+// evicted first. Pure host-side observation — pushing a point never
+// touches simulation state — so the flight loop can sample continuously
+// without perturbing the machine's timeline.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace vdbg {
+
+class SeriesRing {
+ public:
+  struct Point {
+    u64 icount = 0;
+    Cycles cycles = 0;
+    std::vector<MetricsRegistry::Sample> samples;
+  };
+  struct Stats {
+    u64 pushed = 0;
+    u64 evicted = 0;
+  };
+
+  explicit SeriesRing(std::size_t capacity = 256);
+
+  void push(Point p);
+  void clear();
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return cap_; }
+  /// Points oldest-first; at(size()-1) is the newest.
+  const Point& at(std::size_t i) const { return ring_.at(i); }
+  const Stats& stats() const { return stats_; }
+
+  /// The last `max_points` observations of one metric, oldest first, as
+  /// (icount, sample) pairs. Empty when the name was never sampled.
+  std::vector<std::pair<u64, MetricsRegistry::Sample>> history(
+      const std::string& name, std::size_t max_points) const;
+
+ private:
+  std::size_t cap_;
+  std::deque<Point> ring_;  // oldest first
+  Stats stats_;
+};
+
+}  // namespace vdbg

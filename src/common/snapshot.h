@@ -55,7 +55,7 @@ class SnapshotWriter {
   // v2: PIC ack counters, UART byte counters, Lvmm interrupt-delivery spans.
   // v3: IRQ-perturbation section (kIrqPerturb), external-contents PhysMem
   //     framing for COW delta checkpoints.
-  static constexpr u32 kVersion = 3;
+  static constexpr u32 kVersion = 4;
 
   SnapshotWriter();
 

@@ -1754,6 +1754,7 @@ void Cpu::save(SnapshotWriter& w) const {
   w.put_u64(stats_.exceptions);
   w.put_u64(stats_.interrupts);
   w.put_u64(stats_.hook_events);
+  profiler_.save(w);
 }
 
 void Cpu::restore(SnapshotReader& r) {
@@ -1773,6 +1774,7 @@ void Cpu::restore(SnapshotReader& r) {
   stats_.exceptions = r.get_u64();
   stats_.interrupts = r.get_u64();
   stats_.hook_events = r.get_u64();
+  profiler_.restore(r);
   // Host-side run controls are not guest state: clear them so the restored
   // machine runs exactly like a freshly stopped one.
   stop_requested_ = false;

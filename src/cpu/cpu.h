@@ -18,6 +18,7 @@
 #include "cpu/isa.h"
 #include "cpu/mmu.h"
 #include "cpu/phys_mem.h"
+#include "cpu/profiler.h"
 #include "cpu/superblock.h"
 
 namespace vdbg::cpu {
@@ -161,6 +162,11 @@ class Cpu {
 
   const CpuStats& stats() const { return stats_; }
 
+  /// Deterministic PC sampling profiler; the machine's run loop polls its
+  /// next-sample boundary (see hw::Machine::run_for).
+  PcProfiler& profiler() { return profiler_; }
+  const PcProfiler& profiler() const { return profiler_; }
+
   /// Registers cpu.core.*, cpu.block.*, cpu.sbc.* and cpu.tlb.* counters.
   /// The block and superblock caches are derived state rebuilt after a
   /// snapshot restore, so their counters register as not replay-exact;
@@ -204,6 +210,7 @@ class Cpu {
           return total ? double(sbc_stats_.chains) / double(total) : 0.0;
         },
         /*replay_exact=*/false);
+    profiler_.register_metrics(reg);
     mmu_.register_metrics(reg);
   }
 
@@ -312,6 +319,7 @@ class Cpu {
   bool shutdown_ = false;
   bool stop_requested_ = false;  // snap:skip(transient; reset by restore)
   CpuStats stats_{};
+  PcProfiler profiler_;
 };
 
 }  // namespace vdbg::cpu

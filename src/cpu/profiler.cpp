@@ -1,0 +1,75 @@
+#include "cpu/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vdbg::cpu {
+
+void PcProfiler::configure(u64 interval, u64 icount) {
+  interval_ = interval;
+  next_ = interval == 0 ? ~u64{0} : (icount / interval + 1) * interval;
+}
+
+void PcProfiler::take_sample(u64 icount, u32 pc) {
+  ++samples_;
+  ++hist_[pc];
+  next_ = (icount / interval_ + 1) * interval_;
+}
+
+void PcProfiler::clear() {
+  samples_ = 0;
+  hist_.clear();
+}
+
+std::vector<std::pair<u32, u64>> PcProfiler::top(std::size_t n) const {
+  std::vector<std::pair<u32, u64>> rows(hist_.begin(), hist_.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::string PcProfiler::folded() const {
+  std::string out;
+  char line[48];
+  for (const auto& [pc, count] : hist_) {
+    std::snprintf(line, sizeof(line), "pc_%08x %llu\n", pc,
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  return out;
+}
+
+void PcProfiler::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter("cpu.profile.samples", &samples_);
+  reg.add_gauge("cpu.profile.interval",
+                [this] { return static_cast<double>(interval_); });
+  reg.add_gauge("cpu.profile.unique_pcs",
+                [this] { return static_cast<double>(hist_.size()); });
+}
+
+void PcProfiler::save(SnapshotWriter& w) const {
+  w.put_u64(interval_);
+  w.put_u64(next_);
+  w.put_u64(samples_);
+  w.put_u64(hist_.size());
+  for (const auto& [pc, count] : hist_) {
+    w.put_u32(pc);
+    w.put_u64(count);
+  }
+}
+
+void PcProfiler::restore(SnapshotReader& r) {
+  interval_ = r.get_u64();
+  next_ = r.get_u64();
+  samples_ = r.get_u64();
+  hist_.clear();
+  const u64 entries = r.get_u64();
+  for (u64 i = 0; i < entries; ++i) {
+    const u32 pc = r.get_u32();
+    hist_[pc] = r.get_u64();
+  }
+}
+
+}  // namespace vdbg::cpu

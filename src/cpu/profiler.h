@@ -1,0 +1,64 @@
+// Deterministic guest PC sampling profiler driven by the event clock: the
+// machine records the architectural PC every `interval` retired
+// instructions. No host-time dependence anywhere — the boundaries are pure
+// functions of the retired-instruction count and every field is serialized
+// with the CPU — so two runs of the same seeded guest, or a time-travel
+// replay of one, produce byte-identical hot-PC histograms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/snapshot.h"
+#include "common/types.h"
+
+namespace vdbg::cpu {
+
+class PcProfiler {
+ public:
+  /// Enables sampling every `interval` retired instructions (0 disables).
+  /// `icount` is the current retired-instruction count; the first sample
+  /// lands on the next absolute multiple of the interval, so a run that
+  /// re-enables at a restored boundary samples exactly where the original
+  /// run did.
+  void configure(u64 interval, u64 icount);
+  bool enabled() const { return interval_ != 0; }
+  u64 interval() const { return interval_; }
+
+  /// Next sampling boundary (absolute retired-instruction count), ~0 when
+  /// disabled. Machine::run_for folds this into the CPU's exact
+  /// instruction stop so samples land precisely on the boundary.
+  u64 next_sample() const { return next_; }
+  void take_sample(u64 icount, u32 pc);
+
+  /// Drops accumulated samples; keeps the interval and boundary anchor.
+  void clear();
+
+  u64 samples() const { return samples_; }
+  /// Hot-PC histogram, PC-ordered (deterministic iteration for export).
+  const std::map<u32, u64>& hist() const { return hist_; }
+  /// Top-n (pc, count) pairs, highest count first, ties by lower PC.
+  std::vector<std::pair<u32, u64>> top(std::size_t n) const;
+  /// Folded-stack text for flame-graph tooling: one "pc_<hex> <count>"
+  /// line per sampled PC. The simulated ISA has no frame-pointer chain to
+  /// walk, so each stack is a single frame.
+  std::string folded() const;
+
+  /// Registers cpu.profile.* — all replay-exact: the profile is simulation
+  /// state, reproduced bit-identically by a replay.
+  void register_metrics(MetricsRegistry& reg);
+
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
+ private:
+  u64 interval_ = 0;     // 0 = disabled
+  u64 next_ = ~u64{0};   // next sample boundary (absolute icount)
+  u64 samples_ = 0;
+  std::map<u32, u64> hist_;  // pc -> sample count
+};
+
+}  // namespace vdbg::cpu

@@ -70,7 +70,8 @@ void DebuggerCli::cmd_help() {
           "  break <a> | delete <a> | watch <a> [len] | unwatch <a> [len]\n"
           "  regs | set <reg> <hex> | x <a> [len] | w32 <a> <hex>\n"
           "  disas [a] [n] | sym <name> | trace on|off|show [n]\n"
-          "  status | exits | metrics [prefix] | dump | help | quit\n";
+          "  profile [n|folded|start <interval>|stop] | history <metric>\n"
+          "  window | status | exits | metrics [prefix] | dump | help | quit\n";
 }
 
 void DebuggerCli::cmd_regs() {
@@ -355,6 +356,80 @@ bool DebuggerCli::execute(const std::string& line) {
                << m.value << std::defaultfloat << "\n";
         }
       }
+    }
+  } else if (cmd == "profile") {
+    // profile [n] | profile folded | profile start <interval> | profile stop
+    if (tok.size() >= 2 && tok[1] == "start") {
+      const auto interval =
+          tok.size() >= 3 ? parse_dec(tok[2]) : std::optional<unsigned>(10000);
+      if (!interval || *interval == 0) {
+        out_ << "error: profile start <interval>\n";
+      } else if (dbg_.profile_start(*interval)) {
+        out_ << "profiler armed: 1 sample per " << *interval
+             << " instructions\n";
+      } else {
+        out_ << "error: profiler refused\n";
+      }
+    } else if (tok.size() >= 2 && tok[1] == "stop") {
+      out_ << (dbg_.profile_stop() ? "profiler disarmed\n"
+                                   : "error: profiler refused\n");
+    } else if (tok.size() >= 2 && tok[1] == "folded") {
+      // Folded-stack text (flamegraph input): "frame count" per line. The
+      // target has no unwinder, so each sample is a one-frame stack named
+      // by its symbolized PC.
+      const auto prof = dbg_.profile(0xffff);
+      if (!prof) {
+        out_ << "error: no profiler\n";
+      } else {
+        for (const auto& e : *prof) {
+          out_ << dbg_.describe(e.pc) << " " << e.count << "\n";
+        }
+      }
+    } else {
+      const auto n = tok.size() >= 2 ? parse_dec(tok[1])
+                                     : std::optional<unsigned>(10);
+      const auto prof = n ? dbg_.profile(*n) : std::nullopt;
+      if (!n) {
+        out_ << "error: profile [n|folded|start <interval>|stop]\n";
+      } else if (!prof) {
+        out_ << "error: no profiler\n";
+      } else if (prof->empty()) {
+        out_ << "  (no samples)\n";
+      } else {
+        u64 total = 0;
+        for (const auto& e : *prof) total += e.count;
+        out_ << "  samples   %     pc\n";
+        for (const auto& e : *prof) {
+          out_ << "  " << std::setw(7) << e.count << std::setw(6)
+               << std::fixed << std::setprecision(1)
+               << (100.0 * double(e.count) / double(total))
+               << std::defaultfloat << "  0x" << std::hex << std::setw(8)
+               << std::setfill('0') << e.pc << std::dec << std::setfill(' ')
+               << "  " << dbg_.describe(e.pc) << "\n";
+        }
+      }
+    }
+  } else if (cmd == "history" && tok.size() >= 2) {
+    const auto pts = dbg_.metrics_history(tok[1]);
+    if (!pts) {
+      out_ << "error: no flight loop\n";
+    } else if (pts->empty()) {
+      out_ << "  (metric never sampled)\n";
+    } else {
+      out_ << "  icount          " << tok[1] << "\n";
+      for (const auto& p : *pts) {
+        out_ << "  " << std::left << std::setw(14) << p.icount << std::right
+             << std::setw(16) << std::fixed << std::setprecision(4) << p.value
+             << std::defaultfloat << "\n";
+      }
+    }
+  } else if (cmd == "window") {
+    const auto w = dbg_.flight_window();
+    if (!w) {
+      out_ << "error: no flight loop\n";
+    } else {
+      out_ << "replayable window: instructions " << w->first << ".."
+           << w->second << " (" << (w->second - w->first) << " total)\n";
     }
   } else if (cmd == "dump") {
     const auto paths = dbg_.flight_dump();

@@ -403,6 +403,94 @@ RemoteDebugger::flight_dump() {
   return std::make_pair(r->substr(0, sep), r->substr(sep + 1));
 }
 
+std::optional<std::vector<RemoteProfileEntry>> RemoteDebugger::profile(
+    unsigned n) {
+  char cmd[48];
+  std::snprintf(cmd, sizeof cmd, "Vdbg.Profile,%x", n);
+  const auto r = query(cmd);
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  std::vector<RemoteProfileEntry> out;
+  if (*r == "OK") return out;  // profiler attached, no samples yet
+  std::size_t start = 0;
+  while (start <= r->size()) {
+    const auto sep = r->find(';', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    RemoteProfileEntry e;
+    try {
+      e.pc = static_cast<u32>(std::stoul(item.substr(0, colon), nullptr, 16));
+      e.count = std::stoull(item.substr(colon + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(e);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
+}
+
+bool RemoteDebugger::profile_start(u64 interval) {
+  char cmd[48];
+  std::snprintf(cmd, sizeof cmd, "Vdbg.Profile.Start,%llx",
+                static_cast<unsigned long long>(interval));
+  const auto r = query(cmd);
+  return r && *r == "OK";
+}
+
+bool RemoteDebugger::profile_stop() {
+  const auto r = query("Vdbg.Profile.Stop");
+  return r && *r == "OK";
+}
+
+std::optional<std::vector<RemoteSeriesPoint>> RemoteDebugger::metrics_history(
+    const std::string& name, unsigned n) {
+  std::string cmd = "Vdbg.MetricsHistory," + name;
+  if (n != 0) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof suffix, ",%x", n);
+    cmd += suffix;
+  }
+  const auto r = query(cmd);
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  std::vector<RemoteSeriesPoint> out;
+  if (*r == "OK") return out;  // series attached, metric never sampled
+  std::size_t start = 0;
+  while (start <= r->size()) {
+    const auto sep = r->find(';', start);
+    const std::string item = r->substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    RemoteSeriesPoint p;
+    try {
+      p.icount = std::stoull(item.substr(0, colon));
+      p.value = std::stod(item.substr(colon + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(p);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
+}
+
+std::optional<std::pair<u64, u64>> RemoteDebugger::flight_window() {
+  const auto r = query("Vdbg.FlightWindow");
+  if (!r || r->empty() || r->rfind("E", 0) == 0) return std::nullopt;
+  const auto colon = r->find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  try {
+    return std::make_pair(std::stoull(r->substr(0, colon)),
+                          std::stoull(r->substr(colon + 1)));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
 std::optional<std::vector<RemoteTimeline>> RemoteDebugger::fork_timelines(
     unsigned k, u64 seed, const std::string& predicate) {
   std::string cmd = predicate.empty()

@@ -45,6 +45,20 @@ struct RemoteMetric {
   double value = 0.0;
 };
 
+/// One parsed qVdbg.Profile entry: a hot guest PC from the deterministic
+/// sampling profiler.
+struct RemoteProfileEntry {
+  u32 pc = 0;
+  u64 count = 0;
+};
+
+/// One parsed qVdbg.MetricsHistory point: a metric's value at one
+/// flight-loop series capture (icount = retired guest instructions).
+struct RemoteSeriesPoint {
+  u64 icount = 0;
+  double value = 0.0;
+};
+
 /// One parsed qVdbg.Fork/Multiverse timeline entry: a COW fork of the
 /// stopped session's state, run forward under a deterministic perturbation.
 struct RemoteTimeline {
@@ -143,6 +157,20 @@ class RemoteDebugger {
   /// Asks the stub to write a flight-recorder bundle (qVdbg.FlightDump).
   /// Returns {summary_path, trace_path} on success.
   std::optional<std::pair<std::string, std::string>> flight_dump();
+
+  // --- flight loop / profiler ---
+  /// Top-n hot guest PCs (qVdbg.Profile); empty when no samples landed,
+  /// nullopt when the stub does not answer.
+  std::optional<std::vector<RemoteProfileEntry>> profile(unsigned n = 10);
+  /// (Re)arms / disarms the deterministic PC sampling profiler.
+  bool profile_start(u64 interval);
+  bool profile_stop();
+  /// One metric's flight-loop time series, oldest first
+  /// (qVdbg.MetricsHistory). `n` 0 means "as many as fit one packet".
+  std::optional<std::vector<RemoteSeriesPoint>> metrics_history(
+      const std::string& name, unsigned n = 0);
+  /// Replayable [begin, end] retired-instruction window of the flight loop.
+  std::optional<std::pair<u64, u64>> flight_window();
 
   // --- multiverse (stub needs an attached fleet::MultiverseService) ---
   /// Forks `k` perturbed timelines from the current stop and runs them in

@@ -23,6 +23,7 @@ Fleet::Fleet(const FleetConfig& cfg) : cfg_(cfg), health_(*this) {
     slots_.push_back(std::make_unique<Slot>());
     units_[i]->prepare(cfg_.run);
     if (cfg_.attach_stubs) units_[i]->attach_stub();
+    if (cfg_.flight_loop) units_[i]->arm_flight_loop(cfg_.flight);
     if (cfg_.post_prepare) cfg_.post_prepare(*units_[i], i);
     // Capture UART transmissions into the slot so the multiplexed server
     // can relay them. Host wiring only: observing TX bytes has no effect
@@ -45,10 +46,12 @@ std::vector<MachineStatus> Fleet::run() {
   next_machine_.store(0);
   if (cfg_.health.enabled) health_.start();
 
+  worker_slices_.assign(threads_, {});
+  run_start_ = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads_);
   for (unsigned t = 0; t < threads_; ++t) {
-    workers.emplace_back([this] { worker_loop(); });
+    workers.emplace_back([this, t] { worker_loop(t); });
   }
   for (auto& w : workers) w.join();
 
@@ -61,16 +64,16 @@ std::vector<MachineStatus> Fleet::run() {
 }
 
 // thread:worker(body of every fleet worker thread)
-void Fleet::worker_loop() {
+void Fleet::worker_loop(unsigned worker) {
   for (;;) {
     const unsigned i = next_machine_.fetch_add(1);
     if (i >= units_.size()) return;
-    run_machine(i);
+    run_machine(worker, i);
   }
 }
 
 // thread:worker(only the worker that pulled machine i runs it)
-void Fleet::run_machine(unsigned i) {
+void Fleet::run_machine(unsigned worker, unsigned i) {
   MachineUnit& u = *units_[i];
   // Tag every log line from any layer with this machine's id while the
   // worker is inside its simulation.
@@ -78,6 +81,14 @@ void Fleet::run_machine(unsigned i) {
   hw::Machine& m = u.machine();
   const Cycles end = m.now() + cfg_.budget;
   const Cycles slice = std::max<Cycles>(1, cfg_.slice);
+  // Host wall-clock here is presentation-only telemetry (the Perfetto
+  // worker-schedule tracks); the machine's timeline never sees it.
+  auto host_us = [this] {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - run_start_)
+                                .count());
+  };
+  std::vector<WorkerSlice>& log = worker_slices_[worker];
   auto r = hw::Machine::StopReason::kBudget;
   for (;;) {
     if (!pump_host_channels(i)) {
@@ -86,7 +97,10 @@ void Fleet::run_machine(unsigned i) {
     }
     const Cycles now = m.now();
     if (now >= end) break;
+    WorkerSlice ws{i, host_us(), 0};
     r = m.run_for(std::min<Cycles>(slice, end - now));
+    ws.end_us = host_us();
+    log.push_back(ws);
     publish(i, /*final_done=*/false, r);
     if (r != hw::Machine::StopReason::kBudget) break;
   }
@@ -98,6 +112,7 @@ bool Fleet::pump_host_channels(unsigned i) {
   Slot& slot = *slots_[i];
   std::string rx;
   bool arm = false;
+  bool freeze = false;
   bool stop = false;
   {
     vdbg::MutexLock lk(slot.mu);
@@ -107,8 +122,15 @@ bool Fleet::pump_host_channels(unsigned i) {
       slot.arm_done = true;
       arm = true;
     }
+    if (slot.freeze_requested && !slot.freeze_done) {
+      slot.freeze_done = true;
+      freeze = true;
+    }
   }
   if (arm) arm_flight_recorder_now(i);
+  if (freeze) {
+    if (auto* fl = units_[i]->flight_loop()) fl->freeze();
+  }
   if (stop) return false;
   hw::Uart& uart = units_[i]->machine().uart();
   for (char c : rx) uart.host_inject(static_cast<u8>(c));
@@ -288,6 +310,7 @@ std::vector<MetricsRegistry::Sample> Fleet::rollup() const {
 bool Fleet::mark_sick(unsigned machine, const std::string& reason) {
   Slot& slot = *slots_.at(machine);
   bool arm_directly = false;
+  bool freeze_directly = false;
   {
     vdbg::MutexLock lk(slot.mu);
     if (slot.status.sick) return false;
@@ -302,8 +325,21 @@ bool Fleet::mark_sick(unsigned machine, const std::string& reason) {
         slot.arm_requested = true;
       }
     }
+    // Quarantine the capture window too: a sick machine's flight loop
+    // stops evicting, preserving the ring around the incident as evidence.
+    if (!slot.freeze_done) {
+      if (slot.status.done) {
+        slot.freeze_done = true;
+        freeze_directly = true;
+      } else {
+        slot.freeze_requested = true;
+      }
+    }
   }
   if (arm_directly) arm_flight_recorder_now(machine);
+  if (freeze_directly) {
+    if (auto* fl = units_[machine]->flight_loop()) fl->freeze();
+  }
   Logger("fleet.health").warn("machine ", machine, " flagged sick: ", reason);
   return true;
 }

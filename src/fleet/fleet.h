@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -67,6 +68,12 @@ struct FleetConfig {
   /// freshly prepared machine and apply its timeline's perturbation.
   std::function<void(MachineUnit&, unsigned)> post_prepare;
   HealthPolicy health{};
+  /// Arm a continuous FlightLoop (checkpoint ring + metrics time series +
+  /// PC profiler) on every monitor-carrying machine at construction. When
+  /// the health monitor marks a machine sick, its loop is frozen so the
+  /// capture window around the incident is preserved.
+  bool flight_loop = false;
+  vmm::FlightLoop::Config flight{};
 };
 
 class Fleet {
@@ -105,6 +112,19 @@ class Fleet {
   MachineStatus status(unsigned machine) const;
   std::vector<MetricsRegistry::Sample> published(unsigned machine) const;
 
+  /// Host wall-clock schedule of one worker's run_for slices, for the
+  /// fleet-wide Perfetto export. Presentation-side telemetry only — host
+  /// time never feeds back into any machine's simulated timeline. Valid
+  /// after run() returned (workers joined); microseconds since run() start.
+  struct WorkerSlice {
+    unsigned machine = 0;
+    u64 start_us = 0;
+    u64 end_us = 0;
+  };
+  const std::vector<std::vector<WorkerSlice>>& worker_slices() const {
+    return worker_slices_;
+  }
+
   /// Fleet rollup over the published snapshots:
   ///   fleet.rollup.machines / machines_done / machines_crashed /
   ///   machines_sick, then fleet.machine<i>.<name> for every per-machine
@@ -136,12 +156,15 @@ class Fleet {
     /// Health monitor wants a FlightRecorder armed on this machine.
     bool arm_requested VDBG_GUARDED_BY(mu) = false;
     bool arm_done VDBG_GUARDED_BY(mu) = false;
+    /// Health monitor wants the machine's FlightLoop ring frozen.
+    bool freeze_requested VDBG_GUARDED_BY(mu) = false;
+    bool freeze_done VDBG_GUARDED_BY(mu) = false;
     MachineStatus status VDBG_GUARDED_BY(mu){};
     std::vector<MetricsRegistry::Sample> snapshot VDBG_GUARDED_BY(mu);
   };
 
-  void worker_loop();
-  void run_machine(unsigned i);
+  void worker_loop(unsigned worker);
+  void run_machine(unsigned worker, unsigned i);
   /// Drains rx/commands into the machine; false when a stop was requested.
   bool pump_host_channels(unsigned i);
   void publish(unsigned i, bool final_done, hw::Machine::StopReason r);
@@ -158,6 +181,11 @@ class Fleet {
   std::atomic<unsigned> next_machine_{0};
   std::atomic<bool> running_{false};
   bool ran_ = false;  // thread:init-only(written only by run(), before any thread spawns)
+  // Per-worker slice logs. Sized before the workers spawn; worker w writes
+  // only worker_slices_[w] while running, and readers wait for run() to
+  // join every worker first. thread:handoff(see above)
+  std::vector<std::vector<WorkerSlice>> worker_slices_;
+  std::chrono::steady_clock::time_point run_start_;  // thread:handoff(written by run() before workers spawn)
   HealthMonitor health_;
 };
 

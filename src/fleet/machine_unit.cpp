@@ -70,6 +70,10 @@ vmm::DebugStub* MachineUnit::attach_stub() {
   stub_ = std::make_unique<vmm::DebugStub>(*monitor_, machine_->uart());
   stub_->attach();
   stub_->set_metrics(&metrics_);
+  // Observers armed before the stub attached (e.g. the VDBG_FLIGHT_LOOP
+  // env hook arms during prepare()) still get their wire surface.
+  if (flight_) stub_->set_flight_recorder(flight_.get());
+  if (flight_loop_) stub_->set_flight_loop(flight_loop_.get());
   return stub_.get();
 }
 
@@ -94,6 +98,37 @@ vmm::FlightRecorder* MachineUnit::arm_flight_recorder(
   flight_->arm();
   if (stub_) stub_->set_flight_recorder(flight_.get());
   return flight_.get();
+}
+
+// thread:init-only(armed before the unit is handed to any worker)
+vmm::FlightLoop* MachineUnit::arm_flight_loop(
+    const vmm::FlightLoop::Config& cfg) {
+  if (flight_loop_) return flight_loop_.get();
+  if (!monitor_) return nullptr;
+  if (!monitor_->tracer()) {
+    flight_tracer_ = std::make_unique<vmm::ExitTracer>();
+    flight_tracer_->set_enabled(true);
+    monitor_->set_tracer(flight_tracer_.get());
+  }
+  flight_loop_ = std::make_unique<vmm::FlightLoop>(*monitor_, cfg);
+  flight_loop_->set_metrics(&metrics_);
+  flight_loop_->arm();
+  if (opts_.metrics_registration) {
+    flight_loop_->register_metrics(metrics_);
+    // The metrics time series rides in the unit's flight loop; its health
+    // counters live under the fleet.series.* family.
+    const SeriesRing& series = flight_loop_->series();
+    metrics_.add_counter("fleet.series.points", &series.stats().pushed,
+                         /*replay_exact=*/false);
+    metrics_.add_counter("fleet.series.evicted", &series.stats().evicted,
+                         /*replay_exact=*/false);
+    metrics_.add_gauge(
+        "fleet.series.depth",
+        [this] { return double(flight_loop_->series().size()); },
+        /*replay_exact=*/false);
+  }
+  if (stub_) stub_->set_flight_loop(flight_loop_.get());
+  return flight_loop_.get();
 }
 
 }  // namespace vdbg::fleet

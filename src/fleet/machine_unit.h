@@ -19,6 +19,7 @@
 #include "guest/minitactix.h"
 #include "hw/machine.h"
 #include "net/packet_sink.h"
+#include "vmm/flight_loop.h"
 #include "vmm/flight_recorder.h"
 #include "vmm/lvmm.h"
 #include "vmm/stub.h"
@@ -98,6 +99,14 @@ class MachineUnit {
                                            const std::string& file_prefix);
   vmm::FlightRecorder* flight_recorder() { return flight_.get(); }
 
+  /// Arms the continuous flight loop (creates the tracer on first call,
+  /// like arm_flight_recorder) and registers its vmm.flight.* and
+  /// fleet.series.* counters. Idempotent; nullptr when the unit has no
+  /// monitor. Arm before running — the hook installation must happen on
+  /// every machine you intend to compare, at the same position.
+  vmm::FlightLoop* arm_flight_loop(const vmm::FlightLoop::Config& cfg);
+  vmm::FlightLoop* flight_loop() { return flight_loop_.get(); }
+
  private:
   // thread:init-only(written by the ctor / prepare / attach_stub before the
   // unit is handed to a worker; afterwards the owning worker reads freely)
@@ -112,6 +121,9 @@ class MachineUnit {
   // init-only: arm_flight_recorder is a thread:handoff function.
   std::unique_ptr<vmm::ExitTracer> flight_tracer_;
   std::unique_ptr<vmm::FlightRecorder> flight_;
+  // Armed at init time (fleet ctor / harness prepare); the capture hook
+  // then runs on the owning worker. thread:init-only(see above)
+  std::unique_ptr<vmm::FlightLoop> flight_loop_;
   guest::GuestImage image_;  // thread:init-only(see above)
   guest::RunConfig rc_;      // thread:init-only(see above)
   net::PacketSink sink_;     // owning worker only (NIC wire callback)

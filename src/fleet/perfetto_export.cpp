@@ -1,0 +1,145 @@
+#include "fleet/perfetto_export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vmm/trace_export.h"
+
+namespace vdbg::fleet {
+
+namespace {
+
+constexpr int kWorkerPid = 1000;
+constexpr int kFleetPid = 2000;
+
+void append_metadata(std::string& out, const char* what, int pid, int tid,
+                     const std::string& name) {
+  out += ",{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"";
+  vmm::append_json_escaped(out, name);
+  out += "\"}}";
+}
+
+std::string sample_value(const MetricsRegistry::Sample& s) {
+  if (s.kind == MetricKind::kCounter) return std::to_string(s.value);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", s.number);
+  return buf;
+}
+
+void append_counter_event(std::string& out, const std::string& name,
+                          const std::string& ts, int pid, int tid,
+                          const std::string& value) {
+  out += ",{\"name\":\"";
+  vmm::append_json_escaped(out, name);
+  out += "\",\"ph\":\"C\",\"ts\":" + ts + ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"value\":" + value + "}}";
+}
+
+}  // namespace
+
+std::string fleet_perfetto_json(Fleet& fleet,
+                                const PerfettoExportOptions& opts) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // First event without a leading comma; everything else appends one.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+      std::to_string(kFleetPid) + ",\"tid\":0,\"args\":{\"name\":\"fleet\"}}";
+
+  // --- per-machine tracks: trace-ring tail + counter series -------------
+  for (unsigned i = 0; i < fleet.size(); ++i) {
+    MachineUnit& u = fleet.unit(i);
+    const int pid = static_cast<int>(i);
+    append_metadata(out, "process_name", pid, 0,
+                    "machine" + std::to_string(i));
+
+    vmm::Lvmm* mon = u.monitor();
+    if (mon != nullptr && mon->tracer() != nullptr) {
+      vmm::TraceExportOptions to;
+      to.pid = pid;
+      to.tid = 0;
+      to.span_id_prefix = "m" + std::to_string(i) + "-";
+      vmm::append_trace_events(out, mon->tracer()->tail(opts.trace_tail), to);
+    }
+
+    if (const vmm::FlightLoop* fl = u.flight_loop()) {
+      // Counter tracks ride the flight loop's metrics time series; the
+      // track timestamp is the point's simulated-cycle one, like the
+      // machine's trace events. They live on their own tid so the trace
+      // tail (which starts later than the series) keeps each (pid, tid)
+      // stream monotonic.
+      const SeriesRing& series = fl->series();
+      for (std::size_t p = 0; p < series.size(); ++p) {
+        const SeriesRing::Point& pt = series.at(p);
+        const std::string ts = vmm::trace_ts_us(pt.cycles);
+        for (const std::string& name : opts.counters) {
+          for (const auto& s : pt.samples) {
+            if (s.name != name) continue;
+            append_counter_event(out, name, ts, pid, /*tid=*/1,
+                                 sample_value(s));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- worker-schedule tracks (host wall-clock, presentation-only) ------
+  const auto& schedule = fleet.worker_slices();
+  for (unsigned w = 0; w < schedule.size(); ++w) {
+    append_metadata(out, "process_name", kWorkerPid, static_cast<int>(w),
+                    "fleet-workers");
+    append_metadata(out, "thread_name", kWorkerPid, static_cast<int>(w),
+                    "worker" + std::to_string(w));
+  }
+  // Flow arrows chain each machine's successive slices: "s" on its first
+  // slice, "t" on intermediates, "f" on the last — crossing worker tracks
+  // whenever the machine's slices land on different workers.
+  std::vector<unsigned> seen(fleet.size(), 0);
+  std::vector<unsigned> total(fleet.size(), 0);
+  for (const auto& worker : schedule) {
+    for (const auto& ws : worker) ++total[ws.machine];
+  }
+  for (unsigned w = 0; w < schedule.size(); ++w) {
+    const std::string tid = std::to_string(w);
+    for (const auto& ws : schedule[w]) {
+      const std::string ts = std::to_string(ws.start_us);
+      const u64 dur = ws.end_us - ws.start_us;
+      out += ",{\"name\":\"m" + std::to_string(ws.machine) +
+             "\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":" + ts +
+             ",\"dur\":" + std::to_string(dur) +
+             ",\"pid\":" + std::to_string(kWorkerPid) + ",\"tid\":" + tid +
+             ",\"args\":{\"machine\":" + std::to_string(ws.machine) + "}}";
+      if (total[ws.machine] > 1) {
+        const unsigned n = seen[ws.machine]++;
+        const char* ph = n == 0 ? "s"
+                        : n + 1 == total[ws.machine] ? "f"
+                                                     : "t";
+        out += ",{\"name\":\"sched-m" + std::to_string(ws.machine) +
+               "\",\"cat\":\"sched\",\"ph\":\"" + ph + "\",\"id\":\"flow-m" +
+               std::to_string(ws.machine) + "\",\"ts\":" + ts +
+               ",\"pid\":" + std::to_string(kWorkerPid) + ",\"tid\":" + tid +
+               "}";
+      }
+    }
+  }
+
+  // --- final fleet rollup counters --------------------------------------
+  u64 end_us = 0;
+  for (const auto& worker : schedule) {
+    for (const auto& ws : worker) end_us = std::max(end_us, ws.end_us);
+  }
+  for (const auto& s : fleet.rollup()) {
+    if (s.name.rfind("fleet.rollup.", 0) != 0) continue;
+    append_counter_event(out, s.name, std::to_string(end_us), kFleetPid,
+                         /*tid=*/0, sample_value(s));
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace vdbg::fleet

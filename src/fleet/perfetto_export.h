@@ -1,0 +1,46 @@
+// Fleet-wide Perfetto (Chrome trace-event JSON) export: one file showing
+// the whole fleet's behaviour around an incident.
+//
+// Track layout (DESIGN.md §12):
+//   pid 0..M-1      one process per machine ("machine<i>"); its trace-ring
+//                   tail as the same b/e/n/i events the FlightRecorder
+//                   emits (shared vmm trace_export plumbing, span ids
+//                   prefixed "m<i>-" so they never collide), plus counter
+//                   ("C") tracks sampled from the machine's flight-loop
+//                   metrics time series. Timestamps are simulated
+//                   microseconds — machine-local time.
+//   pid 1000        the host worker schedule ("fleet-workers"): one thread
+//                   per worker, an "X" complete slice per run_for slice,
+//                   and s/t/f flow arrows chaining each machine's
+//                   successive slices (crossing tracks when a machine's
+//                   slices land on different workers). Timestamps are host
+//                   microseconds since run() start — presentation-only.
+//   pid 2000        final fleet.rollup.* values as counter events
+//                   ("fleet").
+//
+// Call after Fleet::run() returned: the exporter reads live unit state
+// (trace rings, series), which is only ordered once the workers joined.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace vdbg::fleet {
+
+struct PerfettoExportOptions {
+  /// Trace-ring events exported per machine.
+  std::size_t trace_tail = 4096;
+  /// Metric names exported as per-machine counter tracks, sampled from
+  /// each machine's flight-loop series (names absent from a machine's
+  /// registry are skipped silently).
+  std::vector<std::string> counters = {"cpu.core.instructions",
+                                       "vmm.exit.total"};
+};
+
+std::string fleet_perfetto_json(Fleet& fleet,
+                                const PerfettoExportOptions& opts = {});
+
+}  // namespace vdbg::fleet

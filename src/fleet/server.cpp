@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/log.h"
@@ -181,9 +182,18 @@ bool FleetServer::read_session(Session& s) {
 
 // thread:server(called from read_session only)
 void FleetServer::handle_attach_line(Session& s) {
-  // Expected: "attach <decimal machine id>" (optional trailing \r).
+  // Expected: "attach <decimal machine id>" (optional trailing \r), or the
+  // one-shot "top" command: a rendered fleet status table from the
+  // published snapshots, after which the session closes.
   std::string line = s.line;
   if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line == "top") {
+    const std::string table = render_top();
+    ::send(s.fd, table.data(), table.size(), MSG_NOSIGNAL);
+    bytes_out_.fetch_add(table.size());
+    s.machine = -1;  // caller closes the session
+    return;
+  }
   unsigned id = 0;
   bool ok = line.rfind("attach ", 0) == 0 && line.size() > 7;
   if (ok) {
@@ -218,6 +228,45 @@ void FleetServer::handle_attach_line(Session& s) {
   s.line.clear();
   s.outbuf += "OK " + std::to_string(id) + "\n";
   kLog.info("session attached to machine ", id);
+}
+
+// thread:server(reads only mutex-guarded published copies, never live state)
+std::string FleetServer::render_top() {
+  unsigned done = 0, crashed = 0, sick = 0;
+  std::vector<MachineStatus> st(fleet_.size());
+  for (unsigned i = 0; i < fleet_.size(); ++i) {
+    st[i] = fleet_.status(i);
+    done += st[i].done;
+    crashed += st[i].crashed;
+    sick += st[i].sick;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "FLEET machines=%u done=%u crashed=%u sick=%u\n"
+                "  id state        instructions          cycles"
+                "           exits\n",
+                fleet_.size(), done, crashed, sick);
+  std::string out = buf;
+  for (unsigned i = 0; i < fleet_.size(); ++i) {
+    const char* state = !st[i].started ? "waiting"
+                        : st[i].crashed ? "CRASHED"
+                        : st[i].sick    ? "SICK"
+                        : st[i].done    ? "done"
+                                        : "running";
+    u64 exits = 0;
+    for (const auto& sample : fleet_.published(i)) {
+      if (sample.name == "vmm.exit.total") {
+        exits = sample.value;
+        break;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "  %2u %-8s %15llu %15llu %15llu\n", i,
+                  state, static_cast<unsigned long long>(st[i].icount),
+                  static_cast<unsigned long long>(st[i].cycles),
+                  static_cast<unsigned long long>(exits));
+    out += buf;
+  }
+  return out;
 }
 
 // thread:server(called from loop only)

@@ -5,6 +5,12 @@
 //   attach <machine-id>\n
 // The server answers "OK <id>\n" (or "ERR <why>\n" and closes the session),
 // after which the connection is a transparent byte pipe to that machine's
+// monitor debug stub. Alternatively, "top\n" as the first line answers with
+// a one-shot rendered fleet status table (per-machine state, instruction
+// and cycle progress, exit counts from the published snapshots) and closes
+// the session — a live `top`-style view for scripts and humans alike.
+//
+// In pipe mode, the connection is a transparent byte pipe to the
 // monitor debug stub: client bytes are queued on the fleet's per-machine RX
 // channel (injected into the stub UART by the owning worker at the next
 // slice boundary) and the stub's UART transmissions are relayed back. One
@@ -69,6 +75,9 @@ class FleetServer {
   /// Reads whatever the client sent; false when the session closed.
   bool read_session(Session& s);
   void handle_attach_line(Session& s);
+  /// Renders the one-shot "top" table from the published status/metrics
+  /// snapshots (pre-attach command; the session closes after the reply).
+  std::string render_top();
   void close_session(Session& s);
 
   Fleet& fleet_;

@@ -67,21 +67,35 @@ Machine::StopReason Machine::run_for(Cycles budget) {
     if (guest_exit_) return StopReason::kGuestExit;
     if (cpu_->shutdown()) return StopReason::kShutdown;
 
-    // Periodic checkpoint hook: fires between CPU slices, at the first
+    // Deterministic PC sampler: a function of retired instructions only,
+    // polled before the generic hooks so a checkpoint taken on the same
+    // boundary already contains the sample. Serialised with the CPU, so a
+    // restored replay resumes sampling at exactly the original boundaries.
+    cpu::PcProfiler& prof = cpu_->profiler();
+    if (cpu_->stats().instructions >= prof.next_sample()) {
+      prof.take_sample(cpu_->stats().instructions, cpu_->state().pc);
+      continue;
+    }
+
+    // Periodic hooks (checkpointers): fire between CPU slices, at the first
     // boundary at-or-after each absolute multiple of the interval. Fired
     // before the instruction-target check so a replay that stops on the
     // same boundary still performs (and charges) the checkpoint exactly as
     // the original run did.
-    if (instr_hook_ && cpu_->stats().instructions >= instr_hook_next_) {
+    bool hook_fired = false;
+    for (auto& h : instr_hooks_) {
+      if (cpu_->stats().instructions < h.next) continue;
       const u64 icount = cpu_->stats().instructions;
-      instr_hook_next_ = (icount / instr_hook_every_ + 1) * instr_hook_every_;
-      instr_hook_(icount);
-      continue;  // hook may charge cycles / freeze; re-evaluate everything
+      h.next = (icount / h.every + 1) * h.every;
+      h.fn(icount);
+      hook_fired = true;
+      break;  // hook may charge cycles / freeze; re-evaluate everything
     }
+    if (hook_fired) continue;
     if (cpu_->stats().instructions >= instr_target_) {
       return StopReason::kInstrLimit;
     }
-    cpu_->set_instr_stop(std::min(instr_hook_next_, instr_target_));
+    cpu_->set_instr_stop(next_instr_boundary(instr_target_));
 
     if (frozen_) {
       if (frozen_service_) frozen_service_();
@@ -145,17 +159,30 @@ Machine::StopReason Machine::run_to_instruction(u64 target, Cycles budget) {
   return r;
 }
 
-void Machine::set_instr_hook(u64 every, InstrHook hook) {
-  instr_hook_every_ = every;
-  if (every == 0) {
-    instr_hook_ = nullptr;
-    instr_hook_next_ = ~u64{0};
-    cpu_->set_instr_stop(~u64{0});
-    return;
+u64 Machine::next_instr_boundary(u64 cap) const {
+  u64 stop = cap;
+  for (const auto& h : instr_hooks_) stop = std::min(stop, h.next);
+  return std::min(stop, cpu_->profiler().next_sample());
+}
+
+int Machine::add_instr_hook(u64 every, InstrHook hook) {
+  HookSlot h;
+  h.id = next_hook_id_++;
+  h.every = std::max<u64>(1, every);
+  h.next = (cpu_->stats().instructions / h.every + 1) * h.every;
+  h.fn = std::move(hook);
+  instr_hooks_.push_back(std::move(h));
+  return instr_hooks_.back().id;
+}
+
+void Machine::remove_instr_hook(int id) {
+  for (auto it = instr_hooks_.begin(); it != instr_hooks_.end(); ++it) {
+    if (it->id != id) continue;
+    instr_hooks_.erase(it);
+    break;
   }
-  instr_hook_ = std::move(hook);
-  const u64 icount = cpu_->stats().instructions;
-  instr_hook_next_ = (icount / every + 1) * every;
+  // Drop any stale stop the removed hook planted; run_for re-tightens.
+  cpu_->set_instr_stop(next_instr_boundary(~u64{0}));
 }
 
 void Machine::register_metrics(MetricsRegistry& reg) {
@@ -257,11 +284,12 @@ bool Machine::restore(SnapshotReader& r) {
   eq_.set_next_seq(saved_next_seq);
 
   external_stop_ = false;
-  // Re-anchor the checkpoint hook to the restored instruction count so the
-  // replay fires at exactly the boundaries the original run used.
-  if (instr_hook_every_ != 0) {
-    const u64 icount = cpu_->stats().instructions;
-    instr_hook_next_ = (icount / instr_hook_every_ + 1) * instr_hook_every_;
+  // Re-anchor every checkpoint hook to the restored instruction count so
+  // the replay fires at exactly the boundaries the original run used. The
+  // profiler needs no re-anchoring: its next-sample boundary is part of the
+  // serialised CPU state.
+  for (auto& h : instr_hooks_) {
+    h.next = (cpu_->stats().instructions / h.every + 1) * h.every;
   }
   return r.ok();
 }

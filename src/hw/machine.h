@@ -88,14 +88,16 @@ class Machine final : public Clock {
   /// advance) when the target has already been reached.
   StopReason run_to_instruction(u64 target, Cycles budget);
 
-  /// Periodic instruction-count hook (the time-travel checkpointer). Fires
-  /// between CPU slices at the first opportunity at-or-after every multiple
-  /// of `every` retired instructions. Anchored at absolute multiples, so a
-  /// restored run re-fires at exactly the boundaries the original run used.
-  /// `every` == 0 uninstalls.
+  /// Periodic instruction-count hooks (time-travel checkpointer, flight
+  /// loop). Each fires between CPU slices at the first opportunity
+  /// at-or-after every multiple of `every` retired instructions. Anchored
+  /// at absolute multiples, so a restored run re-fires at exactly the
+  /// boundaries the original run used; when several hooks are due at one
+  /// boundary they fire in registration order. Returns an id for
+  /// remove_instr_hook(). `every` must be nonzero.
   using InstrHook = std::function<void(u64 icount)>;
-  void set_instr_hook(u64 every, InstrHook hook);
-  u64 instr_hook_interval() const { return instr_hook_every_; }
+  int add_instr_hook(u64 every, InstrHook hook);
+  void remove_instr_hook(int id);
 
   /// Registers every component's counters with a metrics registry
   /// (cpu.core.*, cpu.block.*, cpu.tlb.*, hw.pic.*, hw.pit.*, hw.uart.*,
@@ -164,10 +166,20 @@ class Machine final : public Clock {
   Cycles idle_cycles_ = 0;
 
   // Host run control; reset by restore(), never serialized. snap:skip(host)
-  u64 instr_target_ = ~u64{0};       // run_to_instruction() stop
-  u64 instr_hook_every_ = 0;         // 0 = no hook installed; snap:skip(host)
-  u64 instr_hook_next_ = ~u64{0};    // next firing boundary; snap:skip(host)
-  InstrHook instr_hook_;             // snap:skip(host callback wiring)
+  u64 instr_target_ = ~u64{0};  // run_to_instruction() stop
+  struct HookSlot {
+    int id = 0;
+    u64 every = 0;
+    u64 next = ~u64{0};  // next firing boundary (absolute icount)
+    InstrHook fn;
+  };
+  std::vector<HookSlot> instr_hooks_;  // snap:skip(host callback wiring)
+  int next_hook_id_ = 1;               // snap:skip(host)
+
+  /// First retired-instruction boundary any host observer needs: the
+  /// minimum over hook boundaries, the CPU profiler's next sample, and
+  /// `cap` (the run_to_instruction target).
+  u64 next_instr_boundary(u64 cap) const;
 };
 
 }  // namespace vdbg::hw

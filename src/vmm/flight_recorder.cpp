@@ -1,43 +1,11 @@
 #include "vmm/flight_recorder.h"
 
 #include <atomic>
-#include <cstdio>
 #include <fstream>
-#include <set>
 
-#include "common/units.h"
+#include "vmm/trace_export.h"
 
 namespace vdbg::vmm {
-
-namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-/// Simulated cycles -> trace timestamp in microseconds.
-std::string ts_us(Cycles c) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.4f", double(c) / kCpuHz * 1e6);
-  return buf;
-}
-
-}  // namespace
 
 FlightRecorder::FlightRecorder(Lvmm& mon, Config cfg)
     : mon_(mon), cfg_(std::move(cfg)) {}
@@ -65,7 +33,7 @@ std::string FlightRecorder::summary_json(std::string_view reason) const {
   const Lvmm::IrqSpanStats& sp = mon_.irq_span_stats();
   std::string out = "{";
   out += "\"reason\":\"";
-  append_escaped(out, reason);
+  append_json_escaped(out, reason);
   out += "\",\"seq\":" + std::to_string(seq_);
   out += ",\"cycles\":" + std::to_string(mon_.machine().cpu().cycles());
   out += ",\"instructions\":" +
@@ -115,69 +83,11 @@ std::string FlightRecorder::trace_event_json() const {
   if (const ExitTracer* tracer = mon_.tracer()) {
     events = tracer->tail(cfg_.trace_tail);
   }
-
-  // Pair-complete the window: an "e" whose "b" was overwritten demotes to
-  // an instant; a "b" whose "e" has not happened yet gets a synthetic close
-  // at the window's end so strict viewers (and our validator) see balanced
-  // async spans.
-  std::set<u32> begun, ended;
-  for (const TraceEvent& e : events) {
-    if (e.span == 0) continue;
-    if (e.phase == SpanPhase::kBegin) begun.insert(e.span);
-    if (e.phase == SpanPhase::kEnd) ended.insert(e.span);
-  }
-
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out +=
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"name\":\"vdbg-lvmm\"}}";
-
-  auto common_fields = [](const TraceEvent& e) {
-    std::string f = "\"ts\":" + ts_us(e.timestamp) + ",\"pid\":0,\"tid\":0";
-    f += ",\"args\":{\"pc\":" + std::to_string(e.pc) +
-         ",\"vector\":" + std::to_string(e.vector) +
-         ",\"detail\":" + std::to_string(e.detail) +
-         ",\"extra\":" + std::to_string(e.extra) + "}";
-    return f;
-  };
-
-  Cycles window_end = 0;
-  for (const TraceEvent& e : events) window_end = e.timestamp;
-
-  std::vector<u32> open;  // spans begun in-window, awaiting their end
-  for (const TraceEvent& e : events) {
-    out += ",";
-    const std::string name(trace_kind_name(e.kind));
-    const bool span_begin = e.span != 0 && e.phase == SpanPhase::kBegin;
-    const bool span_end =
-        e.span != 0 && e.phase == SpanPhase::kEnd && begun.count(e.span);
-    if (span_begin) {
-      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"b\","
-             "\"id\":" +
-             std::to_string(e.span) + "," + common_fields(e) + "}";
-      if (!ended.count(e.span)) open.push_back(e.span);
-    } else if (span_end) {
-      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
-             "\"id\":" +
-             std::to_string(e.span) + "," + common_fields(e) + "}";
-    } else if (e.span != 0 && e.phase == SpanPhase::kInstant &&
-               begun.count(e.span)) {
-      // Async instant inside the span (e.g. the injection).
-      out += "{\"name\":\"" + name + "\",\"cat\":\"irq\",\"ph\":\"n\","
-             "\"id\":" +
-             std::to_string(e.span) + "," + common_fields(e) + "}";
-    } else {
-      out += "{\"name\":\"" + name +
-             "\",\"cat\":\"exit\",\"ph\":\"i\",\"s\":\"t\"," +
-             common_fields(e) + "}";
-    }
-  }
-  for (u32 span : open) {
-    out += ",{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
-           "\"id\":" +
-           std::to_string(span) + ",\"ts\":" + ts_us(window_end) +
-           ",\"pid\":0,\"tid\":0,\"args\":{\"truncated\":true}}";
-  }
+  append_trace_events(out, events, TraceExportOptions{});
   out += "]}";
   return out;
 }

@@ -31,6 +31,19 @@
 //                           when nothing matches)
 //   qVdbg.FlightDump     -> write a flight-recorder bundle, reply is
 //                           "<summary_path>;<trace_path>"
+//   qVdbg.Profile[,n]    -> top-n (default 10) hot guest PCs from the
+//                           deterministic sampling profiler:
+//                           "<hexpc>:<count>;..." sorted hottest-first
+//   qVdbg.Profile.Start,<hexInterval>
+//                        -> (re)arm the profiler at one sample per
+//                           `interval` retired instructions ("OK")
+//   qVdbg.Profile.Stop   -> disarm the profiler ("OK")
+//   qVdbg.MetricsHistory,<name>[,n]
+//                        -> last n (default all) flight-loop time-series
+//                           points for one metric:
+//                           "<icount>:<value>;..." oldest first
+//   qVdbg.FlightWindow   -> "<begin_icount>:<end_icount>" instructions
+//                           currently replayable from the flight loop
 #pragma once
 
 #include <deque>
@@ -47,6 +60,7 @@
 
 namespace vdbg::vmm {
 
+class FlightLoop;
 class FlightRecorder;
 class TimeTravel;
 
@@ -75,6 +89,9 @@ class DebugStub final : public DebugDelegate {
   /// Attaches the flight recorder behind qVdbg.FlightDump (nullptr
   /// detaches).
   void set_flight_recorder(FlightRecorder* fr) { flight_ = fr; }
+  /// Attaches the continuous flight loop behind qVdbg.MetricsHistory and
+  /// qVdbg.FlightWindow (nullptr detaches).
+  void set_flight_loop(FlightLoop* fl) { flight_loop_ = fl; }
 
   // --- DebugDelegate ---
   bool owns_breakpoint(VAddr pc) override;
@@ -143,6 +160,7 @@ class DebugStub final : public DebugDelegate {
   TimeTravel* tt_ = nullptr;
   const MetricsRegistry* metrics_ = nullptr;
   FlightRecorder* flight_ = nullptr;
+  FlightLoop* flight_loop_ = nullptr;
   QueryHook query_hook_;
   /// Host-side slot for qVdbg.Snapshot.Save/Load.
   std::vector<u8> snapshot_slot_;

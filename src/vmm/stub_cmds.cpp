@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/hexdump.h"
+#include "vmm/flight_loop.h"
 #include "vmm/flight_recorder.h"
 #include "vmm/time_travel.h"
 
@@ -290,6 +291,80 @@ std::string DebugStub::cmd_query(const std::string& q) {
       out += vmm::ExitTracer::format(e);
     }
     return out;
+  }
+  if (q.rfind("Vdbg.Profile.Start,", 0) == 0) {
+    const auto interval = parse_hex_u32(q.substr(19));
+    if (!interval || *interval == 0) return "E01";
+    auto& cpu = mon_.machine().cpu();
+    cpu.profiler().configure(*interval, cpu.stats().instructions);
+    return "OK";
+  }
+  if (q == "Vdbg.Profile.Stop") {
+    auto& cpu = mon_.machine().cpu();
+    cpu.profiler().configure(0, cpu.stats().instructions);
+    return "OK";
+  }
+  if (q == "Vdbg.Profile" || q.rfind("Vdbg.Profile,", 0) == 0) {
+    std::size_t n = 10;
+    if (q.size() > 12) {
+      const auto parsed = parse_hex_u32(q.substr(13));
+      if (!parsed || *parsed == 0) return "E01";
+      n = *parsed;
+    }
+    // "<hexpc>:<count>;..." hottest first; "OK" when no samples landed.
+    std::string out;
+    for (const auto& [pc, count] : mon_.machine().cpu().profiler().top(n)) {
+      if (!out.empty()) out.push_back(';');
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%08x:", pc);
+      out += buf;
+      out += std::to_string(count);
+    }
+    return out.empty() ? "OK" : out;
+  }
+  if (q.rfind("Vdbg.MetricsHistory,", 0) == 0) {
+    if (!flight_loop_) return "E01";
+    std::string name = q.substr(20);
+    std::size_t n = ~std::size_t{0};
+    if (const auto comma = name.rfind(','); comma != std::string::npos) {
+      const auto parsed = parse_hex_u32(name.substr(comma + 1));
+      if (!parsed || *parsed == 0) return "E01";
+      n = *parsed;
+      name.resize(comma);
+    }
+    if (name.empty()) return "E01";
+    // "<icount>:<value>;..." oldest first, trimmed from the front so the
+    // reply always fits the advertised packet size.
+    std::vector<std::string> fields;
+    for (const auto& [icount, s] : flight_loop_->series().history(name, n)) {
+      std::string f = std::to_string(icount);
+      f.push_back(':');
+      if (s.kind == MetricKind::kCounter) {
+        f += std::to_string(s.value);
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", s.number);
+        f += buf;
+      }
+      fields.push_back(std::move(f));
+    }
+    if (fields.empty()) return "OK";
+    std::size_t bytes = 0;
+    std::size_t first = fields.size();
+    while (first > 0 && bytes + fields[first - 1].size() + 1 < 3900) {
+      bytes += fields[--first].size() + 1;
+    }
+    std::string out;
+    for (std::size_t i = first; i < fields.size(); ++i) {
+      if (!out.empty()) out.push_back(';');
+      out += fields[i];
+    }
+    return out;
+  }
+  if (q == "Vdbg.FlightWindow") {
+    if (!flight_loop_) return "E01";
+    const auto w = flight_loop_->window();
+    return std::to_string(w.begin_icount) + ":" + std::to_string(w.end_icount);
   }
   if (query_hook_) {
     if (auto reply = query_hook_(q)) return *reply;

@@ -17,14 +17,15 @@ u64 TimeTravel::icount() const {
 void TimeTravel::enable() {
   if (enabled_) return;
   enabled_ = true;
-  machine().set_instr_hook(cfg_.interval,
-                           [this](u64 ic) { on_boundary(ic); });
+  hook_id_ = machine().add_instr_hook(cfg_.interval,
+                                      [this](u64 ic) { on_boundary(ic); });
 }
 
 void TimeTravel::disable() {
   if (!enabled_) return;
   enabled_ = false;
-  machine().set_instr_hook(0, nullptr);
+  machine().remove_instr_hook(hook_id_);
+  hook_id_ = 0;
 }
 
 // --------------------------------------------------------------------------

@@ -222,6 +222,7 @@ class TimeTravel final : public DebugDelegate {
   std::deque<Checkpoint> ring_;  // sorted by icount, oldest first
   Stats stats_;
   bool enabled_ = false;
+  int hook_id_ = 0;  // add_instr_hook registration while enabled
 
   PatchLookup patch_lookup_;
   std::function<void()> post_restore_;

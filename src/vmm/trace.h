@@ -52,6 +52,10 @@ struct TraceEvent {
   TraceKind kind{};
   u8 vector = 0;
   SpanPhase phase = SpanPhase::kInstant;
+
+  /// Field-wise equality: the flight loop proves replay windows bit-exact
+  /// by comparing recorded and replayed tails element by element.
+  bool operator==(const TraceEvent&) const = default;
 };
 
 class ExitTracer {

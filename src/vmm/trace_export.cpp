@@ -1,0 +1,107 @@
+#include "vmm/trace_export.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/units.h"
+
+namespace vdbg::vmm {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string trace_ts_us(Cycles c) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.4f", double(c) / kCpuHz * 1e6);
+  return buf;
+}
+
+namespace {
+
+/// "id":3 for the bare single-machine form, "id":"m3-7" when a prefix
+/// makes span ids unique across the merged fleet trace.
+std::string span_id(const TraceExportOptions& opts, u32 span) {
+  if (opts.span_id_prefix.empty()) return std::to_string(span);
+  return "\"" + opts.span_id_prefix + std::to_string(span) + "\"";
+}
+
+}  // namespace
+
+void append_trace_events(std::string& out,
+                         const std::vector<TraceEvent>& events,
+                         const TraceExportOptions& opts) {
+  const std::string pidtid = ",\"pid\":" + std::to_string(opts.pid) +
+                             ",\"tid\":" + std::to_string(opts.tid);
+
+  std::set<u32> begun, ended;
+  for (const TraceEvent& e : events) {
+    if (e.span == 0) continue;
+    if (e.phase == SpanPhase::kBegin) begun.insert(e.span);
+    if (e.phase == SpanPhase::kEnd) ended.insert(e.span);
+  }
+
+  auto common_fields = [&pidtid](const TraceEvent& e) {
+    std::string f = "\"ts\":" + trace_ts_us(e.timestamp) + pidtid;
+    f += ",\"args\":{\"pc\":" + std::to_string(e.pc) +
+         ",\"vector\":" + std::to_string(e.vector) +
+         ",\"detail\":" + std::to_string(e.detail) +
+         ",\"extra\":" + std::to_string(e.extra) + "}";
+    return f;
+  };
+
+  Cycles window_end = 0;
+  for (const TraceEvent& e : events) window_end = e.timestamp;
+
+  std::vector<u32> open;  // spans begun in-window, awaiting their end
+  for (const TraceEvent& e : events) {
+    out += ",";
+    const std::string name(trace_kind_name(e.kind));
+    const bool span_begin = e.span != 0 && e.phase == SpanPhase::kBegin;
+    const bool span_end =
+        e.span != 0 && e.phase == SpanPhase::kEnd && begun.count(e.span);
+    if (span_begin) {
+      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"b\","
+             "\"id\":" +
+             span_id(opts, e.span) + "," + common_fields(e) + "}";
+      if (!ended.count(e.span)) open.push_back(e.span);
+    } else if (span_end) {
+      out += "{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
+             "\"id\":" +
+             span_id(opts, e.span) + "," + common_fields(e) + "}";
+    } else if (e.span != 0 && e.phase == SpanPhase::kInstant &&
+               begun.count(e.span)) {
+      // Async instant inside the span (e.g. the injection).
+      out += "{\"name\":\"" + name + "\",\"cat\":\"irq\",\"ph\":\"n\","
+             "\"id\":" +
+             span_id(opts, e.span) + "," + common_fields(e) + "}";
+    } else {
+      out += "{\"name\":\"" + name +
+             "\",\"cat\":\"exit\",\"ph\":\"i\",\"s\":\"t\"," +
+             common_fields(e) + "}";
+    }
+  }
+  for (u32 span : open) {
+    out += ",{\"name\":\"irq-delivery\",\"cat\":\"irq\",\"ph\":\"e\","
+           "\"id\":" +
+           span_id(opts, span) + ",\"ts\":" + trace_ts_us(window_end) +
+           pidtid + ",\"args\":{\"truncated\":true}}";
+  }
+}
+
+}  // namespace vdbg::vmm

@@ -1,0 +1,47 @@
+// Shared trace-tail -> Chrome trace-event JSON emission. Both capture
+// paths — the FlightRecorder's point-in-time bundles and the flight loop /
+// fleet Perfetto exporter — funnel through append_trace_events() so the
+// two cannot drift.
+//
+// Timestamps are *simulated* cycles converted to microseconds: a pure
+// function of deterministic machine state, never host time. Host
+// wall-clock may only appear in presentation-side layers (fleet worker
+// slice tracks), never here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "vmm/trace.h"
+
+namespace vdbg::vmm {
+
+struct TraceExportOptions {
+  int pid = 0;
+  int tid = 0;
+  /// Prefix for async span ids. The fleet exporter passes "m<i>-" so span
+  /// ids from different machines never collide in the merged trace; empty
+  /// keeps the bare numeric ids the single-machine bundles always used.
+  std::string span_id_prefix;
+};
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// control characters).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Simulated cycles -> trace timestamp in microseconds ("%.4f").
+std::string trace_ts_us(Cycles c);
+
+/// Appends one Chrome trace-event object per window event to `out`, each
+/// preceded by a comma (callers emit at least one metadata event first).
+/// Pair-completes the window: an "e" whose "b" was overwritten demotes to
+/// an instant; a "b" whose "e" has not happened yet gets a synthetic close
+/// at the window's end so strict viewers (and our validator) see balanced
+/// async spans.
+void append_trace_events(std::string& out,
+                         const std::vector<TraceEvent>& events,
+                         const TraceExportOptions& opts);
+
+}  // namespace vdbg::vmm

@@ -147,6 +147,115 @@ TEST(FleetRollup, AggregatesPerMachineSnapshotsIntoTotals) {
   EXPECT_EQ(roll.size(), 4u + 3u * snap_size + snap_size);
 }
 
+// Before run() there are no published snapshots: the rollup degrades to
+// exactly the four fleet.rollup.* counters (the "empty fleet" shape — no
+// per-machine rows, no totals).
+TEST(FleetRollup, EmptyFleetRollsUpToJustTheFleetCounters) {
+  fleet::FleetConfig fc;
+  fc.machines = 2;
+  fc.threads = 1;
+  fc.run = RunConfig::for_rate_mbps(40.0);
+  fc.budget = seconds_to_cycles(0.005);
+  fleet::Fleet fleet(fc);
+
+  const auto roll = fleet.rollup();
+  ASSERT_EQ(roll.size(), 4u);
+  EXPECT_EQ(roll[0].name, "fleet.rollup.machines");
+  EXPECT_EQ(roll[0].value, 2u);
+  EXPECT_EQ(roll[1].name, "fleet.rollup.machines_done");
+  EXPECT_EQ(roll[1].value, 0u);
+  EXPECT_EQ(roll[2].name, "fleet.rollup.machines_crashed");
+  EXPECT_EQ(roll[2].value, 0u);
+  EXPECT_EQ(roll[3].name, "fleet.rollup.machines_sick");
+  EXPECT_EQ(roll[3].value, 0u);
+}
+
+// A single-machine fleet's totals must be the machine's own values
+// verbatim: a sum over one machine, a gauge "average" of one contributor,
+// a histogram merge with nothing to merge.
+TEST(FleetRollup, SingleMachineTotalsEqualTheMachineVerbatim) {
+  fleet::FleetConfig fc;
+  fc.machines = 1;
+  fc.threads = 1;
+  fc.run = RunConfig::for_rate_mbps(40.0);
+  fc.budget = seconds_to_cycles(0.01);
+  fleet::Fleet fleet(fc);
+  fleet.run();
+
+  const auto snap = fleet.published(0);
+  ASSERT_FALSE(snap.empty());
+  const auto roll = fleet.rollup();
+  auto find = [&roll](const std::string& name) -> const MetricsRegistry::Sample* {
+    for (const auto& s : roll) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  for (const auto& s : snap) {
+    const auto* tot = find("fleet.total." + s.name);
+    ASSERT_NE(tot, nullptr) << s.name;
+    EXPECT_EQ(tot->kind, s.kind) << s.name;
+    EXPECT_EQ(tot->replay_exact, s.replay_exact) << s.name;
+    EXPECT_EQ(tot->value, s.value) << s.name;
+    EXPECT_EQ(tot->number, s.number) << s.name;
+    EXPECT_EQ(tot->buckets, s.buckets) << s.name;
+  }
+}
+
+// Hand-computed merge rules over a real two-machine run: every histogram
+// total is the element-wise bucket sum, every gauge total is the plain
+// average of the per-machine values.
+TEST(FleetRollup, HistogramsMergeElementWiseAndGaugesAverage) {
+  fleet::FleetConfig fc;
+  fc.machines = 2;
+  fc.threads = 2;
+  fc.run = RunConfig::for_rate_mbps(40.0);
+  fc.budget = seconds_to_cycles(0.01);
+  fleet::Fleet fleet(fc);
+  fleet.run();
+
+  const auto a = fleet.published(0);
+  const auto b = fleet.published(1);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  const auto roll = fleet.rollup();
+  auto find = [&roll](const std::string& name) -> const MetricsRegistry::Sample* {
+    for (const auto& s : roll) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  std::size_t histograms = 0;
+  std::size_t gauges = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k].name, b[k].name) << "registration order diverged";
+    const auto* tot = find("fleet.total." + a[k].name);
+    ASSERT_NE(tot, nullptr) << a[k].name;
+    if (a[k].kind == MetricKind::kHistogram) {
+      ++histograms;
+      // Element-wise bucket sum, hand-computed from the two snapshots.
+      std::vector<u32> want = a[k].buckets;
+      if (want.size() < b[k].buckets.size()) {
+        want.resize(b[k].buckets.size(), 0);
+      }
+      for (std::size_t i = 0; i < b[k].buckets.size(); ++i) {
+        want[i] += b[k].buckets[i];
+      }
+      EXPECT_EQ(tot->buckets, want) << a[k].name;
+    } else if (a[k].kind == MetricKind::kGauge) {
+      ++gauges;
+      EXPECT_DOUBLE_EQ(tot->number, (a[k].number + b[k].number) / 2.0)
+          << a[k].name;
+    }
+  }
+  // The guest workload under the monitor exercises both kinds; a zero here
+  // means the registration sets changed and the test lost its teeth.
+  EXPECT_GT(histograms, 0u);
+  EXPECT_GT(gauges, 0u);
+}
+
 // ----------------------------------------------------------------- health --
 
 TEST(FleetHealth, LatchesSickMachinesAndArmsFlightRecorders) {
@@ -338,6 +447,38 @@ TEST(FleetServer, RoutesSessionsToMachinesBehindOneListener) {
   EXPECT_GE(server.sessions_accepted(), 3u);
   EXPECT_GT(server.bytes_in(), 0u);
   EXPECT_GT(server.bytes_out(), 0u);
+}
+
+TEST(FleetServer, TopIsAOneShotFleetTableBeforeAttach) {
+  fleet::FleetConfig fc;
+  fc.machines = 2;
+  fc.threads = 2;
+  fc.run = RunConfig::for_rate_mbps(40.0);
+  fc.budget = seconds_to_cycles(0.02);
+  fc.slice = 500'000;
+  fleet::Fleet fleet(fc);
+
+  fleet::FleetServer server(fleet);
+  if (!server.start()) {
+    GTEST_SKIP() << "cannot bind a loopback TCP socket in this environment";
+  }
+  std::thread runner([&fleet] { fleet.run(); });
+
+  // "top\n" instead of an attach line: one rendered table, then the
+  // server closes the session (recv returns 0 -> read_until sees EOF).
+  TcpClient t;
+  bool ok = t.connect_to(server.port()) && t.send_all("top\n") &&
+            t.read_until("FLEET machines=2");
+
+  fleet.request_stop_all();
+  runner.join();
+  server.stop();
+
+  EXPECT_TRUE(ok) << "top bytes so far: " << t.buf;
+  // Header line plus one row per machine, with the column banner between.
+  EXPECT_NE(t.buf.find("id state"), std::string::npos) << t.buf;
+  EXPECT_NE(t.buf.find("\n   0 "), std::string::npos) << t.buf;
+  EXPECT_NE(t.buf.find("\n   1 "), std::string::npos) << t.buf;
 }
 
 // ---------------------------------------------------------------- logging --

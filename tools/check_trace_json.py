@@ -9,17 +9,29 @@ Checks the structural rules Perfetto / chrome://tracing rely on:
   * async events ("b"/"e"/"n") carry an "id"; each "e" closes a prior "b"
     with the same (cat, id), each "b" is closed by the end of the stream,
     and "n" instants land inside their span's lifetime,
+  * counter events ("C") carry a non-empty "args" object of numeric values,
+  * complete events ("X") carry a numeric "dur" >= 0,
+  * flow events ("s"/"t"/"f") carry an "id"; every "t"/"f" continues a
+    prior "s" with the same (cat, id) and every flow is terminated by an
+    "f" before the end of the stream (these may cross (pid, tid) tracks —
+    that is their purpose),
   * per (pid, tid), timestamps are monotonically non-decreasing.
 
 Usage:
     check_trace_json.py trace.json [trace2.json ...]
     check_trace_json.py --run <flight_dump_demo> <out_dir>
+    check_trace_json.py --run-fleet <fleet_flight_demo> <out_dir>
     check_trace_json.py --dir <dump_dir>
 
 --run executes the demo binary (passing out_dir), parses the
 "summary=<path>" / "trace=<path>" lines it prints, validates the trace file
 and additionally requires the summary to be valid JSON with a "metrics"
 object.
+
+--run-fleet executes the fleet demo binary (passing out_dir), parses the
+"trace=<path>" line it prints and validates the merged fleet Perfetto
+export with extra shape requirements: at least two per-machine pids, at
+least one counter ("C") track and at least one flow chain ("s").
 
 --dir validates a multi-machine dump directory (a fleet or multiverse run
 where every machine's FlightRecorder writes into one place). Dump files are
@@ -42,7 +54,8 @@ import sys
 DUMP_RE = re.compile(r"^(?P<prefix>.+)-m(?P<machine>\d+)-(?P<seq>\d+)"
                      r"-(?P<half>summary|trace)\.json$")
 
-SUPPORTED_PH = {"B", "E", "X", "i", "I", "M", "b", "e", "n", "C"}
+SUPPORTED_PH = {"B", "E", "X", "i", "I", "M", "b", "e", "n", "C",
+                "s", "t", "f"}
 
 
 def die(msg):
@@ -50,8 +63,12 @@ def die(msg):
     sys.exit(2)
 
 
-def validate_trace(path):
-    """Returns a list of violation strings (empty when the file is valid)."""
+def validate_trace(path, stats=None):
+    """Returns a list of violation strings (empty when the file is valid).
+
+    When `stats` is a dict, fills it with shape counters the fleet mode
+    gates on: "pids" (set of non-metadata pids), "counters" (C events),
+    "flows" (s events)."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -66,7 +83,14 @@ def validate_trace(path):
         return [f"{path}: top level must be an object with a "
                 "'traceEvents' array"]
 
+    if stats is None:
+        stats = {}
+    stats.setdefault("pids", set())
+    stats.setdefault("counters", 0)
+    stats.setdefault("flows", 0)
+
     open_spans = {}   # (cat, id) -> begin ts
+    open_flows = {}   # (cat, id) -> ts of the last s/t
     last_ts = {}      # (pid, tid) -> ts
     events = 0
     for idx, ev in enumerate(doc["traceEvents"]):
@@ -95,6 +119,42 @@ def validate_trace(path):
             errors.append(f"{where}: ts {ts} goes backwards "
                           f"(prev {last_ts[thread]}) on {thread}")
         last_ts[thread] = ts
+        if isinstance(ev.get("pid"), int):
+            stats["pids"].add(ev["pid"])
+
+        if ph == "C":
+            stats["counters"] += 1
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter without a non-empty "
+                              "'args' object")
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                errors.append(f"{where}: counter 'args' values must all "
+                              "be numeric")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' needs numeric 'dur' >= 0, "
+                              f"got {dur!r}")
+        elif ph in ("s", "t", "f"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ev.get("id") is None:
+                errors.append(f"{where}: flow '{ph}' without an 'id'")
+                continue
+            if ph == "s":
+                stats["flows"] += 1
+                if key in open_flows:
+                    errors.append(f"{where}: flow {key} started twice")
+                open_flows[key] = ts
+            else:
+                if key not in open_flows:
+                    errors.append(f"{where}: '{ph}' for flow {key} with "
+                                  "no open 's'")
+                elif ph == "f":
+                    del open_flows[key]
+                else:
+                    open_flows[key] = ts
 
         if ph in ("b", "e", "n"):
             key = (ev.get("cat"), ev.get("id"))
@@ -120,6 +180,9 @@ def validate_trace(path):
 
     for key, ts in open_spans.items():
         errors.append(f"{path}: span {key} (begun at ts {ts}) never closed")
+    for key, ts in open_flows.items():
+        errors.append(f"{path}: flow {key} (last step at ts {ts}) never "
+                      "terminated by an 'f'")
     if events == 0:
         errors.append(f"{path}: no timestamped events")
     return errors
@@ -163,6 +226,46 @@ def run_demo(binary, out_dir):
     if not summary or not trace:
         die(f"{binary} did not print summary=/trace= paths")
     return summary, trace
+
+
+def run_fleet_demo(binary, out_dir):
+    """Runs fleet_flight_demo and returns the merged trace path."""
+    try:
+        proc = subprocess.run([binary, out_dir], capture_output=True,
+                              text=True, timeout=600)
+    except OSError as e:
+        die(f"cannot run {binary}: {e.strerror}")
+    except subprocess.TimeoutExpired:
+        die(f"{binary} timed out")
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        die(f"{binary} exited {proc.returncode}")
+    for line in proc.stdout.splitlines():
+        if line.startswith("trace="):
+            return line[len("trace="):]
+    die(f"{binary} did not print a trace= path")
+
+
+def validate_fleet_trace(path):
+    """Validates a merged fleet Perfetto export: structurally valid, plus
+    at least two per-machine pids (< 1000), one counter track and one flow
+    chain."""
+    stats = {}
+    errors = validate_trace(path, stats)
+    machine_pids = {p for p in stats["pids"] if p < 1000}
+    if len(machine_pids) < 2:
+        errors.append(f"{path}: expected >= 2 per-machine pids, "
+                      f"got {sorted(machine_pids)}")
+    if stats["counters"] < 1:
+        errors.append(f"{path}: expected at least one counter ('C') event")
+    if stats["flows"] < 1:
+        errors.append(f"{path}: expected at least one flow chain ('s')")
+    if not errors:
+        print(f"{path}: {len(machine_pids)} machine track(s), "
+              f"{stats['counters']} counter event(s), "
+              f"{stats['flows']} flow chain(s)")
+    return errors
 
 
 def validate_dump_dir(dump_dir):
@@ -220,7 +323,8 @@ def main():
     args = sys.argv[1:]
     if not args:
         die("usage: check_trace_json.py <trace.json ...> | "
-            "--run <demo> <out_dir> | --dir <dump_dir>")
+            "--run <demo> <out_dir> | --run-fleet <demo> <out_dir> | "
+            "--dir <dump_dir>")
 
     errors = []
     if args[0] == "--run":
@@ -230,6 +334,12 @@ def main():
         errors += validate_summary(summary)
         errors += validate_trace(trace)
         checked = [trace, summary]
+    elif args[0] == "--run-fleet":
+        if len(args) != 3:
+            die("--run-fleet needs <fleet_flight_demo> <out_dir>")
+        trace = run_fleet_demo(args[1], args[2])
+        errors += validate_fleet_trace(trace)
+        checked = [trace]
     elif args[0] == "--dir":
         if len(args) != 2:
             die("--dir needs <dump_dir>")

@@ -37,7 +37,9 @@ void check_snapshot_completeness(const Repo& repo, std::vector<Diag>& out);
 /// (2) Replay-determinism purity: no wall-clock, RNG or environment access
 /// anywhere under src/cpu, src/hw, src/vmm, src/common. common/rng.h is
 /// the one sanctioned randomness source; host-sink files opt out with a
-/// `// det:host-boundary(<reason>)` annotation.
+/// `// det:host-boundary(<reason>)` annotation. Waivers are audited: an
+/// annotation that no longer excuses any banned header or identifier (the
+/// host call moved or was deleted) is reported as stale.
 void check_determinism(const Repo& repo, std::vector<Diag>& out);
 
 /// (3) Charge discipline: every handler defined in src/vmm/exit_*.cpp must
@@ -55,8 +57,11 @@ void check_layer_dag(const Repo& repo, std::vector<Diag>& out);
 /// (5) Metric naming: every string-literal name passed to
 /// MetricsRegistry::add_counter / add_gauge / add_histogram must follow
 /// `layer.component.metric` — at least three non-empty dot-separated
-/// segments of [a-z0-9_]. Dynamically built names (prefix + "...") are
-/// skipped here; the registry validates them at registration time.
+/// segments of [a-z0-9_]. The first two segments are the metric family;
+/// each family has exactly one owning layer (the registration-site table
+/// in check_metric_names) and may only be registered from it. Dynamically
+/// built names (prefix + "...") are skipped here; the registry validates
+/// them at registration time.
 void check_metric_names(const Repo& repo, std::vector<Diag>& out);
 
 /// (6) Lock discipline: a field annotated `// guard:by(<mutex>)` (or

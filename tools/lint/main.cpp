@@ -5,7 +5,8 @@
 //   det-pure       replay-determinism purity of the simulated layers
 //   charge-path    cost-model charge discipline in VM-exit handlers
 //   layer-dag      include edges respect the layer DAG
-//   metric-name    registry metric names follow layer.component.metric
+//   metric-name    registry metric names follow layer.component.metric and
+//                  each family registers only from its owning layer
 //   lock-guard     guard:by fields only touched with their mutex held
 //   thread-role    thread:* call graph never crosses exclusive roles
 //

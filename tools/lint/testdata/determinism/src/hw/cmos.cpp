@@ -1,0 +1,10 @@
+// Fixture: a file-level waiver that outlived the host-time code it once
+// covered — nothing nondeterministic is left, so the waiver is stale.
+// det:host-boundary(whole file used to read the host RTC)
+#include "hw/cmos.h"
+
+namespace fix {
+
+u32 Cmos::century() { return 20; }
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Fixture: a live file-level waiver — the whole file is a sanctioned host
+// boundary, so its banned sources are excused and the waiver is used.
+// det:host-boundary(this file is the host-time boundary)
+#include <chrono>
+
+#include "hw/hostclock.h"
+
+namespace fix {
+
+u64 HostClock::now_us() {
+  return gettimeofday(nullptr, nullptr);
+}
+
+}  // namespace fix

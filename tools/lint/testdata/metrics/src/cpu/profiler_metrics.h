@@ -1,0 +1,15 @@
+// metric-name fixture: the profiler's cpu.profile family registers clean
+// from its owning layer.
+#pragma once
+
+struct MetricsRegistry;
+
+struct Profiler {
+  unsigned long long samples = 0;
+
+  void register_metrics(MetricsRegistry& reg) {
+    // good: cpu.profile is owned by cpu
+    reg.add_counter("cpu.profile.samples", &samples);
+    reg.add_gauge("cpu.profile.interval", nullptr);
+  }
+};

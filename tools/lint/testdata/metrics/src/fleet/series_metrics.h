@@ -1,0 +1,17 @@
+// metric-name fixture: fleet-owned families register clean from fleet;
+// a cpu-owned family registered here is a layer violation.
+#pragma once
+
+struct MetricsRegistry;
+
+struct SeriesRing {
+  unsigned long long points = 0;
+
+  void register_metrics(MetricsRegistry& reg) {
+    // good: fleet.series and vmm.multiverse are both fleet-owned
+    reg.add_counter("fleet.series.points", &points);
+    reg.add_counter("vmm.multiverse.forks", &points);
+    // bad: cpu.profile belongs to the cpu layer
+    reg.add_counter("cpu.profile.evictions", &points);
+  }
+};

@@ -12,9 +12,9 @@ struct Dev {
   unsigned hist[4] = {};
 
   void register_metrics(MetricsRegistry& reg, const char* prefix) {
-    // good: three and four dot-separated lowercase segments
-    reg.add_counter("hw.dev.ticks", &ticks);
-    reg.add_histogram("hw.dev.latency.log2", hist, 4);
+    // good: three and four lowercase segments in an hw-owned family
+    reg.add_counter("hw.nic.ticks", &ticks);
+    reg.add_histogram("hw.nic.latency.log2", hist, 4);
     // good: a dynamically built name is the registry's runtime problem,
     // not the linter's
     reg.add_counter(prefix, &ticks);
@@ -26,5 +26,9 @@ struct Dev {
     reg.add_gauge("hw..rate", nullptr);
     // bad: trailing dot
     reg.add_counter("hw.dev.ticks.", &ticks);
+    // bad: well-formed name, but "hw.dev" is not in the family table
+    reg.add_counter("hw.dev.ticks", &ticks);
+    // bad: vmm.flight is owned by the vmm layer, not hw
+    reg.add_counter("vmm.flight.checkpoints", &ticks);
   }
 };
